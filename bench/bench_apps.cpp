@@ -1,0 +1,139 @@
+// E16 — the application layer built on the paper's MIS (its §1 motivation):
+// backbone clustering and iterated-MIS (Δ+1)-coloring, measured for
+// correctness, color count, and energy scaling.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "apps/backbone.hpp"
+#include "apps/broadcast.hpp"
+#include "apps/coloring.hpp"
+
+namespace emis {
+namespace {
+
+void BackboneSweep() {
+  Table table({"n", "Δ(avg)", "heads(avg)", "affiliated", "max energy(avg)",
+               "valid"});
+  bool all_valid = true;
+  std::vector<double> ns, energies;
+  for (NodeId n : {128u, 512u, 2048u, 8192u}) {
+    Summary heads, energy, delta;
+    std::uint32_t valid = 0, affiliated_all = 0;
+    const std::uint32_t kSeeds = 5;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      Rng rng(seed * 97 + n);
+      const Graph g = families::UnitDisk(8.0)(n, rng);
+      const BackboneParams p = BackboneParams::Practical(n, g.MaxDegree());
+      const BackboneResult r = BuildBackbone(g, p, seed);
+      valid += CheckBackbone(g, r).empty() ? 1 : 0;
+      affiliated_all += r.NumAffiliated() == g.NumNodes() ? 1 : 0;
+      heads.Add(static_cast<double>(r.NumHeads()));
+      energy.Add(static_cast<double>(r.energy.MaxAwake()));
+      delta.Add(static_cast<double>(g.MaxDegree()));
+    }
+    table.AddRow({std::to_string(n), Fmt(delta.mean, 1), Fmt(heads.mean, 1),
+                  std::to_string(affiliated_all) + "/" + std::to_string(kSeeds),
+                  Fmt(energy.mean, 1),
+                  std::to_string(valid) + "/" + std::to_string(kSeeds)});
+    all_valid = all_valid && valid == kSeeds && affiliated_all == kSeeds;
+    ns.push_back(static_cast<double>(n));
+    energies.push_back(energy.mean);
+  }
+  std::printf("%s", table.Render("backbone on unit-disk fields (avg deg 8)").c_str());
+  const double k = BestPolylogExponent(ns, energies,
+                                       std::vector<double>{1.0, 2.0, 3.0});
+  std::printf("backbone energy best-fit exponent: (log n)^%.0f\n\n", k);
+  bench::Verdict(all_valid, "backbone: every run valid, every node affiliated");
+  bench::Verdict(k <= 2.0, "backbone energy polylogarithmic (MIS + announce)");
+}
+
+void ColoringSweep() {
+  Table table({"graph", "Δ", "colors used", "Δ+1", "max energy(avg)", "proper"});
+  bool all_proper = true, all_within = true;
+  for (const auto& [name, factory] :
+       {std::pair<std::string, GraphFactory>{
+            "regular d=6", [](NodeId n, Rng& rng) { return gen::NearRegular(n, 6, rng); }},
+        {"G(n, 8/n)", families::SparseErdosRenyi(8.0)},
+        {"unit disk", families::UnitDisk(8.0)}}) {
+    for (NodeId n : {128u, 512u}) {
+      Summary colors, energy;
+      std::uint32_t proper = 0, within = 0, delta_max = 0;
+      const std::uint32_t kSeeds = 5;
+      for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(seed * 131 + n);
+        const Graph g = factory(n, rng);
+        const ColoringParams p = ColoringParams::Practical(n, g.MaxDegree());
+        const ColoringResult r = ColorGraph(g, p, seed);
+        proper += CheckColoring(g, r, p.max_colors).empty() ? 1 : 0;
+        within += r.colors_used <= g.MaxDegree() + 1 ? 1 : 0;
+        colors.Add(static_cast<double>(r.colors_used));
+        energy.Add(static_cast<double>(r.energy.MaxAwake()));
+        delta_max = std::max(delta_max, g.MaxDegree());
+      }
+      table.AddRow({name + " n=" + std::to_string(n), std::to_string(delta_max),
+                    Fmt(colors.mean, 1), std::to_string(delta_max + 1),
+                    Fmt(energy.mean, 0),
+                    std::to_string(proper) + "/" + std::to_string(kSeeds)});
+      all_proper = all_proper && proper == kSeeds;
+      all_within = all_within && within == kSeeds;
+    }
+  }
+  std::printf("%s\n", table.Render("iterated-MIS coloring").c_str());
+  bench::Verdict(all_proper, "coloring: every run proper and fully colored");
+  bench::Verdict(all_within, "coloring: colors_used <= Δ+1 on every run");
+}
+
+void BroadcastSweep() {
+  Table table({"n", "D2 colors", "informed", "latency (rounds)", "max energy",
+               "transmits/node"});
+  bool all_informed = true, single_tx = true;
+  for (NodeId n : {64u, 256u, 1024u}) {
+    Rng rng(n + 5);
+    Graph g = families::UnitDisk(10.0)(n, rng);
+    // Keep only the giant component reachable from node 0 for a clean
+    // "everyone informed" statement.
+    std::vector<std::uint32_t> comp;
+    g.ConnectedComponents(comp);
+    std::vector<NodeId> keep;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (comp[v] == comp[0]) keep.push_back(v);
+    }
+    const Graph giant = g.Induced(keep).graph;
+    const auto d2 = GreedyDistanceTwoColoring(giant);
+    const auto colors = 1 + *std::max_element(d2.begin(), d2.end());
+    const auto r = FloodBroadcast(giant, 0, 1, d2);
+    all_informed = all_informed && r.AllInformed();
+    Round latest = 0;
+    std::uint64_t max_tx = 0;
+    for (NodeId v = 0; v < giant.NumNodes(); ++v) {
+      if (r.informed_at[v] != kForever) latest = std::max(latest, r.informed_at[v]);
+      max_tx = std::max(max_tx, r.energy.Of(v).transmit_rounds);
+    }
+    single_tx = single_tx && max_tx <= 1;
+    table.AddRow({std::to_string(giant.NumNodes()), std::to_string(colors),
+                  r.AllInformed() ? "all" : "NOT ALL", std::to_string(latest),
+                  std::to_string(r.energy.MaxAwake()), std::to_string(max_tx)});
+  }
+  std::printf("%s\n", table.Render("deterministic TDMA flooding (giant "
+                                   "component of unit-disk fields)").c_str());
+  bench::Verdict(all_informed, "broadcast: every reachable node informed, "
+                               "deterministically, zero collisions");
+  bench::Verdict(single_tx, "broadcast: every node transmits at most once");
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E16  bench_apps",
+                "§1 motivation: the MIS as a building block — backbone "
+                "clustering and (Δ+1)-coloring over the CD radio channel, "
+                "energy-aware end to end.");
+  BackboneSweep();
+  ColoringSweep();
+  BroadcastSweep();
+  bench::Footer();
+  return 0;
+}

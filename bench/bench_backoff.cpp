@@ -1,0 +1,141 @@
+// E6 — the energy-efficient backoff procedures (Algorithm 4, Lemmas 8-9).
+//
+// On a star with d sender leaves and one receiver hub:
+//   * Lemma 8: Snd-EBackoff(k, Δ) is awake exactly k rounds; Rec-EBackoff
+//     awake O(k log Δ_est); both take k * (⌈log Δ⌉ + 1) rounds.
+//   * Lemma 9: the receiver detects w.p. >= 1 - (7/8)^k.
+// The sender/receiver asymmetry (column snd/rec energy) is the lever behind
+// Algorithm 2's budgeting.
+#include "bench_common.hpp"
+
+#include "core/backoff.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+namespace {
+
+struct Outcome {
+  bool heard = false;
+  std::uint64_t rec_energy = 0;
+  std::uint64_t snd_energy = 0;
+  Round duration = 0;
+};
+
+proc::Task<void> Hub(NodeApi api, std::uint32_t k, std::uint32_t delta, Outcome* out) {
+  const Round start = api.Now();
+  out->heard = co_await RecEBackoff(api, k, delta, delta);
+  out->duration = api.Now() - start;
+}
+
+proc::Task<void> Leaf(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  co_await SndEBackoff(api, k, delta);
+}
+
+Outcome RunOnce(std::uint32_t senders, std::uint32_t k, std::uint32_t delta,
+                std::uint64_t seed) {
+  const Graph g = gen::Star(senders + 1);
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, seed);
+  Outcome out;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return Hub(api, k, delta, &out);
+    return Leaf(api, k, delta);
+  });
+  sched.Run();
+  out.rec_energy = sched.Energy().Of(0).Awake();
+  out.snd_energy = senders > 0 ? sched.Energy().Of(1).Awake() : 0;
+  return out;
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E6  bench_backoff",
+                "Lemmas 8-9: k-repeated energy-efficient backoff — sender "
+                "awake k rounds, receiver O(k log Δ_est), detection "
+                ">= 1 - (7/8)^k.");
+
+  const std::uint32_t kDelta = 64;
+  const std::uint32_t kTrials = 400;
+
+  Table table({"k", "senders d", "detect rate", "1-(7/8)^k", "snd energy",
+               "rec energy(avg)", "rounds"});
+  bool detection_ok = true;
+  bool sender_energy_ok = true;
+  bool duration_ok = true;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (std::uint32_t d : {1u, 4u, 16u, 64u}) {
+      std::uint32_t detected = 0;
+      double rec_energy = 0;
+      std::uint64_t snd_energy = 0;
+      Round duration = 0;
+      for (std::uint32_t t = 0; t < kTrials; ++t) {
+        const Outcome out =
+            RunOnce(d, k, kDelta, 10'000 + k * 1000 + d * 37 + t);
+        detected += out.heard;
+        rec_energy += static_cast<double>(out.rec_energy);
+        snd_energy = out.snd_energy;
+        duration = out.duration;
+      }
+      const double rate = static_cast<double>(detected) / kTrials;
+      const double lemma = 1.0 - std::pow(7.0 / 8.0, static_cast<double>(k));
+      table.AddRow({std::to_string(k), std::to_string(d), Fmt(rate, 3),
+                    Fmt(lemma, 3), std::to_string(snd_energy),
+                    Fmt(rec_energy / kTrials, 1), std::to_string(duration)});
+      // Allow a small empirical slack below the Lemma 9 bound.
+      detection_ok = detection_ok && rate >= lemma - 0.06;
+      sender_energy_ok = sender_energy_ok && snd_energy == k;
+      duration_ok = duration_ok && duration == BackoffRounds(k, kDelta);
+    }
+  }
+  std::printf("%s\n", table.Render("star, Δ = Δ_est = 64").c_str());
+
+  bench::Verdict(detection_ok, "detection rate >= 1-(7/8)^k (Lemma 9) for all k, d");
+  bench::Verdict(sender_energy_ok, "sender awake exactly k rounds (Lemma 8)");
+  bench::Verdict(duration_ok, "backoff takes exactly k(⌈log Δ⌉+1) rounds (Lemma 8)");
+
+  // Receiver early-sleep: with a sender present, receiver average energy must
+  // be far below its no-sender budget k * window.
+  {
+    const std::uint32_t k = 32;
+    double with_sender = 0, without = 0;
+    for (std::uint32_t t = 0; t < 100; ++t) {
+      with_sender += static_cast<double>(RunOnce(1, k, kDelta, 500 + t).rec_energy);
+      without += static_cast<double>(RunOnce(0, k, kDelta, 900 + t).rec_energy);
+    }
+    with_sender /= 100;
+    without /= 100;
+    std::printf("receiver energy, k=32: no sender %.1f (budget %llu), one sender %.1f\n",
+                without,
+                static_cast<unsigned long long>(BackoffRounds(k, kDelta)),
+                with_sender);
+    bench::Verdict(without == static_cast<double>(k * BackoffWindow(kDelta)),
+                   "silent receiver exhausts exactly its k log Δ_est budget");
+    bench::Verdict(with_sender * 3 < without,
+                   "receiver sleeps after hearing: >3x cheaper with a sender");
+  }
+
+  // Δ_est shrink: the commit mechanism's lever — receiver listens only
+  // ⌈log Δ_est⌉+1 rounds per iteration.
+  {
+    Table t2({"Δ_est", "rec energy (no sender)", "window"});
+    for (std::uint32_t est : {2u, 8u, 64u}) {
+      const Graph g = gen::Star(1);
+      Scheduler sched(g, {.model = ChannelModel::kNoCd}, 7);
+      std::uint64_t energy = 0;
+      sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+        return [](NodeApi a, std::uint32_t e) -> proc::Task<void> {
+          (void)co_await RecEBackoff(a, 16, 64, e);
+        }(api, est);
+      });
+      sched.Run();
+      energy = sched.Energy().Of(0).Awake();
+      t2.AddRow({std::to_string(est), std::to_string(energy),
+                 std::to_string(BackoffWindow(est))});
+    }
+    std::printf("%s", t2.Render("Δ_est shrink (k=16, Δ=64)").c_str());
+  }
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E2 — CD-model round complexity (Theorem 2: O(log² n) rounds).
+//
+// Reports rounds-to-completion of Algorithm 1 over a size sweep, against the
+// schedule upper bound C log n * (beta log n + 1). Also reports the number
+// of Luby phases actually consumed (rounds / phase length), which is the
+// residual-shrinkage rate of Lemma 5 made visible.
+#include "bench_common.hpp"
+
+#include "core/runner.hpp"
+
+namespace emis {
+namespace {
+
+void RunFamily(const std::string& name, GraphFactory factory) {
+  const std::vector<NodeId> sizes = {64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  SweepConfig cfg;
+  cfg.factory = std::move(factory);
+  cfg.sizes = sizes;
+  cfg.seeds_per_size = 10;
+  cfg.algorithm = MisAlgorithm::kCd;
+  const auto points = RunSweep(cfg);
+
+  Table table({"n", "rounds(avg)", "rounds(max)", "schedule bound", "phases used(avg)",
+               "rounds/log^2 n", "ok"});
+  bool within_bound = true;
+  for (const auto& p : points) {
+    Graph probe;  // derive the parameter schedule for this n
+    const MisRunConfig rc{.algorithm = MisAlgorithm::kCd, .n_estimate = p.n};
+    const CdParams params = DeriveCdParams(probe, rc);
+    const double bound = static_cast<double>(params.TotalRounds());
+    const double phase_len = static_cast<double>(params.PhaseRounds());
+    const double log_n = std::log2(static_cast<double>(p.n));
+    within_bound = within_bound && p.rounds.max <= bound;
+    table.AddRow({std::to_string(p.n), Fmt(p.rounds.mean, 0), Fmt(p.rounds.max, 0),
+                  Fmt(bound, 0), Fmt(p.rounds.mean / phase_len, 2),
+                  Fmt(p.rounds.mean / (log_n * log_n), 2),
+                  std::to_string(p.runs - p.failures) + "/" + std::to_string(p.runs)});
+  }
+  std::printf("%s", table.Render("family: " + name).c_str());
+
+  const std::vector<double> candidates = {1.0, 2.0, 3.0};
+  const double k = BestPolylogExponent(Sizes(points), MeanRounds(points), candidates);
+  std::printf("best-fit exponent: rounds ~ (log n)^%.0f\n\n", k);
+
+  bench::Verdict(bench::TotalFailures(points) == 0,
+                 name + ": all runs produced a valid MIS");
+  bench::Verdict(within_bound, name + ": rounds never exceed the C log n * "
+                               "(beta log n + 1) schedule");
+  bench::Verdict(k <= 2.0, name + ": rounds fit within (log n)^2");
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E2  bench_cd_rounds",
+                "Theorem 2: Algorithm 1 finishes in O(log^2 n) rounds.");
+  RunFamily("sparse G(n, 8/n)", families::SparseErdosRenyi(8.0));
+  RunFamily("cycle", [](NodeId n, Rng&) { return gen::Cycle(n); });
+  RunFamily("complete-bipartite n/2 x n/2",
+            [](NodeId n, Rng&) { return gen::CompleteBipartite(n / 2, n - n / 2); });
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the experiment binaries (E1-E11 in DESIGN.md).
+//
+// Every bench prints:
+//   * a header naming the paper claim it reproduces,
+//   * one or more tables of measured rows,
+//   * SHAPE-CHECK verdict lines ("[pass]"/"[FAIL]") that summarize whether
+//     the measurement matches the claim's shape.
+// Exit code is 0 even on shape failures (so `for b in bench/*; do $b; done`
+// runs everything); verdicts are for the human/EXPERIMENTS.md.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "verify/experiment.hpp"
+#include "verify/stats.hpp"
+
+namespace emis::bench {
+
+inline int g_failures = 0;
+
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Verdict(bool ok, const std::string& what) {
+  std::printf("SHAPE-CHECK [%s] %s\n", ok ? "pass" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline void Footer() {
+  if (g_failures == 0) {
+    std::printf("\nAll shape checks passed.\n");
+  } else {
+    std::printf("\n%d shape check(s) FAILED.\n", g_failures);
+  }
+}
+
+/// Sum of failures across all sweep points (invalid MIS outputs).
+inline std::uint32_t TotalFailures(const std::vector<SweepPoint>& points) {
+  std::uint32_t f = 0;
+  for (const auto& p : points) f += p.failures;
+  return f;
+}
+
+}  // namespace emis::bench

@@ -1,0 +1,91 @@
+// E13 — where the crossovers fall.
+//
+// Two crossovers the theory predicts and a practitioner would ask about:
+//   1. Algorithm 2 vs the Davies-profile baseline (worst-case energy, Δ
+//      unknown): Alg2 pays fixed overheads (deep checks, LowDegreeMIS) for
+//      its log log n listen windows, so it loses at small n and wins once
+//      log Δ_est = log n outgrows log(κ log n). We chart the ratio as n
+//      grows and report the first size where Alg2 wins.
+//   2. CD Algorithm 1 vs wired-CONGEST Luby (energy cost of the radio
+//      constraint): never crosses — the radio algorithm pays a constant
+//      factor over Luby's 2-awake-rounds-per-phase at every size.
+#include "bench_common.hpp"
+
+#include "baselines/luby_congest.hpp"
+
+namespace emis {
+namespace {
+
+double MeanMax(MisAlgorithm alg, const Graph& g, std::uint32_t seeds) {
+  Summary s;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    MisRunConfig cfg{.algorithm = alg, .seed = seed};
+    cfg.delta_estimate = g.NumNodes();
+    const auto r = RunMis(g, cfg);
+    s.Add(static_cast<double>(r.energy.MaxAwake()));
+  }
+  return s.mean;
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E13  bench_crossover",
+                "Crossover sizes: Algorithm 2 overtakes the Davies-profile "
+                "baseline once its loglog-width listens beat log n-width "
+                "listens; the CD algorithm tracks wired Luby at a constant "
+                "factor.");
+
+  // Crossover 1: Alg2 vs Davies-profile (Δ unknown).
+  {
+    Table table({"n", "Alg2 max energy", "Davies-profile max energy", "ratio"});
+    NodeId crossover = 0;
+    const std::uint32_t kSeeds = 4;
+    for (NodeId n : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+      Rng rng(n * 3 + 1);
+      const Graph g = families::SparseErdosRenyi(8.0)(n, rng);
+      const double ours = MeanMax(MisAlgorithm::kNoCd, g, kSeeds);
+      const double davies = MeanMax(MisAlgorithm::kNoCdDaviesProfile, g, kSeeds);
+      table.AddRow({std::to_string(n), Fmt(ours, 0), Fmt(davies, 0),
+                    Fmt(ours / davies, 2)});
+      if (crossover == 0 && ours < davies) crossover = n;
+    }
+    std::printf("%s", table.Render("G(n, 8/n), Δ unknown (= n), 4 seeds").c_str());
+    if (crossover != 0) {
+      std::printf("first size where Algorithm 2 wins: n = %u\n\n", crossover);
+    } else {
+      std::printf("Algorithm 2 did not overtake within the sweep\n\n");
+    }
+    bench::Verdict(crossover != 0 && crossover <= 2048,
+                   "Alg2 overtakes the Davies profile within laptop scale "
+                   "(crossover at n = " + std::to_string(crossover) + ")");
+  }
+
+  // Crossover 2 (non-crossover): CD radio vs wired CONGEST Luby.
+  {
+    Table table({"n", "Alg1 (radio CD) max energy", "Luby (wired) max energy",
+                 "radio / wired"});
+    bool bounded = true;
+    for (NodeId n : {128u, 512u, 2048u, 8192u}) {
+      Rng rng(n * 7 + 5);
+      const Graph g = families::SparseErdosRenyi(8.0)(n, rng);
+      const double radio = MeanMax(MisAlgorithm::kCd, g, 4);
+      Summary wired;
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        wired.Add(static_cast<double>(LubyCongest(g, seed).energy.MaxAwake()));
+      }
+      const double ratio = radio / wired.mean;
+      table.AddRow({std::to_string(n), Fmt(radio, 1), Fmt(wired.mean, 1),
+                    Fmt(ratio, 2)});
+      bounded = bounded && ratio < 20.0;
+    }
+    std::printf("%s\n", table.Render("the price of collisions (both O(log n))").c_str());
+    bench::Verdict(bounded,
+                   "radio CD energy stays within a constant factor of wired "
+                   "Luby at every size (both are Θ(log n))");
+  }
+  bench::Footer();
+  return 0;
+}

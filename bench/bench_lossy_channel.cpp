@@ -1,0 +1,89 @@
+// E15 — beyond the model: per-link fading and repetition coding.
+//
+// The paper's channel is reliable; real radios fade. We sweep a per-link
+// per-round erasure probability p and measure the failure rate of
+// Algorithm 1, then harden it with R-fold repetition coding (a library
+// extension: every logical round is repeated R times, degrading effective
+// loss to p^R at Rx energy cost). The experiment charts the
+// reliability-energy trade-off a deployment would tune.
+#include "bench_common.hpp"
+
+#include "core/runner.hpp"
+
+namespace emis {
+namespace {
+
+struct Cell {
+  double failure_rate = 0.0;
+  double max_energy = 0.0;
+};
+
+Cell Measure(const Graph& g, double loss, std::uint32_t repetitions,
+             std::uint32_t trials) {
+  Cell cell;
+  Summary energy;
+  std::uint32_t failures = 0;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    MisRunConfig cfg{.algorithm = MisAlgorithm::kCd, .seed = seed,
+                     .link_loss = loss};
+    cfg.cd_params = CdParams::Practical(g.NumNodes());
+    cfg.cd_params->repetitions = repetitions;
+    const auto r = RunMis(g, cfg);
+    failures += r.Valid() ? 0 : 1;
+    energy.Add(static_cast<double>(r.energy.MaxAwake()));
+  }
+  cell.failure_rate = static_cast<double>(failures) / trials;
+  cell.max_energy = energy.mean;
+  return cell;
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E15  bench_lossy_channel",
+                "Extension: Algorithm 1 under per-link fading, with and "
+                "without R-fold repetition coding (loss p -> p^R at Rx "
+                "energy).");
+
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(256, 8.0 / 256, rng);
+  const std::uint32_t kTrials = 20;
+
+  Table table({"link loss p", "R=1 fail", "R=2 fail", "R=4 fail", "R=8 fail",
+               "R=8 energy"});
+  double r1_fail_at_03 = 0, r8_fail_at_03 = 0;
+  double reliable_fail = 0;
+  for (double loss : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    const Cell c1 = Measure(g, loss, 1, kTrials);
+    const Cell c2 = Measure(g, loss, 2, kTrials);
+    const Cell c4 = Measure(g, loss, 4, kTrials);
+    const Cell c8 = Measure(g, loss, 8, kTrials);
+    if (loss == 0.0) reliable_fail = c1.failure_rate;
+    if (loss == 0.3) {
+      r1_fail_at_03 = c1.failure_rate;
+      r8_fail_at_03 = c8.failure_rate;
+    }
+    table.AddRow({Fmt(loss, 1), Fmt(c1.failure_rate, 2), Fmt(c2.failure_rate, 2),
+                  Fmt(c4.failure_rate, 2), Fmt(c8.failure_rate, 2),
+                  Fmt(c8.max_energy, 0)});
+  }
+  std::printf("%s\n", table.Render("G(256, 8/n), " + std::to_string(kTrials) +
+                                   " trials per cell").c_str());
+  std::printf(
+      "note: repetition cannot reach zero failures — an Algorithm 1 winner\n"
+      "announces once and terminates silently, so one missed check round is\n"
+      "permanent. Algorithm 2's per-phase re-announcements are the\n"
+      "structural fix; here we chart the repetition-only trade-off.\n\n");
+
+  bench::Verdict(reliable_fail == 0.0, "reliable channel (p=0): no failures");
+  bench::Verdict(r1_fail_at_03 > 0.5,
+                 "p=0.3 breaks the unhardened protocol (failure rate " +
+                     Fmt(r1_fail_at_03, 2) + ")");
+  bench::Verdict(r8_fail_at_03 <= 0.25 && r8_fail_at_03 < r1_fail_at_03,
+                 "R=8 repetition coding sharply reduces failures at p=0.3 (" +
+                     Fmt(r1_fail_at_03, 2) + " -> " + Fmt(r8_fail_at_03, 2) + ")");
+  bench::Footer();
+  return 0;
+}

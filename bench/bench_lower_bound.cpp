@@ -1,0 +1,79 @@
+// E5 — the Ω(log n) energy lower bound (Theorem 1).
+//
+// Theorem 1's mechanism on the matching+isolated family: a node that has
+// heard nothing must join the MIS (it is isolated with conditional
+// probability ≥ 1/2), and with an energy budget b, a matched pair fails to
+// break its tie with probability ≥ 4^-b per pair — so with n/4 pairs,
+// failure is near-certain while b ≤ ~log_4(n/4) and fades above.
+//
+// We run Algorithm 1 under a hard per-node budget of b awake rounds (capped
+// nodes decide by the forced rule: join iff silent so far) and chart the
+// empirical failure probability against b, alongside the paper's
+// 1 - exp(-n / 4^(b+1)) bound curve.
+#include "bench_common.hpp"
+
+#include "core/runner.hpp"
+
+namespace emis {
+namespace {
+
+double FailureRate(NodeId n, std::uint64_t cap, std::uint32_t trials) {
+  const Graph g = gen::MatchingPlusIsolated(n);
+  std::uint32_t failures = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    MisRunConfig cfg{.algorithm = MisAlgorithm::kCd,
+                     .seed = 1000 + static_cast<std::uint64_t>(n) * 977 + t};
+    cfg.cd_params = CdParams::Practical(n);
+    cfg.cd_params->energy_cap = cap;
+    const auto r = RunMis(g, cfg);
+    failures += r.Valid() ? 0 : 1;
+  }
+  return static_cast<double>(failures) / trials;
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E5  bench_lower_bound",
+                "Theorem 1: any MIS algorithm with energy <= 1/2 log n fails "
+                "w.p. >= 1 - e^(-1/4) on the matching+isolated family.");
+
+  const std::uint32_t kTrials = 30;
+  for (NodeId n : {256u, 1024u, 4096u}) {
+    const double log_n = std::log2(static_cast<double>(n));
+    Table table({"energy budget b", "b / log2 n", "empirical failure",
+                 "paper bound 1-e^(-n/4^(b+1))"});
+    double fail_at_half_log = -1.0;
+    double fail_at_generous = -1.0;
+    const std::uint64_t half_log = static_cast<std::uint64_t>(log_n / 2.0);
+    const std::uint64_t generous = static_cast<std::uint64_t>(3.0 * log_n);
+    for (std::uint64_t b :
+         {std::uint64_t{1}, std::uint64_t{2}, half_log / 2 + 1, half_log,
+          static_cast<std::uint64_t>(log_n), 2 * static_cast<std::uint64_t>(log_n),
+          generous}) {
+      const double fail = FailureRate(n, b, kTrials);
+      const double bound =
+          1.0 - std::exp(-static_cast<double>(n) / std::pow(4.0, static_cast<double>(b + 1)));
+      if (b == half_log) fail_at_half_log = fail;
+      if (b == generous) fail_at_generous = fail;
+      table.AddRow({std::to_string(b), Fmt(static_cast<double>(b) / log_n, 2),
+                    Fmt(fail, 2), Fmt(bound, 3)});
+    }
+    std::printf("%s", table.Render("n = " + std::to_string(n)).c_str());
+    std::printf("\n");
+
+    bench::Verdict(fail_at_half_log >= 1.0 - std::exp(-0.25) - 0.15,
+                   "n=" + std::to_string(n) +
+                       ": at b = 1/2 log n failure rate >= ~1-e^(-1/4) (" +
+                       Fmt(fail_at_half_log, 2) + ")");
+    bench::Verdict(fail_at_generous <= 0.2,
+                   "n=" + std::to_string(n) +
+                       ": with b = 3 log n the algorithm succeeds (failure " +
+                       Fmt(fail_at_generous, 2) + ") — the bound is tight up "
+                       "to constants");
+  }
+  bench::Footer();
+  return 0;
+}

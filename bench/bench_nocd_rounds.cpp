@@ -1,0 +1,85 @@
+// E4 — no-CD round complexity.
+//
+// Theorem 10 states O(log³ n log Δ) rounds for Algorithm 2 *when its
+// LowDegreeMIS subroutine is Davies' §4.2 algorithm*. This reproduction uses
+// the paper's other named option — the naive simulation of Algorithm 1 —
+// whose T_G window is a log-factor longer (see DESIGN.md §5), so the round
+// bound we verify is the schedule C log n * T_L with the substituted T_G.
+// The energy claims (E3) are unaffected by the substitution.
+#include "bench_common.hpp"
+
+#include "core/runner.hpp"
+
+namespace emis {
+namespace {
+
+void RunFamily(const std::string& name, GraphFactory factory, bool delta_unknown,
+               LowDegreeKind low_degree = LowDegreeKind::kSimulatedAlg1) {
+  const std::vector<NodeId> sizes = {128, 256, 512, 1024};
+  SweepConfig cfg;
+  cfg.factory = std::move(factory);
+  cfg.sizes = sizes;
+  cfg.seeds_per_size = 3;
+  cfg.delta_unknown = delta_unknown;
+  cfg.algorithm = MisAlgorithm::kNoCd;
+  if (low_degree == LowDegreeKind::kGhaffari) {
+    cfg.tweak = [](MisRunConfig& rc, const Graph& g) {
+      rc.nocd_params = DeriveNoCdParams(g, rc);
+      rc.nocd_params->low_degree_kind = LowDegreeKind::kGhaffari;
+    };
+  }
+  const auto points = RunSweep(cfg);
+
+  Table table({"n", "rounds(avg)", "rounds(max)", "schedule bound", "phases used(avg)",
+               "ok"});
+  bool within = true;
+  for (const auto& p : points) {
+    Graph probe;
+    MisRunConfig rc{.algorithm = MisAlgorithm::kNoCd, .n_estimate = p.n};
+    rc.delta_estimate = delta_unknown
+                            ? p.n
+                            : std::max<std::uint32_t>(
+                                  1, static_cast<std::uint32_t>(p.max_degree.mean));
+    NoCdParams params = DeriveNoCdParams(probe, rc);
+    params.low_degree_kind = low_degree;
+    const NoCdSchedule sched = NoCdSchedule::Of(params);
+    const double bound =
+        static_cast<double>(params.luby_phases) * static_cast<double>(sched.phase);
+    within = within && p.rounds.max <= bound * 1.05;  // Δ(avg) rounding slack
+    table.AddRow({std::to_string(p.n), Fmt(p.rounds.mean, 0), Fmt(p.rounds.max, 0),
+                  Fmt(bound, 0),
+                  Fmt(p.rounds.mean / static_cast<double>(sched.phase), 2),
+                  std::to_string(p.runs - p.failures) + "/" + std::to_string(p.runs)});
+  }
+  std::printf("%s", table.Render("family: " + name).c_str());
+
+  const std::vector<double> candidates = {2.0, 3.0, 4.0, 5.0};
+  const double k = BestPolylogExponent(Sizes(points), MeanRounds(points), candidates);
+  std::printf("best-fit exponent: rounds ~ (log n)^%.0f "
+              "(paper: log^3 n log Δ with Davies' LowDegreeMIS; our T_G "
+              "substitution adds ~log n — see DESIGN.md §5)\n\n", k);
+
+  bench::Verdict(bench::TotalFailures(points) == 0,
+                 name + ": all runs produced a valid MIS");
+  bench::Verdict(within, name + ": rounds within the schedule bound");
+  bench::Verdict(k <= 5.0, name + ": rounds polylogarithmic (no polynomial blow-up)");
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace emis
+
+int main() {
+  using namespace emis;
+  bench::Banner("E4  bench_nocd_rounds",
+                "Theorem 10 (round side): Algorithm 2 runs in polylog rounds; "
+                "every phase follows the fixed T_L schedule.");
+  RunFamily("sparse G(n, 8/n), Δ known", families::SparseErdosRenyi(8.0), false);
+  RunFamily("sparse G(n, 8/n), Δ unknown (=n)", families::SparseErdosRenyi(8.0), true);
+  // With the §4.2-style Ghaffari LowDegreeMIS the T_G term loses its extra
+  // log factor — the schedule approaches the paper's O(log³ n log Δ).
+  RunFamily("sparse G(n, 8/n), Δ known, Ghaffari LowDegreeMIS",
+            families::SparseErdosRenyi(8.0), false, LowDegreeKind::kGhaffari);
+  bench::Footer();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E11 — simulator micro-benchmarks (engineering, google-benchmark).
+//
+// Throughput of the substrate: graph generation, channel resolution,
+// coroutine round dispatch, backoff execution, and end-to-end MIS runs.
+#include <benchmark/benchmark.h>
+
+#include "core/backoff.hpp"
+#include "core/runner.hpp"
+#include "radio/channel.hpp"
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+namespace {
+
+void BM_GraphErdosRenyi(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphErdosRenyi)->Arg(1024)->Arg(16384);
+
+void BM_ChannelRound(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const Graph g = gen::ErdosRenyi(n, 16.0 / n, rng);
+  Channel ch(g, ChannelModel::kNoCd);
+  std::vector<NodeId> transmitters;
+  for (NodeId v = 0; v < n; v += 2) transmitters.push_back(v);
+  for (auto _ : state) {
+    ch.BeginRound();
+    for (NodeId v : transmitters) ch.AddTransmitter(v, 1);
+    std::uint64_t busy = 0;
+    for (NodeId v = 1; v < n; v += 2) busy += ch.ResolveListener(v).Busy();
+    benchmark::DoNotOptimize(busy);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelRound)->Arg(1024)->Arg(16384);
+
+proc::Task<void> PingPong(NodeApi api, std::uint32_t rounds) {
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    if ((api.Id() + i) % 2 == 0) {
+      co_await api.Transmit(1);
+    } else {
+      co_await api.Listen();
+    }
+  }
+}
+
+void BM_SchedulerNodeRounds(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  const std::uint32_t kRounds = 64;
+  for (auto _ : state) {
+    Scheduler sched(g, {.model = ChannelModel::kCd}, 7);
+    sched.Spawn([&](NodeApi api) { return PingPong(api, kRounds); });
+    const RunStats stats = sched.Run();
+    benchmark::DoNotOptimize(stats.node_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * n * kRounds);
+}
+BENCHMARK(BM_SchedulerNodeRounds)->Arg(256)->Arg(4096);
+
+void BM_RoundSkipping(benchmark::State& state) {
+  // A single pair exchanging one message across a huge sleep gap: measures
+  // the event-driven jump, which must not scale with the gap.
+  const Graph g = gen::Path(2);
+  for (auto _ : state) {
+    Scheduler sched(g, {.model = ChannelModel::kCd}, 9);
+    sched.Spawn([](NodeApi api) -> proc::Task<void> {
+      return [](NodeApi a) -> proc::Task<void> {
+        co_await a.SleepFor(10'000'000);
+        co_await a.Transmit(1);
+      }(api);
+    });
+    const RunStats stats = sched.Run();
+    benchmark::DoNotOptimize(stats.rounds_used);
+  }
+}
+BENCHMARK(BM_RoundSkipping);
+
+void BM_EBackoffPair(benchmark::State& state) {
+  const Graph g = gen::Path(2);
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched(g, {.model = ChannelModel::kNoCd}, 11);
+    sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+      if (api.Id() == 0) {
+        return [](NodeApi a, std::uint32_t kk) -> proc::Task<void> {
+          co_await SndEBackoff(a, kk, 64);
+        }(api, k);
+      }
+      return [](NodeApi a, std::uint32_t kk) -> proc::Task<void> {
+        (void)co_await RecEBackoff(a, kk, 64, 64);
+      }(api, k);
+    });
+    sched.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_EBackoffPair)->Arg(8)->Arg(64);
+
+void BM_MisCdEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = ++seed});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MisCdEndToEnd)->Arg(1024)->Arg(8192);
+
+void BM_MisNoCdEndToEnd(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kNoCd, .seed = ++seed});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MisNoCdEndToEnd)->Arg(256);
+
+}  // namespace
+}  // namespace emis
+
+BENCHMARK_MAIN();

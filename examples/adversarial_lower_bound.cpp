@@ -1,0 +1,52 @@
+// The Theorem 1 lower bound, hands-on: run MIS under shrinking energy
+// budgets on the adversarial matching+isolated topology and watch the
+// failure probability jump below the Ω(log n) threshold.
+//
+//   $ ./examples/adversarial_lower_bound [n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "verify/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emis;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 1024;
+  const double log_n = std::log2(static_cast<double>(n));
+
+  const Graph g = gen::MatchingPlusIsolated(n);
+  std::printf("Theorem 1's graph on n=%u: %llu disjoint pairs + %u isolated "
+              "nodes.\n",
+              n, static_cast<unsigned long long>(g.NumEdges()), n - 2 * (n / 4));
+  std::printf("Every isolated node must join; every pair must break its tie "
+              "— which takes Ω(log n) awake rounds.\n\n");
+
+  const std::uint32_t kTrials = 25;
+  Table table({"energy budget", "failure rate", "typical broken pairs"});
+  for (std::uint64_t budget :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{4},
+        static_cast<std::uint64_t>(log_n / 2),
+        static_cast<std::uint64_t>(log_n), static_cast<std::uint64_t>(3 * log_n)}) {
+    std::uint32_t failures = 0;
+    std::uint64_t broken = 0;
+    for (std::uint32_t t = 0; t < kTrials; ++t) {
+      MisRunConfig cfg{.algorithm = MisAlgorithm::kCd, .seed = 100 + t};
+      cfg.cd_params = CdParams::Practical(n);
+      cfg.cd_params->energy_cap = budget;
+      const auto r = RunMis(g, cfg);
+      failures += r.Valid() ? 0 : 1;
+      broken += r.report.dependent_edges.size();
+    }
+    table.AddRow({std::to_string(budget) + " awake rounds",
+                  Fmt(static_cast<double>(failures) / kTrials, 2),
+                  Fmt(static_cast<double>(broken) / kTrials, 1)});
+  }
+  std::printf("%s", table.Render("energy-capped Algorithm 1, " +
+                                 std::to_string(kTrials) + " trials per row")
+                        .c_str());
+  std::printf("\n(1/2)·log2 n = %.0f is the paper's unavoidable threshold; "
+              "with ~3 log n rounds the tie-breaks all succeed.\n", log_n / 2);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The MIS-as-building-block story end to end: elect cluster heads, affiliate
+// every sensor with an adjacent head (backbone), then compute a (Δ+1)-
+// coloring by iterated MIS — e.g. for TDMA slot assignment inside clusters.
+//
+//   $ ./examples/clustering_and_coloring [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include <algorithm>
+
+#include "apps/backbone.hpp"
+#include "apps/broadcast.hpp"
+#include "apps/coloring.hpp"
+#include "radio/graph_generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emis;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  Rng rng(seed);
+  const Graph field = gen::RandomGeometric(n, 0.09, rng);
+  std::printf("sensor field: %u nodes, %llu links, max degree %u\n\n",
+              field.NumNodes(), static_cast<unsigned long long>(field.NumEdges()),
+              field.MaxDegree());
+
+  // --- Stage A: backbone ----------------------------------------------------
+  const BackboneParams bp = BackboneParams::Practical(n, field.MaxDegree());
+  const BackboneResult backbone = BuildBackbone(field, bp, seed);
+  const std::string backbone_problems = CheckBackbone(field, backbone);
+  std::printf("backbone: %llu cluster heads, %llu/%u nodes affiliated (%s)\n",
+              static_cast<unsigned long long>(backbone.NumHeads()),
+              static_cast<unsigned long long>(backbone.NumAffiliated()),
+              field.NumNodes(),
+              backbone_problems.empty() ? "valid" : backbone_problems.c_str());
+
+  // Cluster size distribution.
+  std::map<std::uint64_t, int> cluster_sizes;
+  for (const auto& node : backbone.nodes) {
+    if (node.affiliated) ++cluster_sizes[node.head_id];
+  }
+  int largest = 0;
+  for (const auto& [id, size] : cluster_sizes) largest = std::max(largest, size);
+  std::printf("          %zu clusters, largest has %d members "
+              "(energy: max %llu awake rounds)\n\n",
+              cluster_sizes.size(), largest,
+              static_cast<unsigned long long>(backbone.energy.MaxAwake()));
+
+  // --- Stage B: coloring ------------------------------------------------------
+  const ColoringParams cp = ColoringParams::Practical(n, field.MaxDegree());
+  const ColoringResult coloring = ColorGraph(field, cp, seed + 1);
+  const std::string coloring_problems = CheckColoring(field, coloring, cp.max_colors);
+  std::printf("coloring: %u colors for Δ+1 = %u (%s)\n", coloring.colors_used,
+              field.MaxDegree() + 1,
+              coloring_problems.empty() ? "proper" : coloring_problems.c_str());
+  std::printf("          energy: max %llu awake rounds over %llu total rounds\n",
+              static_cast<unsigned long long>(coloring.energy.MaxAwake()),
+              static_cast<unsigned long long>(coloring.stats.rounds_used));
+
+  // A TDMA reading: nodes sharing a color can safely transmit simultaneously
+  // (no two are neighbors), so colors_used is the schedule length.
+  std::printf("          => interference-free TDMA schedule of %u slots\n\n",
+              coloring.colors_used);
+
+  // --- Stage C: deterministic broadcast over a distance-2 TDMA schedule ------
+  const auto d2 = GreedyDistanceTwoColoring(field);
+  const auto d2_colors = 1 + *std::max_element(d2.begin(), d2.end());
+  const BroadcastResult flood = FloodBroadcast(field, /*source=*/0,
+                                               /*payload=*/0xBEEF, d2);
+  Round latest = 0;
+  for (Round t : flood.informed_at) {
+    if (t != kForever) latest = std::max(latest, t);
+  }
+  std::printf("broadcast: distance-2 schedule of %u slots; %s; last node "
+              "informed in round %llu\n",
+              d2_colors,
+              flood.AllInformed() ? "every node informed"
+                                  : "some components unreachable",
+              static_cast<unsigned long long>(latest));
+  std::printf("           zero collisions by construction; each node "
+              "transmitted at most once (max energy %llu)\n",
+              static_cast<unsigned long long>(flood.energy.MaxAwake()));
+  return backbone_problems.empty() && coloring_problems.empty() ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Side-by-side comparison of every MIS algorithm in the library on one
+// topology: the paper's results table, live.
+//
+//   $ ./examples/energy_comparison [n] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/greedy_mis.hpp"
+#include "baselines/luby_congest.hpp"
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "verify/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emis;
+  const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoi(argv[1])) : 512;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  Rng rng(seed);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::printf("topology: G(n=%u, 8/n) — %llu edges, max degree %u, "
+              "Δ treated as unknown (= n) for the no-CD algorithms\n\n",
+              n, static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+
+  Table table({"algorithm", "model", "valid", "|MIS|", "rounds", "energy max",
+               "energy avg", "energy p50"});
+
+  const MisAlgorithm algorithms[] = {
+      MisAlgorithm::kCd,          MisAlgorithm::kCdBeeping,
+      MisAlgorithm::kCdNaive,     MisAlgorithm::kNoCd,
+      MisAlgorithm::kNoCdDaviesProfile, MisAlgorithm::kNoCdNaive,
+      MisAlgorithm::kNoCdRoundEfficient, MisAlgorithm::kNoCdUnknownDelta,
+  };
+  for (MisAlgorithm alg : algorithms) {
+    MisRunConfig cfg{.algorithm = alg, .seed = seed};
+    if (ModelFor(alg) == ChannelModel::kNoCd) cfg.delta_estimate = n;
+    const auto r = RunMis(g, cfg);
+    table.AddRow({std::string(ToString(alg)), std::string(ToString(ModelFor(alg))),
+                  r.Valid() ? "yes" : "NO", std::to_string(r.MisSize()),
+                  std::to_string(r.stats.rounds_used),
+                  std::to_string(r.energy.MaxAwake()),
+                  Fmt(r.energy.AverageAwake(), 1),
+                  std::to_string(r.energy.PercentileAwake(50))});
+  }
+
+  // Non-radio references.
+  {
+    const auto luby = LubyCongest(g, seed);
+    table.AddRow({"luby", "wired CONGEST", luby.all_decided ? "yes" : "NO",
+                  std::to_string(MisSize(luby.status)),
+                  std::to_string(2 * luby.phases_used),
+                  std::to_string(luby.energy.MaxAwake()),
+                  Fmt(luby.energy.AverageAwake(), 1),
+                  std::to_string(luby.energy.PercentileAwake(50))});
+    const auto greedy = GreedyMis(g);
+    table.AddRow({"greedy", "centralized", "yes", std::to_string(MisSize(greedy)),
+                  "-", "-", "-", "-"});
+  }
+
+  std::printf("%s", table.Render("seed " + std::to_string(seed)).c_str());
+  std::printf(
+      "\nReading guide: cd (Thm 2) pays O(log n); cd-naive-luby pays "
+      "Θ(log² n); nocd (Thm 10) pays O(log² n·loglog n) — below "
+      "nocd-davies-profile's Θ(log² n·log Δ) and far below "
+      "nocd-naive-luby's Θ(log³ n·log Δ) average.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Communication-backbone construction — the application the paper's
+// introduction motivates ("one can first construct an MIS, then use it as a
+// building block for setting up a communication backbone").
+//
+// Two stages, both energy-aware:
+//   1. Elect cluster heads: Algorithm 1 (CD model) computes an MIS.
+//   2. Affiliation: each head draws a random O(log n)-bit identifier (unique
+//      whp — the paper's anonymous-node assumption, §1.1) and announces it
+//      via payload-carrying energy-efficient backoffs; every dominated node
+//      captures *some* adjacent head's identifier and joins that cluster.
+//
+// The result is a clustering where every node is a head or one hop from its
+// head — the standard first step toward a routing backbone in ad hoc
+// networks. Unlike the MIS algorithms, stage 2 genuinely uses
+// RADIO-CONGEST's O(log n)-bit messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/status.hpp"
+#include "radio/energy.hpp"
+#include "radio/graph.hpp"
+#include "radio/process.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+
+struct BackboneParams {
+  CdParams mis;                  ///< stage-1 MIS parameters (CD channel)
+  /// When set, stage 1 runs Algorithm 2 on the no-CD channel instead (the
+  /// affiliation backoffs work on either channel).
+  std::optional<NoCdParams> nocd;
+  std::uint32_t announce_reps = 0;  ///< k of the affiliation backoffs
+  std::uint32_t delta = 0;       ///< degree bound for the affiliation windows
+  std::uint32_t id_bits = 60;    ///< head identifier length (unique whp)
+
+  static BackboneParams Practical(std::uint64_t n, std::uint32_t delta) {
+    return {.mis = CdParams::Practical(n),
+            .nocd = std::nullopt,
+            .announce_reps = 2 * CdParams::LogN(n) + 12,
+            .delta = delta == 0 ? 1 : delta,
+            .id_bits = 60};
+  }
+
+  static BackboneParams PracticalNoCd(std::uint64_t n, std::uint32_t delta) {
+    BackboneParams p = Practical(n, delta);
+    p.nocd = NoCdParams::Practical(n, delta == 0 ? 1 : delta);
+    return p;
+  }
+
+  ChannelModel Model() const noexcept {
+    return nocd ? ChannelModel::kNoCd : ChannelModel::kCd;
+  }
+
+  Round MisRounds() const noexcept {
+    if (nocd) {
+      return static_cast<Round>(nocd->luby_phases) * NoCdSchedule::Of(*nocd).phase;
+    }
+    return mis.TotalRounds();
+  }
+  Round TotalRounds() const noexcept {
+    return MisRounds() + BackoffRounds(announce_reps, delta);
+  }
+};
+
+/// Per-node outcome of the backbone protocol.
+struct BackboneNode {
+  MisStatus role = MisStatus::kUndecided;  ///< kInMis = cluster head
+  std::uint64_t head_id = 0;   ///< own id for heads; captured head id for members
+  bool affiliated = false;     ///< member that captured a head id
+};
+
+struct BackboneResult {
+  std::vector<BackboneNode> nodes;
+  RunStats stats;
+  EnergyMeter energy;
+
+  std::uint64_t NumHeads() const noexcept;
+  std::uint64_t NumAffiliated() const noexcept;
+};
+
+/// Validity: heads form an MIS; every member is affiliated with the id of an
+/// *adjacent* head. Returns an empty string when valid, else a description.
+std::string CheckBackbone(const Graph& graph, const BackboneResult& result);
+
+/// Runs the two-stage protocol on a CD channel. Deterministic in
+/// (graph, params, seed).
+BackboneResult BuildBackbone(const Graph& graph, const BackboneParams& params,
+                             std::uint64_t seed);
+
+}  // namespace emis

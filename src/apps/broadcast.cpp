@@ -1,0 +1,114 @@
+#include "apps/broadcast.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "radio/process.hpp"
+
+namespace emis {
+namespace {
+
+proc::Task<void> FloodNode(NodeApi api, std::uint32_t my_color, std::uint32_t colors,
+                           bool is_source, std::uint64_t payload, Round deadline,
+                           BroadcastResult* out) {
+  const NodeId me = api.Id();
+  bool informed = is_source;
+  if (is_source) {
+    out->informed[me] = true;
+    out->informed_at[me] = 0;
+  }
+
+  while (api.Now() < deadline) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(api.Now() % static_cast<Round>(colors));
+    if (informed) {
+      if (slot == my_color) {
+        // Our reserved slot: relay once, then our radio's job is done.
+        co_await api.Transmit(payload);
+        co_return;
+      }
+      // Wait (asleep) for our slot.
+      co_await api.SleepFor(my_color > slot ? my_color - slot
+                                            : colors - slot + my_color);
+    } else {
+      const Reception r = co_await api.Listen();
+      if (r.kind == ReceptionKind::kMessage) {
+        informed = true;
+        out->informed[me] = true;
+        out->informed_at[me] = api.Now() - 1;  // the round just listened in
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> GreedyDistanceTwoColoring(const Graph& graph) {
+  const Graph square = graph.Square();
+  std::vector<std::uint32_t> color(graph.NumNodes(), ~std::uint32_t{0});
+  std::vector<bool> used;
+  for (NodeId v = 0; v < square.NumNodes(); ++v) {
+    used.assign(square.Degree(v) + 1, false);
+    for (NodeId w : square.Neighbors(v)) {
+      if (color[w] < used.size()) used[color[w]] = true;
+    }
+    std::uint32_t c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+std::string CheckDistanceTwoColoring(const Graph& graph,
+                                     const std::vector<std::uint32_t>& color) {
+  EMIS_REQUIRE(color.size() == graph.NumNodes(), "coloring size mismatch");
+  std::ostringstream problems;
+  const Graph square = graph.Square();
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (color[v] == ~std::uint32_t{0}) {
+      problems << "node " << v << " uncolored; ";
+      continue;
+    }
+    for (NodeId w : square.Neighbors(v)) {
+      if (v < w && color[v] == color[w]) {
+        problems << "nodes " << v << "," << w << " within 2 hops share color "
+                 << color[v] << "; ";
+      }
+    }
+  }
+  return problems.str();
+}
+
+bool BroadcastResult::AllInformed() const noexcept {
+  return std::find(informed.begin(), informed.end(), false) == informed.end();
+}
+
+BroadcastResult FloodBroadcast(const Graph& graph, NodeId source,
+                               std::uint64_t payload,
+                               const std::vector<std::uint32_t>& d2_color,
+                               std::uint32_t slot_cycles) {
+  EMIS_REQUIRE(source < graph.NumNodes(), "source out of range");
+  EMIS_REQUIRE(CheckDistanceTwoColoring(graph, d2_color).empty(),
+               "FloodBroadcast needs a valid distance-2 coloring");
+  const std::uint32_t colors =
+      1 + *std::max_element(d2_color.begin(), d2_color.end());
+  if (slot_cycles == 0) slot_cycles = graph.NumNodes();
+
+  BroadcastResult result;
+  result.informed.assign(graph.NumNodes(), false);
+  result.informed_at.assign(graph.NumNodes(), kForever);
+  result.payload = payload;
+
+  const Round deadline = static_cast<Round>(slot_cycles) * colors;
+  // Deterministic protocol; the seed is irrelevant but fixed for tidiness.
+  Scheduler scheduler(graph, {.model = ChannelModel::kNoCd}, 0);
+  scheduler.Spawn([&, out = &result](NodeApi api) {
+    return FloodNode(api, d2_color[api.Id()], colors, api.Id() == source, payload,
+                     deadline, out);
+  });
+  result.stats = scheduler.Run();
+  result.energy = scheduler.Energy();
+  return result;
+}
+
+}  // namespace emis

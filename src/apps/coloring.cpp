@@ -1,0 +1,82 @@
+#include "apps/coloring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/mis_cd.hpp"
+#include "core/status.hpp"
+
+namespace emis {
+namespace {
+
+proc::Task<void> ColoringNodeProtocol(NodeApi api, ColoringParams params,
+                                      std::vector<std::uint32_t>* out) {
+  std::uint32_t& my_color = (*out)[api.Id()];
+  my_color = kUncolored;
+  const Round epoch_rounds = params.epoch.TotalRounds();
+
+  for (std::uint32_t c = 0; c < params.max_colors; ++c) {
+    const Round epoch_end = api.Now() + epoch_rounds;
+    MisStatus status = MisStatus::kUndecided;
+    co_await MisCdEpoch(api, params.epoch, &status);
+    if (status == MisStatus::kInMis) {
+      my_color = c;
+      co_return;  // colored: sleep forever (free)
+    }
+    // kOutMis: a neighbor took color c — compete again next epoch for the
+    // next color. kUndecided (1/poly(n)): also retry.
+    co_await api.SleepUntil(epoch_end);
+  }
+  // Budget exhausted while uncolored (vanishing probability); the checker
+  // reports it.
+}
+
+}  // namespace
+
+bool ColoringResult::AllColored() const noexcept {
+  return std::find(color.begin(), color.end(), kUncolored) == color.end();
+}
+
+std::string CheckColoring(const Graph& graph, const ColoringResult& result,
+                          std::uint32_t max_colors) {
+  EMIS_REQUIRE(result.color.size() == graph.NumNodes(),
+               "result size must match the graph");
+  std::ostringstream problems;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (result.color[v] == kUncolored) {
+      problems << "node " << v << " uncolored; ";
+      continue;
+    }
+    if (result.color[v] >= max_colors) {
+      problems << "node " << v << " uses out-of-budget color "
+               << result.color[v] << "; ";
+    }
+    for (NodeId w : graph.Neighbors(v)) {
+      if (v < w && result.color[v] == result.color[w] &&
+          result.color[w] != kUncolored) {
+        problems << "monochromatic edge " << v << "-" << w << " (color "
+                 << result.color[v] << "); ";
+      }
+    }
+  }
+  return problems.str();
+}
+
+ColoringResult ColorGraph(const Graph& graph, const ColoringParams& params,
+                          std::uint64_t seed) {
+  ColoringResult result;
+  result.color.assign(graph.NumNodes(), kUncolored);
+  Scheduler scheduler(graph, {.model = ChannelModel::kCd}, seed);
+  scheduler.Spawn([&params, colors = &result.color](NodeApi api) {
+    return ColoringNodeProtocol(api, params, colors);
+  });
+  result.stats = scheduler.Run();
+  result.energy = scheduler.Energy();
+  result.colors_used = 0;
+  for (std::uint32_t c : result.color) {
+    if (c != kUncolored) result.colors_used = std::max(result.colors_used, c + 1);
+  }
+  return result;
+}
+
+}  // namespace emis

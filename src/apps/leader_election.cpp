@@ -1,0 +1,96 @@
+#include "apps/leader_election.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace emis {
+namespace {
+
+proc::Task<void> LeaderNode(NodeApi api, LeaderElectionParams params, bool alone,
+                            LeaderElectionResult* out) {
+  std::uint64_t& leader_id = out->leader_id[api.Id()];
+  const std::uint64_t my_id = api.Rand().RandomBits(params.id_bits) | 1;
+
+  if (alone) {
+    // Degree-0 "clique": the node is trivially the leader.
+    leader_id = my_id;
+    out->is_leader[api.Id()] = true;
+    co_return;
+  }
+
+  for (std::uint32_t sweep = 0; sweep < params.sweeps; ++sweep) {
+    for (std::uint32_t j = 0; j < params.levels; ++j) {
+      const double p = std::ldexp(1.0, -static_cast<int>(j));
+      const bool transmit_now = api.Rand().Bernoulli(p);
+      if (transmit_now) {
+        // Round (a): bid with our id; round (b): listen for acks — in a
+        // single-hop network, *any* audible (b) means our bid was clean.
+        co_await api.Transmit(my_id);
+        const Reception ack = co_await api.Listen();
+        if (ack.Busy()) {
+          leader_id = my_id;
+          out->is_leader[api.Id()] = true;
+          co_return;
+        }
+      } else {
+        const Reception bid = co_await api.Listen();
+        if (bid.kind == ReceptionKind::kMessage) {
+          // Clean bid: adopt and ack so the bidder learns it won.
+          leader_id = bid.payload;
+          co_await api.Transmit(1);
+          co_return;
+        }
+        // Silence or collision: nothing to ack; sleep through round (b).
+        co_await api.SleepFor(1);
+      }
+    }
+  }
+  // Sweeps exhausted without an election (vanishing probability).
+}
+
+}  // namespace
+
+std::string CheckLeaderElection(const LeaderElectionResult& result) {
+  std::ostringstream problems;
+  std::uint64_t leader = 0;
+  std::uint32_t leaders = 0;
+  for (std::size_t v = 0; v < result.is_leader.size(); ++v) {
+    if (result.is_leader[v]) {
+      ++leaders;
+      leader = result.leader_id[v];
+    }
+  }
+  if (leaders != 1) {
+    problems << leaders << " self-declared leaders; ";
+    return problems.str();
+  }
+  for (std::size_t v = 0; v < result.leader_id.size(); ++v) {
+    if (result.leader_id[v] == 0) {
+      problems << "node " << v << " learned no leader; ";
+    } else if (result.leader_id[v] != leader) {
+      problems << "node " << v << " disagrees on the leader id; ";
+    }
+  }
+  return problems.str();
+}
+
+LeaderElectionResult ElectLeader(const Graph& clique, const LeaderElectionParams& params,
+                                 std::uint64_t seed) {
+  const NodeId n = clique.NumNodes();
+  EMIS_REQUIRE(n >= 1, "election needs at least one node");
+  EMIS_REQUIRE(clique.NumEdges() == static_cast<std::uint64_t>(n) * (n - 1) / 2,
+               "leader election requires a single-hop (complete) topology");
+
+  LeaderElectionResult result;
+  result.leader_id.assign(n, 0);
+  result.is_leader.assign(n, false);
+  Scheduler scheduler(clique, {.model = ChannelModel::kCd}, seed);
+  scheduler.Spawn([&params, alone = n == 1, out = &result](NodeApi api) {
+    return LeaderNode(api, params, alone, out);
+  });
+  result.stats = scheduler.Run();
+  result.energy = scheduler.Energy();
+  return result;
+}
+
+}  // namespace emis

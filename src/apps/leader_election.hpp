@@ -1,0 +1,66 @@
+// Single-hop leader election in the energy model — the problem family where
+// sleeping-model radio research started (paper §1.4: Nakano-Olariu, JKZ'02,
+// Chang et al.; leader election lower bounds motivated the energy model).
+//
+// Setting: a single-hop network (every pair in range — a clique), CD model,
+// anonymous nodes with private randomness. Elect exactly one leader and let
+// every node learn the leader's identifier.
+//
+// Protocol (round pairs, Decay-swept participation):
+//   (a) every remaining candidate transmits its random id w.p. 2^-j,
+//   (b) every node that cleanly received an id in (a) transmits an ack.
+// In a single-hop network the (a)-transmitter infers its win from hearing
+// *anything* in (b): a clean (a) means every other node acks — busy (b);
+// a collided or silent (a) means nobody acks — silent (b). Non-transmitters
+// that heard the id in (a) adopt it and leave candidacy. Sweeping
+// j = 0..⌈log n⌉ guarantees a round with transmit probability ≈ 1/#candidates,
+// which elects w.p. ≥ 1/4; O(log n) sweeps succeed whp. Candidate energy is
+// O(#sweeps · log n) in the worst case but O(1) expected transmissions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "radio/energy.hpp"
+#include "radio/graph.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+
+struct LeaderElectionParams {
+  std::uint32_t sweeps = 0;     ///< Decay sweeps; O(log n) whp
+  std::uint32_t levels = 0;     ///< probabilities 2^0 .. 2^-(levels-1)
+  std::uint32_t id_bits = 60;   ///< candidate identifier length
+
+  static LeaderElectionParams Practical(std::uint64_t n) {
+    const std::uint32_t log_n = CdParams::LogN(n);
+    return {.sweeps = 2 * log_n + 10, .levels = log_n + 2, .id_bits = 60};
+  }
+
+  /// Two rounds per (sweep, level) cell.
+  Round TotalRounds() const noexcept {
+    return 2 * static_cast<Round>(sweeps) * levels;
+  }
+};
+
+struct LeaderElectionResult {
+  /// Per node: the leader id it learned (0 = none learned).
+  std::vector<std::uint64_t> leader_id;
+  /// Per node: whether it believes it is the leader.
+  std::vector<bool> is_leader;
+  RunStats stats;
+  EnergyMeter energy;
+};
+
+/// Validity on a single-hop topology: exactly one self-declared leader and
+/// every node agrees on its id. Returns "" when valid.
+std::string CheckLeaderElection(const LeaderElectionResult& result);
+
+/// Runs the election. The graph must be single-hop (complete); this is
+/// checked. Deterministic in (n, params, seed).
+LeaderElectionResult ElectLeader(const Graph& clique, const LeaderElectionParams& params,
+                                 std::uint64_t seed);
+
+}  // namespace emis

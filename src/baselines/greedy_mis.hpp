@@ -1,0 +1,24 @@
+// Centralized MIS constructions — references for tests and set-size
+// comparisons. Not distributed algorithms; they see the whole graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.hpp"
+#include "radio/graph.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+
+/// Greedy MIS in node-id order: deterministic, minimal machinery.
+std::vector<MisStatus> GreedyMis(const Graph& graph);
+
+/// Greedy MIS in a uniformly random node order (the sequential equivalent of
+/// Luby's algorithm). Useful for sampling the distribution of MIS sizes.
+std::vector<MisStatus> RandomOrderGreedyMis(const Graph& graph, Rng& rng);
+
+/// Number of kInMis entries.
+std::uint64_t MisSize(const std::vector<MisStatus>& status);
+
+}  // namespace emis

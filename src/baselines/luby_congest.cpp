@@ -1,0 +1,63 @@
+#include "baselines/luby_congest.hpp"
+
+namespace emis {
+
+LubyCongestResult LubyCongest(const Graph& graph, std::uint64_t seed,
+                              std::uint32_t max_phases) {
+  const NodeId n = graph.NumNodes();
+  LubyCongestResult result;
+  result.status.assign(n, MisStatus::kUndecided);
+  result.energy = EnergyMeter(n);
+
+  const Rng root(seed);
+  std::vector<Rng> rng;
+  rng.reserve(n);
+  for (NodeId v = 0; v < n; ++v) rng.push_back(root.Split(v));
+
+  std::vector<std::uint64_t> priority(n, 0);
+  std::vector<NodeId> undecided;
+  undecided.reserve(n);
+  for (NodeId v = 0; v < n; ++v) undecided.push_back(v);
+
+  std::uint32_t phase = 0;
+  for (; phase < max_phases && !undecided.empty(); ++phase) {
+    // Broadcast round: draw and exchange priorities. 62 bits keep ties
+    // vanishingly rare; ties are broken toward the smaller id so the phase
+    // stays well-defined regardless.
+    for (NodeId v : undecided) {
+      priority[v] = rng[v].NextU64() >> 2;
+      result.energy.ChargeTransmit(v);
+    }
+    // Decision: strict local maxima among undecided nodes join.
+    std::vector<NodeId> joined;
+    for (NodeId v : undecided) {
+      bool is_max = true;
+      for (NodeId w : graph.Neighbors(v)) {
+        if (result.status[w] != MisStatus::kUndecided) continue;
+        if (priority[w] > priority[v] || (priority[w] == priority[v] && w < v)) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) joined.push_back(v);
+    }
+    // Notification round: winners announce; every undecided node listens.
+    for (NodeId v : undecided) result.energy.ChargeListen(v);
+    for (NodeId v : joined) result.status[v] = MisStatus::kInMis;
+    for (NodeId v : joined) {
+      for (NodeId w : graph.Neighbors(v)) {
+        if (result.status[w] == MisStatus::kUndecided) {
+          result.status[w] = MisStatus::kOutMis;
+        }
+      }
+    }
+    std::erase_if(undecided, [&](NodeId v) {
+      return result.status[v] != MisStatus::kUndecided;
+    });
+  }
+  result.phases_used = phase;
+  result.all_decided = undecided.empty();
+  return result;
+}
+
+}  // namespace emis

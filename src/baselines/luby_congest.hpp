@@ -1,0 +1,39 @@
+// Classic Luby's algorithm in the wired CONGEST model.
+//
+// In CONGEST there is no radio contention: every node broadcasts to all its
+// neighbors in one round with no collisions. This is the paper's reference
+// point for what MIS costs when communication is free of collisions, and our
+// distributed ground truth: tests compare the radio algorithms' outputs
+// against its correctness properties, and benches use it for set-size
+// comparisons.
+//
+// Implementation is a direct synchronous simulation (the radio scheduler is
+// deliberately not involved; collisions cannot occur). Per phase, every
+// undecided node draws a random 62-bit priority, the strict local maxima
+// join the MIS, and their neighbors drop out. Energy accounting follows the
+// SLEEPING-CONGEST convention: an undecided node pays 2 awake rounds per
+// phase (one broadcast, one notification exchange); decided nodes sleep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.hpp"
+#include "radio/energy.hpp"
+#include "radio/graph.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+
+struct LubyCongestResult {
+  std::vector<MisStatus> status;
+  std::uint32_t phases_used = 0;
+  EnergyMeter energy;  ///< awake rounds under the SLEEPING-CONGEST convention
+  bool all_decided = false;
+};
+
+/// Runs Luby's algorithm until every node is decided or `max_phases` is hit.
+LubyCongestResult LubyCongest(const Graph& graph, std::uint64_t seed,
+                              std::uint32_t max_phases = 10'000);
+
+}  // namespace emis

@@ -1,0 +1,32 @@
+#include "core/async_wakeup.hpp"
+
+namespace emis {
+namespace {
+
+proc::Task<void> StaggeredNode(NodeApi api, Round wake, proc::Task<void> inner) {
+  co_await api.SleepUntil(wake);
+  co_await std::move(inner);
+}
+
+}  // namespace
+
+ProtocolFactory StaggeredProtocol(ProtocolFactory inner,
+                                  const std::vector<Round>* wake_rounds) {
+  EMIS_REQUIRE(inner != nullptr, "inner protocol required");
+  EMIS_REQUIRE(wake_rounds != nullptr, "wake rounds required");
+  return [inner = std::move(inner), wake_rounds](NodeApi api) {
+    EMIS_REQUIRE(api.Id() < wake_rounds->size(),
+                 "wake_rounds must cover every node");
+    return StaggeredNode(api, (*wake_rounds)[api.Id()], inner(api));
+  };
+}
+
+std::vector<Round> UniformWakeRounds(NodeId num_nodes, Round window, Rng& rng) {
+  std::vector<Round> wake(num_nodes, 0);
+  if (window > 0) {
+    for (Round& w : wake) w = rng.UniformBelow(window + 1);
+  }
+  return wake;
+}
+
+}  // namespace emis

@@ -1,0 +1,31 @@
+// Asynchronous wake-up — probing the paper's synchronous-start assumption.
+//
+// The paper (like Davies'23 and Schneider-Wattenhofer) assumes synchronous
+// wake-up: all nodes start the protocol in round 0 (§1.1). Other MIS lines
+// of work (Moscibroda-Wattenhofer) handle adversarial wake-up times. This
+// module staggers protocol starts so experiments can measure exactly how the
+// synchronous algorithms degrade when that assumption breaks: a node that
+// wakes mid-phase compares rank bits against neighbors in different phase
+// positions and both safety (independence) and liveness (domination) can
+// fail. See bench_async_wakeup (E14).
+#pragma once
+
+#include <vector>
+
+#include "radio/process.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+
+/// Wraps `inner` so node v's protocol begins at wake_rounds[v] (it sleeps —
+/// at zero energy — beforehand). wake_rounds must have one entry per node.
+/// The vector is shared by all per-node tasks, so the caller keeps it alive
+/// for the scheduler run.
+ProtocolFactory StaggeredProtocol(ProtocolFactory inner,
+                                  const std::vector<Round>* wake_rounds);
+
+/// Independent uniform wake rounds in [0, window]; window = 0 reproduces the
+/// synchronous model exactly.
+std::vector<Round> UniformWakeRounds(NodeId num_nodes, Round window, Rng& rng);
+
+}  // namespace emis

@@ -1,0 +1,120 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+
+namespace emis {
+
+proc::Task<void> SndEBackoff(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Slot x ∈ {1..window}: geometric(1/2) capped at the window, so the last
+    // slot absorbs the tail (transmit prob. 2^-(window-1), paper App. C).
+    const std::uint32_t x = std::min(api.Rand().GeometricHalf(), window);
+    co_await api.SleepFor(x - 1);
+    co_await api.Transmit(1);
+    co_await api.SleepFor(window - x);
+  }
+}
+
+proc::Task<bool> RecEBackoff(NodeApi api, std::uint32_t k, std::uint32_t delta,
+                             std::uint32_t delta_est) {
+  const std::uint32_t window = BackoffWindow(delta);
+  const std::uint32_t listen_window = std::min(BackoffWindow(delta_est), window);
+  const Round end_round = api.Now() + BackoffRounds(k, delta);
+  bool heard = false;
+  for (std::uint32_t i = 0; i < k && !heard; ++i) {
+    const Round iter_end = end_round - static_cast<Round>(k - 1 - i) * window;
+    for (std::uint32_t j = 0; j < listen_window; ++j) {
+      const Reception r = co_await api.Listen();
+      if (r.Busy()) {
+        heard = true;
+        break;
+      }
+    }
+    co_await api.SleepUntil(iter_end);
+  }
+  // Heard early: sleep out the rest of the backoff to stay synchronized.
+  co_await api.SleepUntil(end_round);
+  co_return heard;
+}
+
+proc::Task<void> SndEBackoffPayload(NodeApi api, std::uint32_t k, std::uint32_t delta,
+                                    std::uint64_t payload) {
+  const std::uint32_t window = BackoffWindow(delta);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t x = std::min(api.Rand().GeometricHalf(), window);
+    co_await api.SleepFor(x - 1);
+    co_await api.Transmit(payload);
+    co_await api.SleepFor(window - x);
+  }
+}
+
+proc::Task<std::optional<std::uint64_t>> RecEBackoffCapture(NodeApi api,
+                                                            std::uint32_t k,
+                                                            std::uint32_t delta,
+                                                            std::uint32_t delta_est) {
+  const std::uint32_t window = BackoffWindow(delta);
+  const std::uint32_t listen_window = std::min(BackoffWindow(delta_est), window);
+  const Round end_round = api.Now() + BackoffRounds(k, delta);
+  std::optional<std::uint64_t> captured;
+  for (std::uint32_t i = 0; i < k && !captured; ++i) {
+    const Round iter_end = end_round - static_cast<Round>(k - 1 - i) * window;
+    for (std::uint32_t j = 0; j < listen_window; ++j) {
+      const Reception r = co_await api.Listen();
+      if (r.kind == ReceptionKind::kMessage) {
+        captured = r.payload;
+        break;
+      }
+    }
+    co_await api.SleepUntil(iter_end);
+  }
+  co_await api.SleepUntil(end_round);
+  co_return captured;
+}
+
+proc::Task<void> SndDecay(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Transmit a geometric prefix: all senders start together and each keeps
+    // transmitting with probability 1/2 per round — the classic Decay.
+    const std::uint32_t x = std::min(api.Rand().GeometricHalf(), window);
+    for (std::uint32_t j = 0; j < window; ++j) {
+      if (j < x) {
+        co_await api.Transmit(1);
+      } else {
+        // Stay awake (the traditional protocol keeps everyone up); what a
+        // dropped-out sender hears carries no information for it.
+        co_await api.Listen();
+      }
+    }
+  }
+}
+
+proc::Task<bool> RecDecay(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  const Round total = BackoffRounds(k, delta);
+  bool heard = false;
+  for (Round j = 0; j < total; ++j) {
+    const Reception r = co_await api.Listen();
+    heard = heard || r.Busy();
+  }
+  co_return heard;
+}
+
+proc::Task<void> SndBackoff(NodeApi api, BackoffStyle style, std::uint32_t k,
+                            std::uint32_t delta) {
+  if (style == BackoffStyle::kEnergyEfficient) {
+    co_await SndEBackoff(api, k, delta);
+  } else {
+    co_await SndDecay(api, k, delta);
+  }
+}
+
+proc::Task<bool> RecBackoff(NodeApi api, BackoffStyle style, std::uint32_t k,
+                            std::uint32_t delta, std::uint32_t delta_est) {
+  if (style == BackoffStyle::kEnergyEfficient) {
+    co_return co_await RecEBackoff(api, k, delta, delta_est);
+  }
+  co_return co_await RecDecay(api, k, delta);
+}
+
+}  // namespace emis

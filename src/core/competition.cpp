@@ -1,0 +1,47 @@
+#include "core/competition.hpp"
+
+#include <algorithm>
+
+#include "core/backoff.hpp"
+
+namespace emis {
+
+proc::Task<CompetitionOutcome> Competition(NodeApi api, NoCdParams params,
+                                           CompetitionProbe* probe) {
+  const Round start = api.Now();
+  const Round bitty = BackoffRounds(params.deep_reps, params.delta);
+  const Round end = start + static_cast<Round>(params.rank_bits) * bitty;
+
+  std::uint32_t delta_est = params.delta;
+  bool heard = false;
+  bool committed = false;
+
+  for (std::uint32_t j = 0; j < params.rank_bits; ++j) {
+    if (api.Rand().Bit()) {
+      co_await SndEBackoff(api, params.deep_reps, params.delta);
+      continue;
+    }
+    const bool h = co_await RecEBackoff(api, params.deep_reps, params.delta, delta_est);
+    heard = heard || h;
+    if (heard && !committed) {
+      // Lost: sleep out the remaining Bitty phases.
+      if (probe != nullptr) probe->lose_bit = static_cast<std::int32_t>(j);
+      co_await api.SleepUntil(end);
+      co_return CompetitionOutcome::kLose;
+    }
+    if (!heard) {
+      // A fully silent listen: at most κ log n neighbors are still active
+      // (whp, Lemma 12) — shrink the listen window and commit to deciding
+      // in this Luby phase.
+      if (probe != nullptr && !committed) {
+        probe->commit_bit = static_cast<std::int32_t>(j);
+      }
+      delta_est = std::min(params.delta, params.commit_degree);
+      committed = true;
+    }
+  }
+  // Nodes that heard nothing win, including committed ones (Alg. 3 line 14).
+  co_return heard ? CompetitionOutcome::kCommit : CompetitionOutcome::kWin;
+}
+
+}  // namespace emis

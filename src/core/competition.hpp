@@ -1,0 +1,43 @@
+// Algorithm 3 — the energy-budgeted competition of the no-CD MIS (paper §5).
+//
+// Like Algorithm 1's competition, but each Bitty phase is one k-repeated
+// energy-efficient backoff (k = C′ log n), and with the paper's two
+// energy-saving twists (§5.1.1):
+//
+//   * commit: a node that listens through a whole Bitty phase without
+//     hearing anything has spent a large slice of its budget. It concludes
+//     (justified whp, Lemma 12) that at most κ log n of its neighbors are
+//     still in the running, drops its receiver degree estimate to κ log n —
+//     shortening all its later listens — and *commits* to deciding in this
+//     Luby phase.
+//   * a committed node that later hears a neighbor does not lose outright;
+//     it stays committed and resolves via LowDegreeMIS at the phase end.
+//
+// Outcomes: kWin (never heard anything — joins W_i, deep-checks, then joins
+// the MIS), kCommit (committed and heard — joins C_i, deep-checks, then runs
+// LowDegreeMIS), kLose (heard before ever committing).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "radio/process.hpp"
+
+namespace emis {
+
+enum class CompetitionOutcome : std::uint8_t { kWin, kCommit, kLose };
+
+/// Optional instrumentation filled in during a competition run (used by the
+/// Lemma 11 / Corollary 13 experiments; protocols pass nullptr).
+struct CompetitionProbe {
+  std::int32_t commit_bit = -1;  ///< Bitty phase (0-based) of the commit, or -1
+  std::int32_t lose_bit = -1;    ///< Bitty phase in which the node lost, or -1
+};
+
+/// Runs the competition from the caller's current round; takes exactly
+/// rank_bits * T_B(deep_reps) rounds for every outcome, so concurrent
+/// callers stay synchronized. `probe`, when non-null, must outlive the run.
+proc::Task<CompetitionOutcome> Competition(NodeApi api, NoCdParams params,
+                                           CompetitionProbe* probe = nullptr);
+
+}  // namespace emis

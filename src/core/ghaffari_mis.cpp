@@ -1,0 +1,121 @@
+#include "core/ghaffari_mis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/backoff.hpp"
+
+namespace emis {
+namespace {
+
+/// Mark-exchange sub-protocol for a marked node: k iterations, each one
+/// backoff window wide; per iteration the node is a sender (one geometric
+/// slot, asleep otherwise) or a listener (awake until it hears, then asleep)
+/// with probability 1/2 each — the radio workaround for the absence of
+/// sender-side collision detection. Returns whether a marked neighbor was
+/// heard. Takes exactly k * window rounds.
+proc::Task<bool> MarkExchange(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  const Round end_round = api.Now() + BackoffRounds(k, delta);
+  bool heard = false;
+  for (std::uint32_t i = 0; i < k && !heard; ++i) {
+    const Round iter_end = end_round - static_cast<Round>(k - 1 - i) * window;
+    if (api.Rand().Bit()) {
+      const std::uint32_t x = std::min(api.Rand().GeometricHalf(), window);
+      co_await api.SleepFor(x - 1);
+      co_await api.Transmit(1);
+    } else {
+      for (std::uint32_t j = 0; j < window; ++j) {
+        const Reception r = co_await api.Listen();
+        if (r.Busy()) {
+          heard = true;
+          break;
+        }
+      }
+    }
+    co_await api.SleepUntil(iter_end);
+  }
+  co_await api.SleepUntil(end_round);
+  co_return heard;
+}
+
+}  // namespace
+
+proc::Task<MisStatus> GhaffariMisRun(NodeApi api, GhaffariParams params) {
+  const Round start = api.Now();
+  const Round iter_rounds = params.IterationRounds();
+  const std::uint32_t levels = params.Levels();
+  // p_v = 2^-exponent; Ghaffari starts at p = 1/2 and keeps p >= 2^-(levels).
+  std::uint32_t exponent = 1;
+
+  for (std::uint32_t t = 0; t < params.iterations; ++t) {
+    const Round iter_start = start + static_cast<Round>(t) * iter_rounds;
+    const Round announce_start = iter_start + params.MarkExchangeRounds();
+    const Round estimate_start = announce_start + params.AnnounceRounds();
+    const Round iter_end = iter_start + iter_rounds;
+
+    // --- 1. Mark + exchange ------------------------------------------------
+    const bool marked = api.Rand().Bernoulli(std::ldexp(1.0, -static_cast<int>(exponent)));
+    bool heard_mark = false;
+    if (marked) {
+      heard_mark = co_await MarkExchange(api, params.mark_reps, params.delta);
+    } else {
+      co_await api.SleepUntil(announce_start);
+    }
+
+    // --- 2. Join + announce --------------------------------------------------
+    if (marked && !heard_mark) {
+      co_await SndEBackoff(api, params.announce_reps, params.delta);
+      co_return MisStatus::kInMis;
+    }
+    const bool mis_neighbor =
+        co_await RecEBackoff(api, params.announce_reps, params.delta, params.delta);
+    if (mis_neighbor) co_return MisStatus::kOutMis;
+
+    // --- 3. Effective-degree probe -------------------------------------------
+    // Level j: transmit w.p. p_v 2^-j, listen otherwise; a level whose clean-
+    // reception count reaches θ·m indicates Σp ≈ 2^j among the neighbors.
+    (void)estimate_start;
+    bool crowded = false;
+    for (std::uint32_t j = 0; j < levels; ++j) {
+      const double q = std::ldexp(1.0, -static_cast<int>(exponent + j));
+      std::uint32_t heard_slots = 0;
+      for (std::uint32_t s = 0; s < params.est_slots; ++s) {
+        if (api.Rand().Bernoulli(q)) {
+          co_await api.Transmit(1);
+        } else {
+          const Reception r = co_await api.Listen();
+          heard_slots += r.Busy() ? 1 : 0;
+        }
+      }
+      if (j >= 1 && static_cast<double>(heard_slots) >=
+                        params.crowded_threshold * params.est_slots) {
+        crowded = true;
+      }
+    }
+    if (crowded) {
+      exponent = std::min(exponent + 1, levels);
+    } else if (exponent > 1) {
+      --exponent;
+    }
+    co_await api.SleepUntil(iter_end);
+  }
+  co_return MisStatus::kUndecided;
+}
+
+namespace {
+
+proc::Task<void> Standalone(NodeApi api, GhaffariParams params,
+                            std::vector<MisStatus>* out) {
+  (*out)[api.Id()] = MisStatus::kUndecided;
+  (*out)[api.Id()] = co_await GhaffariMisRun(api, params);
+}
+
+}  // namespace
+
+ProtocolFactory GhaffariMisProtocol(GhaffariParams params, std::vector<MisStatus>* out) {
+  EMIS_REQUIRE(out != nullptr, "output vector required");
+  return [params, out](NodeApi api) { return Standalone(api, params, out); };
+}
+
+}  // namespace emis

@@ -1,0 +1,49 @@
+// Round-efficient MIS for the no-CD model — a reconstruction of §4.2's
+// LowDegreeMIS (Davies'23: simulate Ghaffari's SODA'16 MIS over the radio
+// channel with Decay-based primitives).
+//
+// Ghaffari's algorithm, per iteration: node v marks itself with probability
+// p_v; a marked node with no marked neighbor joins the MIS; p_v halves when
+// the neighborhood is "crowded" (effective degree Σ_{u∈N(v)} p_u ≥ 2) and
+// doubles (capped at 1/2) otherwise. O(log n) iterations suffice whp, and
+// the analysis is robust to constant-factor errors in the crowdedness test.
+//
+// Radio simulation of one iteration (fixed schedule, all parts Θ(log n) or
+// Θ(log n log Δ) timesteps — total O(log² n log Δ) rounds, the §4.2 bound):
+//   1. Mark exchange: each *marked* node plays k₁ backoff iterations, each
+//      round flipping sender/listener (no sender-side CD, so detection needs
+//      the listener role); hearing anything implies a marked neighbor.
+//      Unmarked nodes sleep — this is what keeps the simulation energy-
+//      compatible with Theorem 10's budget on the committed subgraph.
+//   2. Join + announce: marked nodes that heard nothing join and run
+//      Snd-EBackoff(k₂); everyone else listens (Rec-EBackoff) and leaves as
+//      out-MIS upon hearing.
+//   3. Effective-degree probe: L = ⌈log Δ⌉+2 subsampling levels of m slots;
+//      at level j every active node transmits w.p. p_v·2⁻ʲ, else listens.
+//      If Σp ≈ 2ʲ, level j's clean-reception rate is Θ(1); the crowdedness
+//      test is "some level j ≥ 1 heard in ≥ θ·m slots". This replaces
+//      Davies' EstimateEffectiveDegree, which the brief announcement does
+//      not specify; constants below are validated empirically (see
+//      tests/test_ghaffari.cpp and bench_nocd_rounds).
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/status.hpp"
+#include "radio/process.hpp"
+
+namespace emis {
+
+// GhaffariParams lives in core/params.hpp (alongside the other parameter
+// structs) so NoCdParams can embed it as a LowDegreeMIS alternative.
+
+/// Runs the simulation from the caller's current round (same timing contract
+/// as SimulatedCdMisRun: all participants enter together; decided nodes
+/// return early; kUndecided after the full TotalRounds() span).
+proc::Task<MisStatus> GhaffariMisRun(NodeApi api, GhaffariParams params);
+
+/// Standalone protocol wrapper (the round-efficient no-CD MIS baseline).
+ProtocolFactory GhaffariMisProtocol(GhaffariParams params, std::vector<MisStatus>* out);
+
+}  // namespace emis

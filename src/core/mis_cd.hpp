@@ -1,0 +1,39 @@
+// Algorithm 1 — energy-optimal MIS in the CD model (paper §3).
+//
+// C log n Luby phases, each β log n + 1 rounds. The competition compares
+// fresh random β log n-bit ranks bit by bit: a node transmits on its 1-bits
+// and listens on its 0-bits; hearing anything (a message or a collision —
+// or a beep, which is why the same code runs unmodified in the beeping
+// model, §3.1) means a neighbor has a larger rank, so the node loses and
+// sleeps out the phase. Survivors transmit once more in the checking round
+// and terminate in the MIS; losers listen in that round and terminate out of
+// the MIS iff they heard a winner.
+//
+// Energy: winners pay O(log n) in their final phase; losers pay O(1)
+// expected per phase (each 0-bit with an active neighbor knocks them out
+// with probability ≥ 1/4) — Theorem 2's O(log n) total.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/status.hpp"
+#include "radio/process.hpp"
+
+namespace emis {
+
+/// One node's run of Algorithm 1. Writes its decision to (*out)[api.Id()];
+/// `out` must outlive the scheduler run and have one slot per node.
+proc::Task<void> MisCdNode(NodeApi api, CdParams params, std::vector<MisStatus>* out);
+
+/// Composable form: runs Algorithm 1 from the caller's current round and
+/// writes the decision to *status. May return before params.TotalRounds()
+/// elapse (decided nodes have nothing left to do); callers that continue —
+/// e.g. the application layer in apps/ — must SleepUntil their own sync
+/// point. All participants must enter in the same round.
+proc::Task<void> MisCdEpoch(NodeApi api, CdParams params, MisStatus* status);
+
+/// Factory binding for Scheduler::Spawn.
+ProtocolFactory MisCdProtocol(CdParams params, std::vector<MisStatus>* out);
+
+}  // namespace emis

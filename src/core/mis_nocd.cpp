@@ -1,0 +1,124 @@
+#include "core/mis_nocd.hpp"
+
+#include "core/backoff.hpp"
+#include "core/competition.hpp"
+#include "core/ghaffari_mis.hpp"
+#include "core/simulated_cd_mis.hpp"
+
+namespace emis {
+
+proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
+                              bool* in_mis, MisStatus* status) {
+  const NoCdSchedule sched = NoCdSchedule::Of(params);
+
+  for (std::uint32_t i = 0; i < params.luby_phases; ++i) {
+    const Round phase_start = start + static_cast<Round>(i) * sched.phase;
+
+    // Theorem 10's deterministic threshold: a node over its energy budget
+    // decides arbitrarily and sleeps forever.
+    if (params.energy_cap != 0 && !*in_mis &&
+        api.EnergySpent() >= params.energy_cap) {
+      *status = MisStatus::kOutMis;
+      co_return;
+    }
+
+    if (*in_mis) {
+      // MIS nodes sleep through the competition and announce in both deep
+      // checks and the shallow check (Alg. 2 lines 4, 7, 15, 26).
+      co_await api.SleepUntil(phase_start + sched.CompetitionEnd());
+      co_await SndEBackoff(api, params.deep_reps, params.delta);
+      co_await SndEBackoff(api, params.deep_reps, params.delta);
+      co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+      co_await SndEBackoff(api, params.shallow_reps, params.delta);
+      continue;
+    }
+    if (*status != MisStatus::kUndecided) co_return;  // decided earlier
+
+    co_await api.SleepUntil(phase_start);
+    const CompetitionOutcome outcome = co_await Competition(api, params);
+
+    switch (outcome) {
+      case CompetitionOutcome::kWin: {
+        // Deep check A: listen for MIS neighbors before joining (lines 8-11).
+        const bool heard =
+            co_await RecEBackoff(api, params.deep_reps, params.delta, params.delta);
+        if (heard) {
+          *status = MisStatus::kOutMis;
+          co_return;  // decided; caller may terminate or resync
+        }
+        *in_mis = true;
+        *status = MisStatus::kInMis;
+        // Deep check B: announce as a fresh MIS node so committed neighbors
+        // hear us (lines 14-15), then sleep through the LowDegreeMIS window.
+        co_await SndEBackoff(api, params.deep_reps, params.delta);
+        co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+        co_await SndEBackoff(api, params.shallow_reps, params.delta);
+        break;
+      }
+      case CompetitionOutcome::kCommit: {
+        // Committed nodes sleep through deep check A (line 12)...
+        co_await api.SleepUntil(phase_start + sched.FirstDeepEnd());
+        // ...then deep-check for MIS neighbors, old and fresh (lines 17-20).
+        const bool heard =
+            co_await RecEBackoff(api, params.deep_reps, params.delta, params.delta);
+        if (heard) {
+          *status = MisStatus::kOutMis;
+          co_return;
+        }
+        // Survivors induce an O(log n)-degree subgraph (Cor. 13): resolve
+        // with LowDegreeMIS inside the T_G window (lines 21-23).
+        const MisStatus sub =
+            params.low_degree_kind == LowDegreeKind::kGhaffari
+                ? co_await GhaffariMisRun(api, params.low_degree_ghaffari)
+                : co_await SimulatedCdMisRun(api, params.low_degree);
+        if (sub == MisStatus::kInMis) {
+          *in_mis = true;
+          *status = MisStatus::kInMis;
+        } else if (sub == MisStatus::kOutMis) {
+          *status = MisStatus::kOutMis;
+          co_return;  // dominated within the committed subgraph
+        }
+        co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+        // Shallow check (lines 26-30).
+        if (*in_mis) {
+          co_await SndEBackoff(api, params.shallow_reps, params.delta);
+        } else {
+          const bool shallow = co_await RecEBackoff(api, params.shallow_reps,
+                                                    params.delta, params.delta);
+          if (shallow) {
+            *status = MisStatus::kOutMis;
+            co_return;
+          }
+        }
+        break;
+      }
+      case CompetitionOutcome::kLose: {
+        // Losers sleep until the shallow check (lines 12, 24), then listen
+        // once for an MIS neighbor (lines 28-30).
+        co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+        const bool shallow = co_await RecEBackoff(api, params.shallow_reps,
+                                                  params.delta, params.delta);
+        if (shallow) {
+          *status = MisStatus::kOutMis;
+          co_return;
+        }
+        break;
+      }
+    }
+  }
+  // Phases exhausted while undecided (probability 1/poly(n)).
+}
+
+proc::Task<void> MisNoCdNode(NodeApi api, NoCdParams params, std::vector<MisStatus>* out) {
+  MisStatus& status = (*out)[api.Id()];
+  status = MisStatus::kUndecided;
+  bool in_mis = false;
+  co_await MisNoCdEpoch(api, params, 0, &in_mis, &status);
+}
+
+ProtocolFactory MisNoCdProtocol(NoCdParams params, std::vector<MisStatus>* out) {
+  EMIS_REQUIRE(out != nullptr, "output vector required");
+  return [params, out](NodeApi api) { return MisNoCdNode(api, params, out); };
+}
+
+}  // namespace emis

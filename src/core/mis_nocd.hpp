@@ -1,0 +1,55 @@
+// Algorithm 2 — energy-efficient MIS in the no-CD model (paper §5).
+//
+// C log n Luby phases, each with the fixed absolute-round schedule T_L =
+// T_C + 2·T_B(C′ log n) + T_G + T_B(1) (see NoCdSchedule). Per phase:
+//
+//   1. Competition (Algorithm 3) splits the undecided nodes into win /
+//      commit / lose; MIS nodes sleep through it.
+//   2. Deep check A: MIS nodes announce (Snd-EBackoff(C′ log n, Δ)); winners
+//      listen — a winner that hears an MIS neighbor terminates out-MIS,
+//      otherwise it joins the MIS.
+//   3. Deep check B: MIS nodes (including fresh winners) announce again;
+//      committed nodes listen — hearing means out-MIS and early termination,
+//      silence means entering LowDegreeMIS.
+//   4. LowDegreeMIS window (T_G): the surviving committed nodes — which
+//      induce an O(log n)-degree subgraph whp (Corollary 13) — resolve via
+//      the backoff-simulated Algorithm 1 with Δ = κ log n.
+//   5. Shallow check: MIS nodes announce once (Snd-EBackoff(1, Δ)); everyone
+//      else listens once — a constant-probability, O(log Δ)-cost chance for
+//      dominated nodes to drop out (paper §5.1.2 gives up on reliable
+//      notification to save energy).
+//
+// MIS nodes never terminate: they re-announce in every later phase, paying
+// O(log n) per phase. Theorem 10: O(log² n · log log n) energy,
+// O(log³ n · log Δ) rounds, success ≥ 1 - 1/n.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/status.hpp"
+#include "radio/process.hpp"
+
+namespace emis {
+
+/// One node's run of Algorithm 2. Writes its decision to (*out)[api.Id()];
+/// `out` must outlive the scheduler run and have one slot per node.
+proc::Task<void> MisNoCdNode(NodeApi api, NoCdParams params, std::vector<MisStatus>* out);
+
+/// One full C log n-phase run of Algorithm 2 as a composable epoch starting
+/// at absolute round `start` (the caller must arrive at or before `start`;
+/// all participants must use the same `start` and params).
+///
+/// In/out state: *in_mis marks a node that already holds MIS status from a
+/// previous epoch — it plays the announcer role throughout. *status receives
+/// the decision. The task may return before the epoch's schedule ends (a
+/// decided node has nothing left to do); callers that continue afterwards
+/// must SleepUntil their own next sync point. Used directly by MisNoCdNode
+/// and by the Δ-doubling wrapper (delta_doubling.hpp).
+proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
+                              bool* in_mis, MisStatus* status);
+
+/// Factory binding for Scheduler::Spawn.
+ProtocolFactory MisNoCdProtocol(NoCdParams params, std::vector<MisStatus>* out);
+
+}  // namespace emis

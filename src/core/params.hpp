@@ -1,0 +1,309 @@
+// Algorithm constants and the no-CD phase schedule.
+//
+// The paper states its algorithms with constants chosen for clean 1 - 1/n
+// failure bounds (β ≥ 4, κ ≥ 5, C ≥ 4/log(64/63) ≈ 176, C′ with n^-5 backoff
+// failure). Those make even n = 2^10 runs enormous, so every parameter struct
+// offers two presets:
+//
+//   * Theory(n):    the paper's constants — what the proofs assume.
+//   * Practical(n): small constants that already succeed with overwhelming
+//                   probability at laptop scales. All benches state which
+//                   preset they use; EXPERIMENTS.md discusses the deviation.
+//
+// Throughout, "log" is log2 and log n means ceil(log2 n) with n the known
+// upper bound on the network size (paper §1.1: an estimate within a
+// polynomial factor suffices; only constants change).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+/// Rounds of one k-repeated backoff iteration window: ⌈log Δ⌉ + 1.
+///
+/// The +1 slot matters: the paper caps the geometric slot at ⌈log Δ⌉, and its
+/// Lemma 9 computation needs a slot whose transmit probability is ≈ 1/d for
+/// every sender count d ≤ Δ. With exactly ⌈log Δ⌉ slots the cap folds all
+/// tail mass onto the last slot, and for Δ = 2 that means *every* sender
+/// transmits in the single slot with probability 1 — two senders collide in
+/// every iteration and are never detected (on a path, whole chains would
+/// join the MIS). ⌈log Δ⌉ + 1 slots restore slot probabilities
+/// 1/2, 1/4, ..., 1/2^⌈log Δ⌉ ≤ 1/Δ, which is the classic Decay window.
+constexpr std::uint32_t BackoffWindow(std::uint32_t delta) noexcept {
+  return CeilLog2(delta) + 1;
+}
+
+/// Rounds of Snd-/Rec-EBackoff(k, Δ): T_B(k) = k * ⌈log Δ⌉ (paper §5.2).
+constexpr Round BackoffRounds(std::uint32_t k, std::uint32_t delta) noexcept {
+  return static_cast<Round>(k) * BackoffWindow(delta);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (CD model)
+// ---------------------------------------------------------------------------
+
+struct CdParams {
+  /// Number of Luby phases (paper: C log n).
+  std::uint32_t luby_phases = 0;
+  /// Rank length in bits (paper: β log n). Bits are drawn lazily, one per
+  /// Bitty phase — distributionally identical to drawing the string upfront.
+  std::uint32_t rank_bits = 0;
+  /// If nonzero, a node that has spent this many awake rounds gives up,
+  /// decides (joins iff it never heard anything — the decision rule the
+  /// Theorem 1 lower-bound argument forces) and sleeps forever. Used by the
+  /// lower-bound experiment E5; 0 disables.
+  std::uint64_t energy_cap = 0;
+  /// Baseline switch (naive Luby-in-radio, §1.3): losers keep listening to
+  /// the end of the competition instead of sleeping, costing Θ(log n) energy
+  /// per phase and Θ(log² n) total.
+  bool losers_keep_listening = false;
+  /// Repetition coding for lossy channels (library extension, not in the
+  /// paper): every logical round is repeated this many times — transmitters
+  /// transmit in all copies, listeners OR their receptions — so a per-link
+  /// loss probability p degrades to p^repetitions. 1 = the paper's protocol.
+  std::uint32_t repetitions = 1;
+
+  /// Rounds of one Luby phase: (β log n competition + 1 checking round)
+  /// times the repetition factor.
+  Round PhaseRounds() const noexcept {
+    return static_cast<Round>(rank_bits + 1) * std::max(1u, repetitions);
+  }
+  Round TotalRounds() const noexcept {
+    return static_cast<Round>(luby_phases) * PhaseRounds();
+  }
+
+  /// Paper constants: β = 4 makes rank ties n^-4-rare; C = 4 makes the
+  /// residual graph (halving per phase, Lemma 5) empty w.p. 1 - n^-2.
+  static CdParams Theory(std::uint64_t n) {
+    const std::uint32_t log_n = LogN(n);
+    return {.luby_phases = 4 * log_n, .rank_bits = 4 * log_n};
+  }
+
+  /// Small constants: residual halving needs ~log2(m) phases; a few extra
+  /// phases push the failure probability far below 1% at n <= 2^16.
+  static CdParams Practical(std::uint64_t n) {
+    const std::uint32_t log_n = LogN(n);
+    return {.luby_phases = 2 * log_n + 10, .rank_bits = 2 * log_n + 6};
+  }
+
+  static std::uint32_t LogN(std::uint64_t n) noexcept {
+    const std::uint32_t l = CeilLog2(n);
+    return l == 0 ? 1 : l;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Simulated CD-MIS over backoffs (LowDegreeMIS of §4.2 / §5.1.1, and the
+// naive & Davies-profile no-CD baselines of §1.3/§1.4)
+// ---------------------------------------------------------------------------
+
+enum class BackoffStyle : std::uint8_t {
+  /// Algorithm 4: sender awake 1 round/iteration, receiver sleeps after
+  /// hearing and listens only ⌈log Δ_est⌉ rounds/iteration.
+  kEnergyEfficient,
+  /// Traditional Decay: everyone awake for the whole backoff; senders
+  /// transmit a geometric prefix of each iteration. The energy-naive
+  /// baseline behaviour.
+  kTraditional,
+};
+
+struct SimCdParams {
+  std::uint32_t luby_phases = 0;  ///< outer Luby phases
+  std::uint32_t rank_bits = 0;    ///< bits per competition
+  std::uint32_t reps = 0;         ///< backoff iterations k of the check backoffs
+  /// Backoff iterations of the *Bitty* (rank-bit) backoffs. 0 = same as
+  /// `reps` (the faithful whp-reliable protocol). Setting it lower probes
+  /// the paper's §6 open question — can rounds shrink without losing
+  /// energy/correctness? — since a both-win failure needs *every* differing
+  /// rank bit to go undetected, i.e. ~(miss)^Θ(log n) even at small k.
+  std::uint32_t bitty_reps = 0;
+  std::uint32_t delta = 0;        ///< degree bound Δ defining the window
+  std::uint32_t delta_est = 0;    ///< receiver listen bound Δ_est (≤ Δ)
+  BackoffStyle style = BackoffStyle::kEnergyEfficient;
+
+  std::uint32_t BittyReps() const noexcept { return bitty_reps == 0 ? reps : bitty_reps; }
+  /// Rounds of one Bitty phase (= one BittyReps()-repeated backoff).
+  Round BittyRounds() const noexcept { return BackoffRounds(BittyReps(), delta); }
+  /// Rounds of the per-phase check backoff (always `reps`-repeated).
+  Round CheckRounds() const noexcept { return BackoffRounds(reps, delta); }
+  /// Rounds of one Luby phase: rank_bits Bitty phases + 1 check backoff.
+  Round PhaseRounds() const noexcept {
+    return static_cast<Round>(rank_bits) * BittyRounds() + CheckRounds();
+  }
+  Round TotalRounds() const noexcept {
+    return static_cast<Round>(luby_phases) * PhaseRounds();
+  }
+
+  /// LowDegreeMIS configuration for the committed subgraph of Algorithm 2:
+  /// degree bound κ log n, whp-reliable Bitty phases (k = c′ log n).
+  static SimCdParams LowDegree(std::uint64_t n, std::uint32_t kappa_log_n,
+                               std::uint32_t luby_phases, std::uint32_t rank_bits,
+                               std::uint32_t reps) {
+    (void)n;
+    return {.luby_phases = luby_phases,
+            .rank_bits = rank_bits,
+            .reps = reps,
+            .delta = kappa_log_n,
+            .delta_est = kappa_log_n,
+            .style = BackoffStyle::kEnergyEfficient};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Ghaffari-style round-efficient MIS (§4.2 reconstruction, ghaffari_mis.hpp)
+// ---------------------------------------------------------------------------
+
+struct GhaffariParams {
+  std::uint32_t iterations = 0;     ///< Ghaffari rounds G = Θ(log n)
+  std::uint32_t mark_reps = 0;      ///< k₁ of the mark-exchange backoffs
+  std::uint32_t announce_reps = 0;  ///< k₂ of the join announcements
+  std::uint32_t est_slots = 0;      ///< m slots per subsampling level
+  std::uint32_t delta = 0;          ///< degree bound (windows + level count)
+  /// Crowdedness threshold θ: a subsampling level hearing ≥ θ·m clean slots
+  /// marks the neighborhood as crowded (effective degree ≥ ~2).
+  double crowded_threshold = 0.33;
+
+  std::uint32_t Levels() const noexcept { return CeilLog2(delta) + 2; }
+  Round MarkExchangeRounds() const noexcept {
+    return BackoffRounds(mark_reps, delta);
+  }
+  Round AnnounceRounds() const noexcept {
+    return BackoffRounds(announce_reps, delta);
+  }
+  Round EstimateRounds() const noexcept {
+    return static_cast<Round>(Levels()) * est_slots;
+  }
+  Round IterationRounds() const noexcept {
+    return MarkExchangeRounds() + AnnounceRounds() + EstimateRounds();
+  }
+  Round TotalRounds() const noexcept {
+    return static_cast<Round>(iterations) * IterationRounds();
+  }
+
+  static GhaffariParams Practical(std::uint64_t n, std::uint32_t delta) {
+    const std::uint32_t log_n = CdParams::LogN(n);
+    return {.iterations = 4 * log_n + 12,
+            .mark_reps = 2 * log_n + 8,
+            .announce_reps = 2 * log_n + 8,
+            .est_slots = 4 * log_n + 8,
+            .delta = delta == 0 ? 1 : delta};
+  }
+
+  /// Leaner constants for the embedded LowDegreeMIS role: leftovers are
+  /// absorbed by Algorithm 2's outer Luby phases, so the iteration budget
+  /// can sit at the empirical convergence point instead of the standalone
+  /// whp margin.
+  static GhaffariParams LowDegree(std::uint64_t n, std::uint32_t delta) {
+    GhaffariParams p = Practical(n, delta);
+    const std::uint32_t log_n = CdParams::LogN(n);
+    p.iterations = 2 * log_n + 8;
+    p.est_slots = 2 * log_n + 8;
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 (no-CD model)
+// ---------------------------------------------------------------------------
+
+/// Which algorithm resolves the committed subgraph inside Algorithm 2.
+enum class LowDegreeKind : std::uint8_t {
+  /// The paper's simple option (§5.1.1): backoff-simulated Algorithm 1.
+  /// Energy-exact, rounds inflated by ~log n / log log n.
+  kSimulatedAlg1,
+  /// The §4.2 route: Ghaffari-style round-efficient MIS (ghaffari_mis.hpp),
+  /// restoring the O(log² n log Δ_sub) T_G round shape.
+  kGhaffari,
+};
+
+struct NoCdParams {
+  std::uint32_t luby_phases = 0;      ///< C log n outer phases
+  std::uint32_t rank_bits = 0;        ///< β log n bits per competition
+  std::uint32_t deep_reps = 0;        ///< C′ log n: k of deep backoffs
+  /// k of the end-of-phase shallow check. The paper uses 1 (constant-
+  /// probability notification, §5.1.2); the ablation bench raises it to show
+  /// why reliable notification is too expensive.
+  std::uint32_t shallow_reps = 1;
+  std::uint32_t commit_degree = 0;    ///< κ log n: degree estimate after commit
+  std::uint32_t delta = 0;            ///< Δ, upper bound on max degree
+  /// Which LowDegreeMIS resolves the committed subgraph.
+  LowDegreeKind low_degree_kind = LowDegreeKind::kSimulatedAlg1;
+  SimCdParams low_degree;             ///< used when kind == kSimulatedAlg1
+  GhaffariParams low_degree_ghaffari; ///< used when kind == kGhaffari
+  /// Optional deterministic energy threshold (paper Thm 10's final step): a
+  /// node exceeding it decides arbitrarily (out-MIS) and sleeps forever.
+  /// 0 disables.
+  std::uint64_t energy_cap = 0;
+
+  static NoCdParams Theory(std::uint64_t n, std::uint32_t delta);
+  static NoCdParams Practical(std::uint64_t n, std::uint32_t delta);
+};
+
+/// Absolute-round schedule of one Algorithm 2 Luby phase (paper §5.2). All
+/// nodes compute the same schedule, which is what keeps them synchronized
+/// while sleeping through stages they do not participate in.
+struct NoCdSchedule {
+  Round competition = 0;   ///< T_C = rank_bits * T_B(deep_reps)
+  Round deep_check = 0;    ///< T_B(C′ log n)
+  Round low_degree = 0;    ///< T_G
+  Round shallow_check = 0; ///< T_B(1)
+  Round phase = 0;         ///< T_L = T_C + 2 T_B + T_G + T_B(1)
+
+  static NoCdSchedule Of(const NoCdParams& p) {
+    NoCdSchedule s;
+    const Round tb_deep = BackoffRounds(p.deep_reps, p.delta);
+    s.competition = static_cast<Round>(p.rank_bits) * tb_deep;
+    s.deep_check = tb_deep;
+    s.low_degree = p.low_degree_kind == LowDegreeKind::kGhaffari
+                       ? p.low_degree_ghaffari.TotalRounds()
+                       : p.low_degree.TotalRounds();
+    s.shallow_check = BackoffRounds(p.shallow_reps, p.delta);
+    s.phase = s.competition + 2 * s.deep_check + s.low_degree + s.shallow_check;
+    return s;
+  }
+
+  // Offsets within a phase (phase start + offset = absolute round).
+  Round CompetitionEnd() const noexcept { return competition; }
+  Round FirstDeepEnd() const noexcept { return competition + deep_check; }
+  Round SecondDeepEnd() const noexcept { return competition + 2 * deep_check; }
+  Round LowDegreeEnd() const noexcept {
+    return competition + 2 * deep_check + low_degree;
+  }
+  Round PhaseEnd() const noexcept { return phase; }
+};
+
+inline NoCdParams NoCdParams::Theory(std::uint64_t n, std::uint32_t delta) {
+  const std::uint32_t log_n = CdParams::LogN(n);
+  NoCdParams p;
+  p.luby_phases = 176 * log_n;  // C = 4/log2(64/63) ≈ 175.9 (Lemma 20)
+  p.rank_bits = 4 * log_n;      // β = 4
+  p.deep_reps = 26 * log_n;     // (7/8)^k ≤ n^-5 needs k ≈ 25.97 log n
+  p.commit_degree = 5 * log_n;  // κ = 5
+  p.delta = delta;
+  p.low_degree = SimCdParams::LowDegree(n, p.commit_degree, 4 * log_n,
+                                        4 * log_n, 26 * log_n);
+  p.low_degree_ghaffari = GhaffariParams::LowDegree(n, p.commit_degree);
+  return p;
+}
+
+inline NoCdParams NoCdParams::Practical(std::uint64_t n, std::uint32_t delta) {
+  const std::uint32_t log_n = CdParams::LogN(n);
+  NoCdParams p;
+  p.luby_phases = 2 * log_n + 10;
+  p.rank_bits = 2 * log_n + 4;
+  // (7/8)^k per missed backoff; k = 2 log n + 12 keeps per-bit failures
+  // below ~2^-(0.38k), rare enough across all (node, phase, bit) triples at
+  // laptop scales.
+  p.deep_reps = 2 * log_n + 12;
+  p.commit_degree = 3 * log_n + 4;
+  p.delta = delta;
+  p.low_degree = SimCdParams::LowDegree(n, p.commit_degree, log_n + 6,
+                                        log_n + 4, log_n + 8);
+  p.low_degree_ghaffari = GhaffariParams::LowDegree(n, p.commit_degree);
+  return p;
+}
+
+}  // namespace emis

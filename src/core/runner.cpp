@@ -1,0 +1,132 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+#include "core/delta_doubling.hpp"
+#include "core/ghaffari_mis.hpp"
+#include "core/mis_cd.hpp"
+#include "core/mis_nocd.hpp"
+#include "core/simulated_cd_mis.hpp"
+
+namespace emis {
+namespace {
+
+std::uint64_t EffectiveN(const Graph& graph, const MisRunConfig& config) {
+  return config.n_estimate != 0 ? config.n_estimate
+                                : std::max<std::uint64_t>(graph.NumNodes(), 2);
+}
+
+std::uint32_t EffectiveDelta(const Graph& graph, const MisRunConfig& config) {
+  if (config.delta_estimate != 0) return config.delta_estimate;
+  return std::max<std::uint32_t>(graph.MaxDegree(), 1);
+}
+
+}  // namespace
+
+ChannelModel ModelFor(MisAlgorithm algorithm) noexcept {
+  switch (algorithm) {
+    case MisAlgorithm::kCd:
+    case MisAlgorithm::kCdNaive:
+      return ChannelModel::kCd;
+    case MisAlgorithm::kCdBeeping:
+      return ChannelModel::kBeeping;
+    case MisAlgorithm::kNoCd:
+    case MisAlgorithm::kNoCdDaviesProfile:
+    case MisAlgorithm::kNoCdNaive:
+    case MisAlgorithm::kNoCdUnknownDelta:
+    case MisAlgorithm::kNoCdRoundEfficient:
+      return ChannelModel::kNoCd;
+  }
+  return ChannelModel::kCd;
+}
+
+CdParams DeriveCdParams(const Graph& graph, const MisRunConfig& config) {
+  if (config.cd_params) return *config.cd_params;
+  const std::uint64_t n = EffectiveN(graph, config);
+  CdParams p = config.preset == ParamPreset::kTheory ? CdParams::Theory(n)
+                                                     : CdParams::Practical(n);
+  p.losers_keep_listening = config.algorithm == MisAlgorithm::kCdNaive;
+  return p;
+}
+
+NoCdParams DeriveNoCdParams(const Graph& graph, const MisRunConfig& config) {
+  if (config.nocd_params) return *config.nocd_params;
+  const std::uint64_t n = EffectiveN(graph, config);
+  const std::uint32_t delta = EffectiveDelta(graph, config);
+  return config.preset == ParamPreset::kTheory ? NoCdParams::Theory(n, delta)
+                                               : NoCdParams::Practical(n, delta);
+}
+
+SimCdParams DeriveSimParams(const Graph& graph, const MisRunConfig& config) {
+  if (config.sim_params) return *config.sim_params;
+  const std::uint64_t n = EffectiveN(graph, config);
+  const std::uint32_t delta = EffectiveDelta(graph, config);
+  const std::uint32_t log_n = CdParams::LogN(n);
+  SimCdParams p;
+  if (config.preset == ParamPreset::kTheory) {
+    p.luby_phases = 4 * log_n;
+    p.rank_bits = 4 * log_n;
+    p.reps = 26 * log_n;  // (7/8)^k <= n^-5
+  } else {
+    p.luby_phases = 2 * log_n + 10;
+    p.rank_bits = 2 * log_n + 4;
+    p.reps = 2 * log_n + 12;
+  }
+  p.delta = delta;
+  p.delta_est = delta;
+  p.style = config.algorithm == MisAlgorithm::kNoCdNaive
+                ? BackoffStyle::kTraditional
+                : BackoffStyle::kEnergyEfficient;
+  return p;
+}
+
+MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
+  MisRunResult result;
+  result.status.assign(graph.NumNodes(), MisStatus::kUndecided);
+
+  Scheduler scheduler(
+      graph,
+      {.model = ModelFor(config.algorithm), .max_rounds = config.max_rounds,
+       .trace = config.trace, .link_loss = config.link_loss},
+      config.seed);
+
+  switch (config.algorithm) {
+    case MisAlgorithm::kCd:
+    case MisAlgorithm::kCdBeeping:
+    case MisAlgorithm::kCdNaive:
+      scheduler.Spawn(MisCdProtocol(DeriveCdParams(graph, config), &result.status));
+      break;
+    case MisAlgorithm::kNoCd:
+      scheduler.Spawn(MisNoCdProtocol(DeriveNoCdParams(graph, config), &result.status));
+      break;
+    case MisAlgorithm::kNoCdDaviesProfile:
+    case MisAlgorithm::kNoCdNaive:
+      scheduler.Spawn(
+          SimulatedCdMisProtocol(DeriveSimParams(graph, config), &result.status));
+      break;
+    case MisAlgorithm::kNoCdUnknownDelta: {
+      DeltaDoublingParams p = DeltaDoublingParams::Practical(EffectiveN(graph, config));
+      p.theory_constants = config.preset == ParamPreset::kTheory;
+      scheduler.Spawn(DeltaDoublingMisProtocol(p, &result.status));
+      break;
+    }
+    case MisAlgorithm::kNoCdRoundEfficient: {
+      const GhaffariParams p = GhaffariParams::Practical(
+          EffectiveN(graph, config), EffectiveDelta(graph, config));
+      scheduler.Spawn(GhaffariMisProtocol(p, &result.status));
+      break;
+    }
+  }
+
+  result.stats = scheduler.Run();
+  result.energy = scheduler.Energy();
+  result.report = CheckMis(graph, result.status);
+  return result;
+}
+
+std::uint64_t MisRunResult::MisSize() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::count(status.begin(), status.end(), MisStatus::kInMis));
+}
+
+}  // namespace emis

@@ -1,0 +1,56 @@
+#include "core/simulated_cd_mis.hpp"
+
+namespace emis {
+
+proc::Task<MisStatus> SimulatedCdMisRun(NodeApi api, SimCdParams params) {
+  const Round start = api.Now();
+  const Round bitty = params.BittyRounds();
+  const Round phase_rounds = params.PhaseRounds();
+
+  for (std::uint32_t phase = 0; phase < params.luby_phases; ++phase) {
+    const Round phase_start = start + static_cast<Round>(phase) * phase_rounds;
+    const Round check_start = phase_start + static_cast<Round>(params.rank_bits) * bitty;
+
+    bool lost = false;
+    for (std::uint32_t j = 0; j < params.rank_bits && !lost; ++j) {
+      if (api.Rand().Bit()) {
+        co_await SndBackoff(api, params.style, params.BittyReps(), params.delta);
+      } else {
+        const bool heard = co_await RecBackoff(api, params.style, params.BittyReps(),
+                                               params.delta, params.delta_est);
+        if (heard) {
+          lost = true;
+          // Sleep out the remaining Bitty phases of this competition.
+          co_await api.SleepUntil(check_start);
+        }
+      }
+    }
+
+    if (!lost) {
+      // Winner: announce inclusion during the check backoff, then decide.
+      co_await SndBackoff(api, params.style, params.reps, params.delta);
+      co_return MisStatus::kInMis;
+    }
+    const bool winner_nearby = co_await RecBackoff(api, params.style, params.reps,
+                                                   params.delta, params.delta_est);
+    if (winner_nearby) co_return MisStatus::kOutMis;
+  }
+  co_return MisStatus::kUndecided;
+}
+
+namespace {
+
+proc::Task<void> Standalone(NodeApi api, SimCdParams params,
+                            std::vector<MisStatus>* out) {
+  (*out)[api.Id()] = MisStatus::kUndecided;
+  (*out)[api.Id()] = co_await SimulatedCdMisRun(api, params);
+}
+
+}  // namespace
+
+ProtocolFactory SimulatedCdMisProtocol(SimCdParams params, std::vector<MisStatus>* out) {
+  EMIS_REQUIRE(out != nullptr, "output vector required");
+  return [params, out](NodeApi api) { return Standalone(api, params, out); };
+}
+
+}  // namespace emis

@@ -1,0 +1,44 @@
+// Backoff-simulated Algorithm 1 for the no-CD model.
+//
+// Every round of the CD competition is replaced by one k-repeated backoff:
+// nodes whose current rank bit is 1 run the sender side, nodes with a 0 bit
+// run the receiver side, and "heard 1 or collision" becomes "the receiver
+// backoff reported a sender" (reliable w.p. ≥ 1 - (7/8)^k, Lemma 9). The
+// per-phase checking round becomes one more backoff in which winners
+// announce and losers listen.
+//
+// One engine, three paper roles (see DESIGN.md §5 for the substitution
+// rationale):
+//   * LowDegreeMIS (§5.1.1): run on the committed subgraph of Algorithm 2
+//     with Δ = Δ_est = κ log n and energy-efficient backoffs — the "naive
+//     simulation of Algorithm 1" option the paper itself names. Per
+//     participant this costs O(log² n · log log n) energy.
+//   * Davies-profile baseline (§1.4): full graph, energy-efficient backoffs,
+//     Δ_est = Δ — energy Θ(log² n · log Δ), the energy the paper attributes
+//     to the round-efficient algorithm of [18].
+//   * Naive no-CD Luby (§1.3): full graph, *traditional* always-awake
+//     backoffs — energy Θ(log³ n · log Δ) ⊆ O(log⁴ n).
+#pragma once
+
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "core/params.hpp"
+#include "core/status.hpp"
+#include "radio/process.hpp"
+
+namespace emis {
+
+/// Runs the simulated competition from the caller's current round. Returns
+/// the node's decision. Timing contract: every participant must call this in
+/// the same round; a node that returns kInMis returns right after its
+/// winning announcement, kOutMis right after the check backoff that revealed
+/// an MIS neighbor, and kUndecided after the full params.TotalRounds() span.
+/// Callers that continue afterwards must SleepUntil their own sync point.
+proc::Task<MisStatus> SimulatedCdMisRun(NodeApi api, SimCdParams params);
+
+/// Standalone protocol wrapper: runs SimulatedCdMisRun once and terminates,
+/// recording the decision in (*out)[api.Id()].
+ProtocolFactory SimulatedCdMisProtocol(SimCdParams params, std::vector<MisStatus>* out);
+
+}  // namespace emis

@@ -1,0 +1,27 @@
+// Node decision states shared by all MIS protocols.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace emis {
+
+/// A node's final (or in-flight) MIS decision. The protocols' internal
+/// transient states (win/lose/commit in Algorithms 2-3) live inside the
+/// coroutines; externally visible state is only this tri-state.
+enum class MisStatus : std::uint8_t {
+  kUndecided,
+  kInMis,
+  kOutMis,
+};
+
+constexpr std::string_view ToString(MisStatus s) noexcept {
+  switch (s) {
+    case MisStatus::kUndecided: return "undecided";
+    case MisStatus::kInMis: return "in-MIS";
+    case MisStatus::kOutMis: return "out-MIS";
+  }
+  return "?";
+}
+
+}  // namespace emis

@@ -1,0 +1,96 @@
+// Per-round collision resolution.
+//
+// Usage per round: BeginRound(); AddTransmitter(u, payload) for every
+// transmitting node; ResolveListener(v) for every listening node. Cost is
+// O(Σ deg(transmitter)) per round plus O(1) per listener, with epoch-stamped
+// buffers so BeginRound is O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/graph.hpp"
+#include "radio/model.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+
+class Channel {
+ public:
+  /// The graph must outlive the channel.
+  Channel(const Graph& graph, ChannelModel model)
+      : graph_(&graph),
+        model_(model),
+        epoch_mark_(graph.NumNodes(), 0),
+        hear_count_(graph.NumNodes(), 0),
+        hear_payload_(graph.NumNodes(), 0) {}
+
+  ChannelModel Model() const noexcept { return model_; }
+
+  /// Enables per-link fading: every (transmitter, listener) signal is
+  /// independently erased with probability `loss` each round. An erased
+  /// signal neither delivers nor interferes (it does not contribute to
+  /// collisions). loss = 0 restores the paper's reliable channel.
+  void SetLoss(double loss, std::uint64_t seed) {
+    EMIS_REQUIRE(loss >= 0.0 && loss < 1.0, "loss probability in [0, 1)");
+    loss_ = loss;
+    loss_rng_ = Rng(seed);
+  }
+  double Loss() const noexcept { return loss_; }
+
+  void BeginRound() noexcept { ++epoch_; }
+
+  /// Registers node u as transmitting `payload` this round. A node must not
+  /// be registered twice in one round.
+  void AddTransmitter(NodeId u, std::uint64_t payload) {
+    for (NodeId w : graph_->Neighbors(u)) {
+      if (loss_ > 0.0 && loss_rng_.Bernoulli(loss_)) continue;  // faded link
+      if (epoch_mark_[w] != epoch_) {
+        epoch_mark_[w] = epoch_;
+        hear_count_[w] = 1;
+        hear_payload_[w] = payload;
+      } else {
+        ++hear_count_[w];
+      }
+    }
+  }
+
+  /// What listener v perceives this round under the channel model.
+  /// The transmitter set for the round must be fully registered first.
+  Reception ResolveListener(NodeId v) const noexcept {
+    const std::uint32_t count = epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
+    switch (model_) {
+      case ChannelModel::kCd:
+        if (count == 0) return {ReceptionKind::kSilence, 0};
+        if (count == 1) return {ReceptionKind::kMessage, hear_payload_[v]};
+        return {ReceptionKind::kCollision, 0};
+      case ChannelModel::kNoCd:
+        // A collision is indistinguishable from silence.
+        if (count == 1) return {ReceptionKind::kMessage, hear_payload_[v]};
+        return {ReceptionKind::kSilence, 0};
+      case ChannelModel::kBeeping:
+        // Any number of beeping neighbors is a single contentless beep.
+        if (count >= 1) return {ReceptionKind::kBeep, 0};
+        return {ReceptionKind::kSilence, 0};
+    }
+    return {ReceptionKind::kSilence, 0};
+  }
+
+  /// Number of transmitting neighbors of v this round (model-independent
+  /// ground truth; used by tests and instrumentation, not by protocols).
+  std::uint32_t TransmittingNeighbors(NodeId v) const noexcept {
+    return epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
+  }
+
+ private:
+  const Graph* graph_;
+  ChannelModel model_;
+  double loss_ = 0.0;
+  Rng loss_rng_{0};
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> epoch_mark_;
+  std::vector<std::uint32_t> hear_count_;
+  std::vector<std::uint64_t> hear_payload_;
+};
+
+}  // namespace emis

@@ -1,0 +1,171 @@
+#include "radio/graph.hpp"
+
+#include <algorithm>
+
+namespace emis {
+
+Graph Graph::FromEdges(NodeId num_nodes, std::span<const Edge> edges) {
+  GraphBuilder builder(num_nodes);
+  for (const Edge& e : edges) builder.AddEdge(e.u, e.v);
+  return std::move(builder).Build();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  EMIS_REQUIRE(u < NumNodes() && v < NumNodes(), "node out of range");
+  if (u == v) return false;
+  // Search the shorter adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (NodeId v : Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;  // Lexicographic by construction: u ascending, lists sorted.
+}
+
+InducedSubgraph Graph::Induced(std::span<const NodeId> nodes) const {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  EMIS_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+               "duplicate node in induced-subgraph selection");
+  for (NodeId v : sorted) EMIS_REQUIRE(v < NumNodes(), "node out of range");
+
+  // original id -> subgraph id (or invalid).
+  std::vector<NodeId> to_sub(NumNodes(), kInvalidNode);
+  for (NodeId i = 0; i < sorted.size(); ++i) to_sub[sorted[i]] = i;
+
+  GraphBuilder builder(static_cast<NodeId>(sorted.size()));
+  for (NodeId i = 0; i < sorted.size(); ++i) {
+    for (NodeId w : Neighbors(sorted[i])) {
+      const NodeId j = to_sub[w];
+      if (j != kInvalidNode && i < j) builder.AddEdge(i, j);
+    }
+  }
+  return {std::move(builder).Build(), std::move(sorted)};
+}
+
+std::uint32_t Graph::ConnectedComponents(std::vector<std::uint32_t>& component) const {
+  component.assign(NumNodes(), ~std::uint32_t{0});
+  std::uint32_t count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < NumNodes(); ++root) {
+    if (component[root] != ~std::uint32_t{0}) continue;
+    component[root] = count;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : Neighbors(v)) {
+        if (component[w] == ~std::uint32_t{0}) {
+          component[w] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+Graph Graph::Square() const {
+  GraphBuilder builder(NumNodes());
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    for (NodeId w : Neighbors(v)) {
+      if (v < w) builder.AddEdgeIfAbsent(v, w);
+      // Two-hop edges: v - w - x.
+      for (NodeId x : Neighbors(w)) {
+        if (v < x) builder.AddEdgeIfAbsent(v, x);
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<std::uint32_t> Graph::BfsDistances(NodeId source) const {
+  EMIS_REQUIRE(source < NumNodes(), "node out of range");
+  std::vector<std::uint32_t> dist(NumNodes(), kUnreachable);
+  std::vector<NodeId> frontier = {source};
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (NodeId w : Neighbors(v)) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = level;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool Graph::IsConnected() const {
+  if (NumNodes() <= 1) return true;
+  std::vector<std::uint32_t> component;
+  return ConnectedComponents(component) == 1;
+}
+
+GraphBuilder& GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  EMIS_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
+  EMIS_REQUIRE(u != v, "self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  // Track membership so AddEdgeIfAbsent stays correct when styles are mixed.
+  seen_.insert((static_cast<std::uint64_t>(u) << 32) | v);
+  edges_.push_back({u, v});
+  return *this;
+}
+
+bool GraphBuilder::AddEdgeIfAbsent(NodeId u, NodeId v) {
+  EMIS_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
+  if (u == v) return false;
+  if (u > v) std::swap(u, v);
+  const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+  if (!seen_.insert(key).second) return false;
+  edges_.push_back({u, v});
+  return true;
+}
+
+Graph GraphBuilder::Build() && {
+  // Sort and reject duplicates.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  EMIS_REQUIRE(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+               "duplicate edge");
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    g.adjacency_[cursor[e.u]++] = e.v;
+    g.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+    g.max_degree_ = std::max<std::uint32_t>(
+        g.max_degree_, static_cast<std::uint32_t>(end - begin));
+  }
+  return g;
+}
+
+}  // namespace emis

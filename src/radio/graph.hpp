@@ -1,0 +1,124 @@
+// Immutable undirected communication graph in compressed-sparse-row form.
+//
+// Nodes are dense 0-based NodeIds. The graph is simple (no self-loops, no
+// parallel edges) and symmetric; `GraphBuilder` enforces this at build time.
+// Neighbor lists are sorted, enabling O(log d) adjacency queries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+/// An undirected edge; normalized so that u < v once inside a Graph.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class GraphBuilder;
+class Graph;
+
+/// Result of Graph::Induced: the subgraph plus the id mapping back to the
+/// parent graph. Subgraph node i corresponds to `to_original[i]`.
+struct InducedSubgraph;
+
+class Graph {
+ public:
+  /// The empty graph on zero nodes.
+  Graph() = default;
+
+  /// Builds a graph on `num_nodes` nodes from an edge list. Duplicate edges
+  /// (in either orientation) are rejected; self-loops are rejected.
+  static Graph FromEdges(NodeId num_nodes, std::span<const Edge> edges);
+  static Graph FromEdges(NodeId num_nodes, std::initializer_list<Edge> edges) {
+    return FromEdges(num_nodes, std::span<const Edge>(edges.begin(), edges.size()));
+  }
+
+  NodeId NumNodes() const noexcept { return static_cast<NodeId>(offsets_.size() - 1); }
+  std::uint64_t NumEdges() const noexcept { return adjacency_.size() / 2; }
+
+  std::uint32_t Degree(NodeId v) const {
+    EMIS_REQUIRE(v < NumNodes(), "node out of range");
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    EMIS_REQUIRE(v < NumNodes(), "node out of range");
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum degree Δ over all nodes (0 for the empty/edgeless graph).
+  std::uint32_t MaxDegree() const noexcept { return max_degree_; }
+
+  /// All edges, each once, with u < v, sorted lexicographically.
+  std::vector<Edge> EdgeList() const;
+
+  /// The subgraph induced by `nodes` (need not be sorted; duplicates
+  /// rejected). Node ids are remapped densely; the sorted mapping back to
+  /// this graph's ids is returned alongside.
+  InducedSubgraph Induced(std::span<const NodeId> nodes) const;
+
+  /// Connected components; `component[v]` is a dense component index and the
+  /// count of components is returned.
+  std::uint32_t ConnectedComponents(std::vector<std::uint32_t>& component) const;
+  bool IsConnected() const;
+
+  /// The square graph G²: same nodes, an edge wherever the distance in G is
+  /// 1 or 2. Used for distance-2 colorings (TDMA slot assignment where even
+  /// a *listener's* neighbors must not share a slot).
+  Graph Square() const;
+
+  /// BFS distances from `source` (kUnreachable for other components).
+  static constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+  std::vector<std::uint32_t> BfsDistances(NodeId source) const;
+
+ private:
+  friend class GraphBuilder;
+  // offsets_ has NumNodes()+1 entries; adjacency_ holds each edge twice.
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<NodeId> adjacency_;
+  std::uint32_t max_degree_ = 0;
+};
+
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // subgraph id -> original id
+};
+
+/// Incremental construction helper used by the generators.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds the undirected edge {u, v}. Adding an existing edge or a self-loop
+  /// throws PreconditionError (at AddEdge time for self-loops, at Build time
+  /// for duplicates).
+  GraphBuilder& AddEdge(NodeId u, NodeId v);
+
+  /// Adds {u, v} unless it already exists or u == v; returns whether added.
+  /// Deduplication happens at Build time, so this tracks a pending-edge set.
+  bool AddEdgeIfAbsent(NodeId u, NodeId v);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::uint64_t num_pending_edges() const noexcept { return edges_.size(); }
+
+  Graph Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+  // Membership set for AddEdgeIfAbsent; keyed by (u << 32) | v with u < v.
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace emis

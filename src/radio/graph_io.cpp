@@ -1,0 +1,155 @@
+#include "radio/graph_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+
+void WriteEdgeList(std::ostream& out, const Graph& graph) {
+  out << graph.NumNodes() << ' ' << graph.NumEdges() << '\n';
+  for (const Edge& e : graph.EdgeList()) out << e.u << ' ' << e.v << '\n';
+}
+
+Graph ReadEdgeList(std::istream& in) {
+  // Token stream that skips '#' comments to end of line.
+  auto next_token = [&in](std::string& tok) -> bool {
+    while (in >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return true;
+    }
+    return false;
+  };
+  auto next_u64 = [&next_token](const char* what) {
+    std::string tok;
+    EMIS_REQUIRE(next_token(tok), std::string("edge list truncated: expected ") + what);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    EMIS_REQUIRE(ec == std::errc{} && ptr == tok.data() + tok.size(),
+                 std::string("bad integer '") + tok + "' for " + what);
+    return value;
+  };
+
+  const std::uint64_t n = next_u64("node count");
+  EMIS_REQUIRE(n <= kInvalidNode, "node count too large");
+  const std::uint64_t m = next_u64("edge count");
+  GraphBuilder builder(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::uint64_t u = next_u64("edge endpoint");
+    const std::uint64_t v = next_u64("edge endpoint");
+    EMIS_REQUIRE(u < n && v < n, "edge endpoint out of range");
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return std::move(builder).Build();
+}
+
+namespace {
+
+struct SpecArgs {
+  std::string family;
+  std::map<std::string, std::string> kv;
+
+  std::uint64_t GetU64(const std::string& key) const {
+    const auto it = kv.find(key);
+    EMIS_REQUIRE(it != kv.end(),
+                 "graph spec '" + family + "' missing parameter '" + key + "'");
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(it->second.data(), it->second.data() + it->second.size(), value);
+    EMIS_REQUIRE(ec == std::errc{} && ptr == it->second.data() + it->second.size(),
+                 "bad integer for '" + key + "' in graph spec");
+    return value;
+  }
+
+  double GetDouble(const std::string& key) const {
+    const auto it = kv.find(key);
+    EMIS_REQUIRE(it != kv.end(),
+                 "graph spec '" + family + "' missing parameter '" + key + "'");
+    try {
+      std::size_t pos = 0;
+      const double value = std::stod(it->second, &pos);
+      EMIS_REQUIRE(pos == it->second.size(), "trailing junk in '" + key + "'");
+      return value;
+    } catch (const PreconditionError&) {
+      throw;
+    } catch (const std::exception&) {  // stod's invalid_argument/out_of_range
+      throw PreconditionError("bad number for '" + key + "' in graph spec");
+    }
+  }
+};
+
+SpecArgs ParseSpec(std::string_view spec) {
+  SpecArgs args;
+  const auto colon = spec.find(':');
+  args.family = std::string(spec.substr(0, colon));
+  if (colon == std::string_view::npos) return args;
+  std::string params(spec.substr(colon + 1));
+  std::istringstream ss(params);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    EMIS_REQUIRE(eq != std::string::npos,
+                 "graph spec parameter '" + item + "' is not key=value");
+    args.kv.emplace(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return args;
+}
+
+}  // namespace
+
+Graph GraphFromSpec(std::string_view spec, Rng& rng) {
+  const SpecArgs a = ParseSpec(spec);
+  const auto n = [&a] { return static_cast<NodeId>(a.GetU64("n")); };
+  if (a.family == "er") return gen::ErdosRenyi(n(), a.GetDouble("p"), rng);
+  if (a.family == "gnm") return gen::GnM(n(), a.GetU64("m"), rng);
+  if (a.family == "udg") return gen::RandomGeometric(n(), a.GetDouble("r"), rng);
+  if (a.family == "grid") {
+    return gen::Grid(static_cast<NodeId>(a.GetU64("rows")),
+                     static_cast<NodeId>(a.GetU64("cols")));
+  }
+  if (a.family == "path") return gen::Path(n());
+  if (a.family == "cycle") return gen::Cycle(n());
+  if (a.family == "star") return gen::Star(n());
+  if (a.family == "complete") return gen::Complete(n());
+  if (a.family == "bipartite") {
+    return gen::CompleteBipartite(static_cast<NodeId>(a.GetU64("left")),
+                                  static_cast<NodeId>(a.GetU64("right")));
+  }
+  if (a.family == "tree") return gen::RandomTree(n(), rng);
+  if (a.family == "ba") {
+    return gen::BarabasiAlbert(n(), static_cast<std::uint32_t>(a.GetU64("m")), rng);
+  }
+  if (a.family == "regular") {
+    return gen::NearRegular(n(), static_cast<std::uint32_t>(a.GetU64("d")), rng);
+  }
+  if (a.family == "matching") return gen::MatchingPlusIsolated(n());
+  if (a.family == "cliques") {
+    return gen::DisjointCliques(static_cast<NodeId>(a.GetU64("count")),
+                                static_cast<NodeId>(a.GetU64("size")));
+  }
+  if (a.family == "caterpillar") {
+    return gen::Caterpillar(static_cast<NodeId>(a.GetU64("spine")),
+                            static_cast<NodeId>(a.GetU64("legs")));
+  }
+  if (a.family == "empty") return gen::Empty(n());
+  throw PreconditionError("unknown graph family '" + a.family + "'; known: " +
+                          GraphSpecHelp());
+}
+
+std::string GraphSpecHelp() {
+  return "er:n,p  gnm:n,m  udg:n,r  grid:rows,cols  path:n  cycle:n  star:n  "
+         "complete:n  bipartite:left,right  tree:n  ba:n,m  regular:n,d  "
+         "matching:n  cliques:count,size  caterpillar:spine,legs  empty:n";
+}
+
+}  // namespace emis

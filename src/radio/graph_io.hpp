@@ -1,0 +1,40 @@
+// Graph serialization and a tiny topology-spec language.
+//
+// Edge-list format (whitespace-separated, '#' comments):
+//     n m
+//     u v          (m lines, 0-based node ids)
+//
+// Spec strings name a generator plus parameters, e.g.
+//     "er:n=1000,p=0.05"     "udg:n=500,r=0.08"    "grid:rows=8,cols=16"
+//     "path:n=30"            "cycle:n=30"          "star:n=100"
+//     "complete:n=20"        "bipartite:left=8,right=9"
+//     "tree:n=50"            "ba:n=200,m=3"        "regular:n=100,d=6"
+//     "matching:n=64"        "cliques:count=6,size=5"  "empty:n=10"
+// Used by the CLI tool and by randomized tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "radio/graph.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+
+/// Writes the edge-list representation.
+void WriteEdgeList(std::ostream& out, const Graph& graph);
+
+/// Parses an edge list; throws PreconditionError on malformed input
+/// (bad counts, out-of-range ids, self-loops, duplicates).
+Graph ReadEdgeList(std::istream& in);
+
+/// Builds a graph from a spec string (see header comment). Randomized
+/// families consume from `rng`; deterministic ones ignore it. Throws
+/// PreconditionError for unknown families or missing/extra parameters.
+Graph GraphFromSpec(std::string_view spec, Rng& rng);
+
+/// The list of spec family names, for help text.
+std::string GraphSpecHelp();
+
+}  // namespace emis

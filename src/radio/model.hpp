@@ -1,0 +1,82 @@
+// The radio channel model: collision semantics and per-round node actions.
+//
+// Model recap (paper §1.1). Time is synchronous. In a round, a node is
+// either asleep (free) or awake, and an awake node either transmits or
+// listens — never both. A listener v receives a message from neighbor u iff
+// u is the *only* transmitting neighbor of v. Otherwise:
+//   * CD:      ≥2 transmitting neighbors → v hears a collision,
+//              0 transmitting neighbors  → v hears silence.
+//   * no-CD:   both cases are indistinguishable silence.
+//   * beeping: ≥1 transmitting neighbor → v hears a (contentless) beep.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+enum class ChannelModel : std::uint8_t {
+  kCd,       ///< radio with collision detection
+  kNoCd,     ///< radio without collision detection
+  kBeeping,  ///< beeping model (receiver-side OR of beeps)
+};
+
+constexpr std::string_view ToString(ChannelModel m) noexcept {
+  switch (m) {
+    case ChannelModel::kCd: return "CD";
+    case ChannelModel::kNoCd: return "no-CD";
+    case ChannelModel::kBeeping: return "beeping";
+  }
+  return "?";
+}
+
+/// What a listening node perceives in one round.
+enum class ReceptionKind : std::uint8_t {
+  kSilence,    ///< nothing heard (in no-CD this may hide a collision)
+  kMessage,    ///< exactly one neighbor transmitted; payload available
+  kCollision,  ///< CD only: more than one neighbor transmitted
+  kBeep,       ///< beeping only: at least one neighbor beeped
+};
+
+struct Reception {
+  ReceptionKind kind = ReceptionKind::kSilence;
+  /// RADIO-CONGEST payload (≤ 64 bits ≥ O(log n)); valid iff kind == kMessage.
+  std::uint64_t payload = 0;
+
+  /// True if the channel was audibly busy. This is the predicate the paper's
+  /// unary algorithms use: "heard 1 or collision" (CD) / "heard a beep".
+  /// In no-CD it is true only for a successfully received message.
+  bool Busy() const noexcept { return kind != ReceptionKind::kSilence; }
+
+  friend bool operator==(const Reception&, const Reception&) = default;
+};
+
+constexpr std::string_view ToString(ReceptionKind k) noexcept {
+  switch (k) {
+    case ReceptionKind::kSilence: return "silence";
+    case ReceptionKind::kMessage: return "message";
+    case ReceptionKind::kCollision: return "collision";
+    case ReceptionKind::kBeep: return "beep";
+  }
+  return "?";
+}
+
+/// What a node chose to do with its current round(s).
+enum class ActionKind : std::uint8_t {
+  kTransmit,  ///< transmit a payload this round (awake)
+  kListen,    ///< listen this round (awake)
+  kSleep,     ///< sleep until a wake round (free)
+};
+
+constexpr std::string_view ToString(ActionKind k) noexcept {
+  switch (k) {
+    case ActionKind::kTransmit: return "transmit";
+    case ActionKind::kListen: return "listen";
+    case ActionKind::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+}  // namespace emis

@@ -1,0 +1,278 @@
+// Coroutine node processes: the API in which protocols are written.
+//
+// A protocol is a C++20 coroutine returning proc::Task<T>. It interacts with
+// the radio exclusively through a NodeApi value:
+//
+//   proc::Task<void> MyProtocol(NodeApi api) {
+//     co_await api.Transmit(1);                  // one round, awake
+//     Reception r = co_await api.Listen();       // one round, awake
+//     co_await api.SleepFor(10);                 // ten rounds, free
+//     co_await api.SleepUntil(phase_end);        // absolute-round sync point
+//   }
+//
+// Sub-protocols compose by awaiting Tasks (`bool heard = co_await
+// RecEBackoff(api, k, delta);`), which is how the paper's backoff procedures
+// plug into Algorithms 2 and 3.
+//
+// Core Guidelines notes: coroutines here are named functions (CP.51), and
+// every pointer captured in a coroutine frame (NodeContext, output slots)
+// outlives the scheduler run that drives the coroutine (CP.53).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "radio/energy.hpp"
+#include "radio/model.hpp"
+#include "radio/rng.hpp"
+#include "radio/types.hpp"
+
+namespace emis {
+
+class Scheduler;
+
+/// Per-node mutable state shared between the scheduler and the awaitables.
+/// Owned by the Scheduler; one per node; outlives the node's coroutines.
+struct NodeContext {
+  NodeId id = kInvalidNode;
+  Rng rng{0};
+
+  /// The round in which this node's *next* submitted action will execute.
+  /// Maintained by the scheduler; protocols read it through NodeApi::Now().
+  Round now = 0;
+
+  /// Action submitted by the protocol for resolution.
+  ActionKind pending = ActionKind::kSleep;
+  std::uint64_t out_payload = 0;  ///< payload when pending == kTransmit
+  Round wake_round = 0;           ///< first round to act again when sleeping
+
+  /// Result of the last kListen action; set by the scheduler before resume.
+  Reception last_reception;
+
+  /// Innermost suspended coroutine to resume when the action resolves.
+  std::coroutine_handle<> resume_point;
+
+  /// Set when the node's root coroutine finishes.
+  bool done = false;
+
+  /// This node's energy counters (owned by the scheduler's meter). Protocols
+  /// read them to implement the paper's deterministic energy thresholds.
+  const NodeEnergy* energy = nullptr;
+};
+
+namespace proc {
+
+/// Lazily-started coroutine task with symmetric-transfer continuation.
+/// `Task<T>` is move-only and owns its coroutine frame.
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task finishes
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool Valid() const noexcept { return handle_ != nullptr; }
+  bool Done() const noexcept { return !handle_ || handle_.done(); }
+
+  /// Raw handle; used by the scheduler to start the root task.
+  Handle RawHandle() const noexcept { return handle_; }
+
+  /// Rethrows the stored exception, if any. Called by the scheduler after a
+  /// root task completes.
+  void RethrowIfFailed() const {
+    if (handle_ && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+  /// Awaiting a Task starts it (symmetric transfer) and resumes the awaiter
+  /// when it finishes, yielding its return value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // start the child immediately
+      }
+      T await_resume() {
+        if (child.promise().exception) std::rethrow_exception(child.promise().exception);
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*child.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+}  // namespace detail
+
+}  // namespace proc
+
+namespace detail_await {
+
+/// Common awaitable behaviour: record the suspended coroutine so the
+/// scheduler can resume the whole stack at the right round.
+struct ActionAwaitBase {
+  NodeContext* ctx;
+  void Park(std::coroutine_handle<> h) const noexcept { ctx->resume_point = h; }
+};
+
+struct TransmitAwait : ActionAwaitBase {
+  std::uint64_t payload;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const noexcept {
+    ctx->pending = ActionKind::kTransmit;
+    ctx->out_payload = payload;
+    Park(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct ListenAwait : ActionAwaitBase {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const noexcept {
+    ctx->pending = ActionKind::kListen;
+    Park(h);
+  }
+  Reception await_resume() const noexcept { return ctx->last_reception; }
+};
+
+struct SleepAwait : ActionAwaitBase {
+  Round wake;
+  /// Sleeping zero rounds is a no-op that does not suspend.
+  bool await_ready() const noexcept { return wake <= ctx->now; }
+  void await_suspend(std::coroutine_handle<> h) const noexcept {
+    ctx->pending = ActionKind::kSleep;
+    ctx->wake_round = wake;
+    Park(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail_await
+
+/// The per-node handle protocols use to act on the radio. Cheap value type;
+/// copies refer to the same node.
+class NodeApi {
+ public:
+  NodeApi() = default;
+  explicit NodeApi(NodeContext* ctx) noexcept : ctx_(ctx) {}
+
+  NodeId Id() const noexcept { return ctx_->id; }
+
+  /// The round in which the next awaited action will execute. Protocols use
+  /// this with SleepUntil for the paper's absolute-round synchronization.
+  Round Now() const noexcept { return ctx_->now; }
+
+  /// This node's private random stream.
+  Rng& Rand() const noexcept { return ctx_->rng; }
+
+  /// Awake rounds this node has paid so far (reads the scheduler's meter).
+  std::uint64_t EnergySpent() const noexcept {
+    return ctx_->energy != nullptr ? ctx_->energy->Awake() : 0;
+  }
+
+  /// Spend one awake round transmitting `payload`. The paper's algorithms
+  /// are unary and always send 1; baselines send IDs.
+  detail_await::TransmitAwait Transmit(std::uint64_t payload = 1) const noexcept {
+    return {{ctx_}, payload};
+  }
+
+  /// Spend one awake round listening; yields what was heard.
+  detail_await::ListenAwait Listen() const noexcept { return {{ctx_}}; }
+
+  /// Sleep for `rounds` rounds (free). SleepFor(0) is a no-op.
+  detail_await::SleepAwait SleepFor(Round rounds) const noexcept {
+    return {{ctx_}, ctx_->now + rounds};
+  }
+
+  /// Sleep until the absolute round `round` (free). No-op if already due.
+  detail_await::SleepAwait SleepUntil(Round round) const noexcept {
+    return {{ctx_}, round};
+  }
+
+ private:
+  NodeContext* ctx_ = nullptr;
+};
+
+/// Signature of a protocol entry point: given its NodeApi, produce the root
+/// task for one node. Captured state must outlive the scheduler run.
+using ProtocolFactory = std::function<proc::Task<void>(NodeApi)>;
+
+}  // namespace emis

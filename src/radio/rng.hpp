@@ -1,0 +1,174 @@
+// Deterministic random number generation.
+//
+// Every simulation run is fully determined by (graph, algorithm, params, seed):
+// the run seed is expanded with SplitMix64 into one independent xoshiro256**
+// stream per node, so per-node randomness does not depend on scheduling order.
+// This is what makes paired-seed experiments (e.g. CD vs beeping equivalence)
+// and reproducible test failures possible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+/// SplitMix64 — tiny, high-quality mixer used to derive stream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a SplitMix64 stream, as recommended by
+  /// the xoshiro authors.
+  explicit constexpr Xoshiro256StarStar(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+    // An all-zero state is a fixed point; SplitMix64 cannot emit four zero
+    // words in a row from any seed, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Convenience sampler wrapping a xoshiro stream with the distributions the
+/// algorithms need. Cheap to copy; copies diverge (independent evolution of a
+/// snapshot), so pass by reference when the stream must advance for the owner.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept
+      : gen_(seed), seed_mix_(SplitMix64(seed ^ 0x6a09e667f3bcc909ULL).Next()) {}
+
+  /// Derives an independent child stream. Children with distinct ids are
+  /// statistically independent of each other and of the parent.
+  Rng Split(std::uint64_t stream_id) const noexcept {
+    SplitMix64 sm(seed_mix_ ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
+    return Rng(sm.Next(), /*tag=*/sm.Next());
+  }
+
+  std::uint64_t NextU64() noexcept { return gen_(); }
+
+  /// Fair coin: true with probability 1/2.
+  bool Bit() noexcept { return (gen_() >> 63) != 0; }
+
+  /// Uniform integer in [0, bound). Requires bound >= 1. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t UniformBelow(std::uint64_t bound) noexcept {
+    EMIS_ASSERT(bound >= 1, "UniformBelow requires bound >= 1");
+    // Lemire 2019: Fast Random Integer Generation in an Interval.
+    std::uint64_t x = gen_();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = gen_();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
+    EMIS_ASSERT(lo <= hi, "UniformInRange requires lo <= hi");
+    return lo + UniformBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformUnit() noexcept {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p): true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformUnit() < p;
+  }
+
+  /// Geometric with success probability 1/2 and support {1, 2, 3, ...}:
+  /// the number of fair coin flips up to and including the first head.
+  /// This is the slot distribution of the paper's Snd-EBackoff (Algorithm 4).
+  std::uint32_t GeometricHalf() noexcept {
+    std::uint32_t count = 1;
+    // Consume random words 64 flips at a time; a word of all-tails (prob
+    // 2^-64) simply continues with the next word.
+    for (;;) {
+      std::uint64_t word = gen_();
+      if (word != 0) {
+        // Number of leading tails before the first head, scanning from LSB.
+        return count + static_cast<std::uint32_t>(__builtin_ctzll(word));
+      }
+      count += 64;
+    }
+  }
+
+  /// Geometric with success probability p and support {1, 2, 3, ...}.
+  /// Requires 0 < p <= 1.
+  std::uint64_t Geometric(double p) noexcept {
+    EMIS_ASSERT(p > 0.0 && p <= 1.0, "Geometric requires p in (0,1]");
+    if (p >= 1.0) return 1;
+    std::uint64_t trials = 1;
+    while (!Bernoulli(p)) ++trials;
+    return trials;
+  }
+
+  /// A uniformly random word with exactly `bits` random low bits
+  /// (higher bits zero). Requires bits <= 64.
+  std::uint64_t RandomBits(std::uint32_t bits) noexcept {
+    EMIS_ASSERT(bits <= 64, "RandomBits requires bits <= 64");
+    if (bits == 0) return 0;
+    return gen_() >> (64 - bits);
+  }
+
+ private:
+  Rng(std::uint64_t seed, std::uint64_t tag) noexcept : gen_(seed), seed_mix_(tag) {}
+
+  Xoshiro256StarStar gen_;
+  // Derived from the seed and mixed into Split() so that child streams of
+  // differently-seeded parents differ, and grandchild streams differ from
+  // child streams even when the same stream_id is reused at different depths.
+  std::uint64_t seed_mix_;
+};
+
+}  // namespace emis

@@ -1,0 +1,138 @@
+#include "radio/scheduler.hpp"
+
+namespace emis {
+
+Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t seed)
+    : graph_(&graph),
+      config_(config),
+      channel_(graph, config.model),
+      energy_(graph.NumNodes()) {
+  if (config.link_loss > 0.0) {
+    channel_.SetLoss(config.link_loss, seed ^ 0x10ad10ad10ad10adULL);
+  }
+  const Rng root(seed);
+  contexts_.resize(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    contexts_[v].id = v;
+    contexts_[v].rng = root.Split(v);
+    contexts_[v].energy = &energy_.Of(v);
+  }
+}
+
+void Scheduler::Spawn(const ProtocolFactory& factory) {
+  EMIS_REQUIRE(!spawned_, "Spawn must be called exactly once");
+  spawned_ = true;
+  tasks_.reserve(graph_->NumNodes());
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    tasks_.push_back(factory(NodeApi(&contexts_[v])));
+    EMIS_REQUIRE(tasks_.back().Valid(), "protocol factory returned an empty task");
+  }
+  // Start every protocol: run it to its first suspension (or completion) so
+  // it submits its action for round 0.
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    contexts_[v].now = 0;
+    contexts_[v].resume_point = tasks_[v].RawHandle();
+    ResumeAndFile(v, actors_);
+  }
+}
+
+void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
+  NodeContext& ctx = contexts_[v];
+  ctx.resume_point.resume();
+  if (tasks_[v].Done()) {
+    tasks_[v].RethrowIfFailed();
+    ctx.done = true;
+    ++finished_;
+    return;
+  }
+  switch (ctx.pending) {
+    case ActionKind::kTransmit:
+    case ActionKind::kListen:
+      actors.push_back(v);
+      break;
+    case ActionKind::kSleep:
+      EMIS_ASSERT(ctx.wake_round > ctx.now, "sleep must advance time");
+      wake_heap_.push({ctx.wake_round, v});
+      break;
+  }
+}
+
+void Scheduler::ExecuteRound() {
+  channel_.BeginRound();
+  // Phase 1: register all transmissions.
+  for (NodeId v : actors_) {
+    NodeContext& ctx = contexts_[v];
+    EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
+    if (ctx.pending == ActionKind::kTransmit) {
+      channel_.AddTransmitter(v, ctx.out_payload);
+      energy_.ChargeTransmit(v);
+      if (config_.trace != nullptr) {
+        config_.trace->OnEvent({now_, v, ActionKind::kTransmit, ctx.out_payload, {}});
+      }
+    }
+  }
+  // Phase 2: resolve receptions.
+  for (NodeId v : actors_) {
+    NodeContext& ctx = contexts_[v];
+    if (ctx.pending == ActionKind::kListen) {
+      ctx.last_reception = channel_.ResolveListener(v);
+      energy_.ChargeListen(v);
+      if (config_.trace != nullptr) {
+        config_.trace->OnEvent({now_, v, ActionKind::kListen, 0, ctx.last_reception});
+      }
+    }
+  }
+  node_rounds_ += actors_.size();
+  last_awake_round_ = now_;
+  any_awake_round_ = true;
+
+  // Phase 3: resume actors so they submit their next action (for now_ + 1).
+  next_actors_.clear();
+  for (NodeId v : actors_) {
+    contexts_[v].now = now_ + 1;
+    ResumeAndFile(v, next_actors_);
+  }
+  actors_.swap(next_actors_);
+}
+
+RunStats Scheduler::RunUntil(Round limit) {
+  EMIS_REQUIRE(spawned_, "call Spawn before running");
+  limit = std::min(limit, config_.max_rounds);
+
+  while (!AllFinished()) {
+    // If nobody acts this round, jump to the next wake event.
+    if (actors_.empty()) {
+      if (wake_heap_.empty()) {
+        // Every remaining protocol sleeps forever; nothing further happens.
+        // (Cannot occur with SleepFor/SleepUntil, which are finite, but a
+        // protocol that never finishes after its last action lands here.)
+        break;
+      }
+      now_ = std::max(now_, wake_heap_.top().round);
+    }
+    if (now_ >= limit) break;
+
+    // Wake sleepers due now; they may join this round's actors.
+    while (!wake_heap_.empty() && wake_heap_.top().round <= now_) {
+      const NodeId v = wake_heap_.top().node;
+      wake_heap_.pop();
+      EMIS_ASSERT(wake_heap_.empty() || wake_heap_.top().round >= now_,
+                  "missed a wake event");
+      contexts_[v].now = now_;
+      ResumeAndFile(v, actors_);
+    }
+    if (actors_.empty()) continue;  // woken nodes all went back to sleep
+
+    ExecuteRound();
+    ++now_;
+  }
+
+  RunStats stats;
+  stats.rounds_used = any_awake_round_ ? last_awake_round_ + 1 : 0;
+  stats.node_rounds = node_rounds_;
+  stats.nodes_finished = finished_;
+  stats.hit_round_limit = !AllFinished() && now_ >= config_.max_rounds;
+  return stats;
+}
+
+}  // namespace emis

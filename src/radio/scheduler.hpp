@@ -1,0 +1,113 @@
+// The synchronous round engine.
+//
+// Each node runs a coroutine protocol (see process.hpp). A round proceeds in
+// two phases: every awake node's action is known before any reception is
+// resolved, matching the synchronous radio model exactly. The engine is
+// event-driven: rounds in which *every* node sleeps are skipped in O(1), so
+// simulation cost is proportional to the total awake node-rounds — i.e. to
+// the energy the paper studies — plus O(log n) heap work per sleep.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "radio/graph.hpp"
+#include "radio/model.hpp"
+#include "radio/process.hpp"
+#include "radio/trace.hpp"
+
+namespace emis {
+
+struct SchedulerConfig {
+  ChannelModel model = ChannelModel::kCd;
+  /// Hard stop: no round >= max_rounds is executed. Guards against
+  /// non-terminating protocols in tests and benches.
+  Round max_rounds = 100'000'000;
+  /// Optional event sink; null disables tracing.
+  TraceSink* trace = nullptr;
+  /// Per-link per-round signal erasure probability (fading). 0 = the
+  /// paper's reliable channel. See Channel::SetLoss.
+  double link_loss = 0.0;
+};
+
+struct RunStats {
+  /// One past the last round in which any node was awake (== the paper's
+  /// round complexity of the run when all nodes terminated).
+  Round rounds_used = 0;
+  /// Total awake node-rounds actually simulated.
+  std::uint64_t node_rounds = 0;
+  /// Nodes whose protocol coroutine ran to completion.
+  NodeId nodes_finished = 0;
+  /// True if the run stopped at max_rounds with live protocols remaining.
+  bool hit_round_limit = false;
+};
+
+class Scheduler {
+ public:
+  /// The graph must outlive the scheduler. `seed` determines every node's
+  /// private random stream.
+  Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t seed);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Creates and starts one protocol instance per node. Must be called
+  /// exactly once, before Run/RunUntil.
+  void Spawn(const ProtocolFactory& factory);
+
+  /// Runs until all protocols finish or max_rounds is reached.
+  RunStats Run() { return RunUntil(config_.max_rounds); }
+
+  /// Runs rounds < `limit` (and not >= max_rounds); returns a snapshot of the
+  /// stats so far. Idempotent once everything finished. Used by experiments
+  /// that inspect state at phase boundaries.
+  RunStats RunUntil(Round limit);
+
+  bool AllFinished() const noexcept { return finished_ == graph_->NumNodes(); }
+  Round Now() const noexcept { return now_; }
+  const EnergyMeter& Energy() const noexcept { return energy_; }
+  const Graph& Topology() const noexcept { return *graph_; }
+
+ private:
+  /// Resumes node v's coroutine (which runs until its next await) and files
+  /// the submitted action: into `actors` if it acts in the round ctx.now,
+  /// into the wake heap if it sleeps. Detects completion.
+  void ResumeAndFile(NodeId v, std::vector<NodeId>& actors);
+
+  /// Executes the current round for `actors_` (channel + energy + trace),
+  /// then resumes the actors to collect their next actions.
+  void ExecuteRound();
+
+  const Graph* graph_;
+  SchedulerConfig config_;
+  Channel channel_;
+  EnergyMeter energy_;
+
+  std::vector<NodeContext> contexts_;
+  std::vector<proc::Task<void>> tasks_;
+
+  // Nodes acting (transmit/listen) in round now_.
+  std::vector<NodeId> actors_;
+  std::vector<NodeId> next_actors_;  // scratch, swapped each round
+
+  struct WakeEntry {
+    Round round;
+    NodeId node;
+    bool operator>(const WakeEntry& other) const noexcept {
+      return round != other.round ? round > other.round : node > other.node;
+    }
+  };
+  std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>> wake_heap_;
+
+  Round now_ = 0;
+  Round last_awake_round_ = 0;
+  bool any_awake_round_ = false;
+  std::uint64_t node_rounds_ = 0;
+  NodeId finished_ = 0;
+  bool spawned_ = false;
+};
+
+}  // namespace emis

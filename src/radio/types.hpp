@@ -1,0 +1,93 @@
+// Fundamental identifiers and helpers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace emis {
+
+/// Index of a node in the communication graph. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// A synchronous timestep of the radio model. Rounds are global and 0-based.
+using Round = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Round kForever = std::numeric_limits<Round>::max();
+
+/// Thrown when a caller violates a documented precondition of the public API.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant of the simulator is violated. Seeing this
+/// exception always indicates a bug in the library, never user error.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void PreconditionFailure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void InvariantFailure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+/// Precondition check on public entry points; always on (cheap relative to
+/// simulation work) so misuse fails loudly in release builds too.
+#define EMIS_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::emis::detail::PreconditionFailure(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Internal invariant check.
+#define EMIS_ASSERT(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) ::emis::detail::InvariantFailure(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// ceil(log2(x)) for x >= 1; returns 0 for x in {0, 1}. Used for the paper's
+/// ⌈log Δ⌉ backoff window and for log-scale parameter derivations.
+constexpr std::uint32_t CeilLog2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  std::uint32_t bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// floor(log2(x)) for x >= 1; returns 0 for x in {0, 1}.
+constexpr std::uint32_t FloorLog2(std::uint64_t x) noexcept {
+  std::uint32_t bits = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+static_assert(CeilLog2(1) == 0);
+static_assert(CeilLog2(2) == 1);
+static_assert(CeilLog2(3) == 2);
+static_assert(CeilLog2(1024) == 10);
+static_assert(CeilLog2(1025) == 11);
+static_assert(FloorLog2(1) == 0);
+static_assert(FloorLog2(1023) == 9);
+static_assert(FloorLog2(1024) == 10);
+
+}  // namespace emis

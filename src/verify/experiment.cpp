@@ -1,0 +1,115 @@
+#include "verify/experiment.hpp"
+
+#include <cmath>
+
+namespace emis {
+
+namespace families {
+
+GraphFactory SparseErdosRenyi(double avg_degree) {
+  return [avg_degree](NodeId n, Rng& rng) {
+    const double p = n > 1 ? std::min(1.0, avg_degree / (n - 1)) : 0.0;
+    return gen::ErdosRenyi(n, p, rng);
+  };
+}
+
+GraphFactory PolynomialDegreeErdosRenyi() {
+  return [](NodeId n, Rng& rng) {
+    const double p = n > 1 ? std::min(1.0, 1.0 / std::sqrt(static_cast<double>(n))) : 0.0;
+    return gen::ErdosRenyi(n, p, rng);
+  };
+}
+
+GraphFactory UnitDisk(double avg_degree) {
+  return [avg_degree](NodeId n, Rng& rng) {
+    // Expected degree ≈ n * pi * r^2 (interior nodes): solve r.
+    const double r =
+        n > 1 ? std::sqrt(avg_degree / (M_PI * static_cast<double>(n))) : 0.0;
+    return gen::RandomGeometric(n, r, rng);
+  };
+}
+
+GraphFactory LowerBoundFamily() {
+  return [](NodeId n, Rng&) { return gen::MatchingPlusIsolated(n); };
+}
+
+GraphFactory StarFamily() {
+  return [](NodeId n, Rng&) { return gen::Star(n); };
+}
+
+GraphFactory CompleteFamily() {
+  return [](NodeId n, Rng&) { return gen::Complete(n); };
+}
+
+GraphFactory TreeFamily() {
+  return [](NodeId n, Rng& rng) { return gen::RandomTree(n, rng); };
+}
+
+}  // namespace families
+
+std::vector<SweepPoint> RunSweep(const SweepConfig& config) {
+  EMIS_REQUIRE(config.factory != nullptr, "sweep needs a graph factory");
+  std::vector<SweepPoint> points;
+  points.reserve(config.sizes.size());
+  for (NodeId n : config.sizes) {
+    SweepPoint point;
+    point.n = n;
+    for (std::uint32_t s = 0; s < config.seeds_per_size; ++s) {
+      const std::uint64_t seed =
+          config.seed_base + static_cast<std::uint64_t>(n) * 1'000'003 + s;
+      Rng topo_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+      const Graph graph = config.factory(n, topo_rng);
+      MisRunConfig run_config{
+          .algorithm = config.algorithm, .preset = config.preset, .seed = seed};
+      if (config.delta_unknown) run_config.delta_estimate = n;
+      if (config.tweak) config.tweak(run_config, graph);
+      const MisRunResult run = RunMis(graph, run_config);
+      ++point.runs;
+      point.failures += run.Valid() ? 0 : 1;
+      point.max_energy.Add(static_cast<double>(run.energy.MaxAwake()));
+      point.avg_energy.Add(run.energy.AverageAwake());
+      point.rounds.Add(static_cast<double>(run.stats.rounds_used));
+      point.mis_size.Add(static_cast<double>(run.MisSize()));
+      point.max_degree.Add(static_cast<double>(graph.MaxDegree()));
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<double> Sizes(const std::vector<SweepPoint>& points) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(static_cast<double>(p.n));
+  return out;
+}
+
+std::vector<double> MeanMaxEnergy(const std::vector<SweepPoint>& points) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.max_energy.mean);
+  return out;
+}
+
+std::vector<double> MeanRounds(const std::vector<SweepPoint>& points) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.rounds.mean);
+  return out;
+}
+
+std::string RenderSweep(const std::string& title,
+                        const std::vector<SweepPoint>& points) {
+  Table table({"n", "Δ(avg)", "energy max(avg)", "energy max(max)", "energy avg",
+               "rounds(avg)", "|MIS|(avg)", "ok"});
+  for (const auto& p : points) {
+    table.AddRow({std::to_string(p.n), Fmt(p.max_degree.mean, 1),
+                  Fmt(p.max_energy.mean, 1), Fmt(p.max_energy.max, 0),
+                  Fmt(p.avg_energy.mean, 1), Fmt(p.rounds.mean, 0),
+                  Fmt(p.mis_size.mean, 1),
+                  std::to_string(p.runs - p.failures) + "/" + std::to_string(p.runs)});
+  }
+  return table.Render(title);
+}
+
+}  // namespace emis

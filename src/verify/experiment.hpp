@@ -1,0 +1,85 @@
+// The sweep driver shared by the bench binaries.
+//
+// An experiment is (algorithm, graph family, sizes, seeds). For each size we
+// generate a fresh topology per seed, run the algorithm, verify the output
+// and aggregate energy/round/size distributions. Benches render the rows
+// with verify/stats.hpp's Table and assert shapes with the polylog fits.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "radio/graph.hpp"
+#include "radio/graph_generators.hpp"
+#include "verify/stats.hpp"
+
+namespace emis {
+
+/// Builds the topology for one run. Must be deterministic in (n, rng).
+using GraphFactory = std::function<Graph(NodeId n, Rng& rng)>;
+
+/// Named graph families used across benches (workload definitions of
+/// DESIGN.md's experiment index).
+namespace families {
+
+/// Sparse G(n, p) with expected average degree `avg_degree`.
+GraphFactory SparseErdosRenyi(double avg_degree);
+
+/// G(n, p) with p = n^-1/2: max degree grows polynomially (≈ √n), separating
+/// log Δ from log log n terms.
+GraphFactory PolynomialDegreeErdosRenyi();
+
+/// Random geometric graph scaled so the expected degree stays ~`avg_degree`.
+GraphFactory UnitDisk(double avg_degree);
+
+/// Theorem 1's matching + isolated nodes family.
+GraphFactory LowerBoundFamily();
+
+GraphFactory StarFamily();
+GraphFactory CompleteFamily();
+GraphFactory TreeFamily();
+
+}  // namespace families
+
+struct SweepConfig {
+  MisAlgorithm algorithm = MisAlgorithm::kCd;
+  ParamPreset preset = ParamPreset::kPractical;
+  GraphFactory factory;
+  std::vector<NodeId> sizes;
+  std::uint32_t seeds_per_size = 10;
+  std::uint64_t seed_base = 1;
+  /// Run in the paper's unknown-Δ regime (§1.1): nodes only know n, so the
+  /// backoff window is derived from Δ = n. This is where the commit
+  /// mechanism's log log n listen windows beat the baselines' log Δ = log n.
+  bool delta_unknown = false;
+  /// Optional final tweak of the per-run config (ablations); receives the
+  /// generated topology so graph-dependent parameters can be derived.
+  std::function<void(MisRunConfig&, const Graph&)> tweak;
+};
+
+struct SweepPoint {
+  NodeId n = 0;
+  std::uint32_t runs = 0;
+  std::uint32_t failures = 0;   ///< runs whose output was not a valid MIS
+  Summary max_energy;           ///< per-run max awake rounds (paper's energy)
+  Summary avg_energy;           ///< per-run node-averaged awake rounds
+  Summary rounds;               ///< per-run rounds used
+  Summary mis_size;
+  Summary max_degree;           ///< topology Δ per run
+};
+
+/// Runs the sweep; one point per size.
+std::vector<SweepPoint> RunSweep(const SweepConfig& config);
+
+/// Convenience: extracts (n, mean max energy) columns for fitting.
+std::vector<double> Sizes(const std::vector<SweepPoint>& points);
+std::vector<double> MeanMaxEnergy(const std::vector<SweepPoint>& points);
+std::vector<double> MeanRounds(const std::vector<SweepPoint>& points);
+
+/// Renders a standard result table for a sweep.
+std::string RenderSweep(const std::string& title,
+                        const std::vector<SweepPoint>& points);
+
+}  // namespace emis

@@ -1,0 +1,74 @@
+#include "verify/mis_checker.hpp"
+
+#include <sstream>
+
+namespace emis {
+
+MisReport CheckMis(const Graph& graph, const std::vector<MisStatus>& status) {
+  EMIS_REQUIRE(status.size() == graph.NumNodes(),
+               "status vector size must match the graph");
+  MisReport report;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    switch (status[v]) {
+      case MisStatus::kUndecided:
+        report.undecided.push_back(v);
+        break;
+      case MisStatus::kInMis:
+        for (NodeId w : graph.Neighbors(v)) {
+          if (v < w && status[w] == MisStatus::kInMis) {
+            report.dependent_edges.push_back({v, w});
+          }
+        }
+        break;
+      case MisStatus::kOutMis: {
+        bool dominated = false;
+        for (NodeId w : graph.Neighbors(v)) {
+          if (status[w] == MisStatus::kInMis) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) report.undominated.push_back(v);
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+bool IsValidMis(const Graph& graph, const std::vector<MisStatus>& status) {
+  return CheckMis(graph, status).IsValidMis();
+}
+
+std::string MisReport::Describe() const {
+  if (IsValidMis()) return "";
+  std::ostringstream os;
+  auto list_nodes = [&os](const std::vector<NodeId>& nodes) {
+    const std::size_t shown = std::min<std::size_t>(nodes.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) os << (i ? "," : "") << nodes[i];
+    if (nodes.size() > shown) os << ",...";
+  };
+  if (!undecided.empty()) {
+    os << undecided.size() << " undecided node(s) [";
+    list_nodes(undecided);
+    os << "] ";
+  }
+  if (!dependent_edges.empty()) {
+    os << dependent_edges.size() << " intra-set edge(s) [";
+    const std::size_t shown = std::min<std::size_t>(dependent_edges.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) {
+      os << (i ? "," : "") << "{" << dependent_edges[i].u << "-"
+         << dependent_edges[i].v << "}";
+    }
+    if (dependent_edges.size() > shown) os << ",...";
+    os << "] ";
+  }
+  if (!undominated.empty()) {
+    os << undominated.size() << " undominated out-node(s) [";
+    list_nodes(undominated);
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace emis

@@ -1,0 +1,42 @@
+// Verification of MIS outputs.
+//
+// A correct MIS run must produce a status vector that is:
+//   * decided:     no node is kUndecided,
+//   * independent: no edge joins two kInMis nodes,
+//   * dominated:   every kOutMis node has a kInMis neighbor (with the two
+//                  properties above, this is exactly maximality).
+// The checker reports every violation so tests can print actionable output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "radio/graph.hpp"
+
+namespace emis {
+
+struct MisReport {
+  std::vector<NodeId> undecided;            ///< nodes still kUndecided
+  std::vector<Edge> dependent_edges;        ///< edges inside the chosen set
+  std::vector<NodeId> undominated;          ///< kOutMis nodes with no kInMis neighbor
+
+  bool Decided() const noexcept { return undecided.empty(); }
+  bool Independent() const noexcept { return dependent_edges.empty(); }
+  bool Dominated() const noexcept { return undominated.empty(); }
+  /// The full MIS contract.
+  bool IsValidMis() const noexcept {
+    return Decided() && Independent() && Dominated();
+  }
+
+  /// Human-readable summary of all violations ("" when valid).
+  std::string Describe() const;
+};
+
+/// Checks `status` (one entry per node) against `graph`.
+MisReport CheckMis(const Graph& graph, const std::vector<MisStatus>& status);
+
+/// Convenience: true iff status is a valid MIS of graph.
+bool IsValidMis(const Graph& graph, const std::vector<MisStatus>& status);
+
+}  // namespace emis

@@ -1,0 +1,143 @@
+#include "verify/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace emis {
+
+void Summary::Add(double x) noexcept {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+double Summary::Stddev() const noexcept { return std::sqrt(Variance()); }
+
+PowerFit FitPowerLaw(std::span<const double> x, std::span<const double> y) {
+  EMIS_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  EMIS_REQUIRE(x.size() >= 2, "need at least two points to fit");
+  // Regress log y on log x.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const auto n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EMIS_REQUIRE(x[i] > 0 && y[i] > 0, "power-law fit needs positive data");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  PowerFit fit;
+  if (std::abs(denom) < 1e-12) {
+    // All x equal: exponent is undetermined; report a flat fit.
+    fit.exponent = 0.0;
+    fit.coefficient = std::exp(sy / n);
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  fit.exponent = slope;
+  fit.coefficient = std::exp(intercept);
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = intercept + slope * std::log(x[i]);
+    const double resid = std::log(y[i]) - pred;
+    ss_res += resid * resid;
+  }
+  fit.r_squared = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit FitPolylog(std::span<const double> n, std::span<const double> y) {
+  std::vector<double> logs(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    EMIS_REQUIRE(n[i] > 1, "polylog fit needs n > 1");
+    logs[i] = std::log2(n[i]);
+  }
+  return FitPowerLaw(logs, y);
+}
+
+double BestPolylogExponent(std::span<const double> n, std::span<const double> y,
+                           std::span<const double> candidates) {
+  EMIS_REQUIRE(!candidates.empty(), "need candidate exponents");
+  EMIS_REQUIRE(n.size() == y.size() && n.size() >= 2, "need matching sweep data");
+  double best_k = candidates.front();
+  double best_err = std::numeric_limits<double>::infinity();
+  for (double k : candidates) {
+    // For fixed k, the optimal a minimizes sum (log y - log a - k log log n)^2:
+    // log a = mean(log y - k log log n).
+    double acc = 0;
+    std::vector<double> basis(n.size());
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      basis[i] = k * std::log(std::log2(n[i]));
+      acc += std::log(y[i]) - basis[i];
+    }
+    const double log_a = acc / static_cast<double>(n.size());
+    double err = 0;
+    for (std::size_t i = 0; i < n.size(); ++i) {
+      const double resid = std::log(y[i]) - log_a - basis[i];
+      err += resid * resid;
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  EMIS_REQUIRE(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Fmt(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+}  // namespace emis

@@ -1,0 +1,73 @@
+// Aggregation and shape-fitting utilities for the experiment harness.
+//
+// The paper's claims are asymptotic (O(log n), O(log² n log log n), ...); the
+// benches verify *shape*: we fit y ≈ a · (log2 n)^k over a sweep of n and
+// report which exponent k explains the measurements best, alongside growth
+// ratios between successive n. Tests assert on these fits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+/// Running summary of a sample set.
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  // sum of squared deviations (Welford)
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double x) noexcept;
+  double Variance() const noexcept { return count > 1 ? m2 / (count - 1) : 0.0; }
+  double Stddev() const noexcept;
+};
+
+/// Least-squares fit of y = a * x^k through log-log regression (x, y > 0).
+/// Returns the exponent k and the coefficient a.
+struct PowerFit {
+  double exponent = 0.0;
+  double coefficient = 0.0;
+  double r_squared = 0.0;
+};
+PowerFit FitPowerLaw(std::span<const double> x, std::span<const double> y);
+
+/// Fits y = a * (log2 n)^k for a sweep over n: the natural model for this
+/// paper's complexities. Delegates to FitPowerLaw with x = log2(n).
+PowerFit FitPolylog(std::span<const double> n, std::span<const double> y);
+
+/// Among candidate exponents, the k whose fit y = a (log2 n)^k has the
+/// smallest relative residual. Used to classify a measured curve as
+/// "log-like" vs "log²-like" etc.
+double BestPolylogExponent(std::span<const double> n, std::span<const double> y,
+                           std::span<const double> candidates);
+
+// ---------------------------------------------------------------------------
+// Table rendering shared by all bench binaries
+// ---------------------------------------------------------------------------
+
+/// A minimal fixed-width table printer: benches print paper-style rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; entries are preformatted strings.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns, a header rule, and a title.
+  std::string Render(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string Fmt(double value, int digits = 2);
+
+}  // namespace emis

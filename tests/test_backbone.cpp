@@ -1,0 +1,156 @@
+#include "apps/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+BackboneResult Build(const Graph& g, std::uint64_t seed) {
+  const BackboneParams params = BackboneParams::Practical(
+      std::max<NodeId>(g.NumNodes(), 2), std::max(1u, g.MaxDegree()));
+  return BuildBackbone(g, params, seed);
+}
+
+TEST(Backbone, SingleNodeIsItsOwnHead) {
+  const auto r = Build(gen::Empty(1), 1);
+  EXPECT_EQ(CheckBackbone(gen::Empty(1), r), "");
+  EXPECT_EQ(r.NumHeads(), 1u);
+  EXPECT_TRUE(r.nodes[0].affiliated);
+  EXPECT_NE(r.nodes[0].head_id, 0u);
+}
+
+TEST(Backbone, StarFormsOneOrManyClusters) {
+  Graph g = gen::Star(30);
+  const auto r = Build(g, 2);
+  EXPECT_EQ(CheckBackbone(g, r), "");
+  const bool hub_head = r.nodes[0].role == MisStatus::kInMis;
+  EXPECT_EQ(r.NumHeads(), hub_head ? 1u : 29u);
+  EXPECT_EQ(r.NumAffiliated(), 30u);
+  if (hub_head) {
+    // Every leaf carries the hub's identifier.
+    for (NodeId v = 1; v < 30; ++v) {
+      EXPECT_EQ(r.nodes[v].head_id, r.nodes[0].head_id);
+    }
+  }
+}
+
+TEST(Backbone, ValidAcrossFamilies) {
+  Rng rng(3);
+  const Graph graphs[] = {
+      gen::Path(40),        gen::Cycle(33),
+      gen::Grid(6, 7),      gen::ErdosRenyi(150, 0.05, rng),
+      gen::RandomGeometric(120, 0.15, rng), gen::DisjointCliques(6, 5),
+      gen::MatchingPlusIsolated(40),
+  };
+  std::uint64_t seed = 10;
+  for (const Graph& g : graphs) {
+    const auto r = Build(g, seed++);
+    EXPECT_EQ(CheckBackbone(g, r), "") << "n=" << g.NumNodes();
+    EXPECT_EQ(r.NumAffiliated(), g.NumNodes());
+  }
+}
+
+TEST(Backbone, HeadIdsAreDistinct) {
+  Rng rng(4);
+  Graph g = gen::ErdosRenyi(200, 0.03, rng);
+  const auto r = Build(g, 5);
+  ASSERT_EQ(CheckBackbone(g, r), "");
+  std::vector<std::uint64_t> ids;
+  for (const auto& n : r.nodes) {
+    if (n.role == MisStatus::kInMis) ids.push_back(n.head_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Backbone, MembersJoinAdjacentHeads) {
+  Rng rng(5);
+  Graph g = gen::RandomGeometric(100, 0.2, rng);
+  const auto r = Build(g, 6);
+  ASSERT_EQ(CheckBackbone(g, r), "");
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (r.nodes[v].role != MisStatus::kOutMis) continue;
+    bool adjacent = false;
+    for (NodeId w : g.Neighbors(v)) {
+      adjacent = adjacent || (r.nodes[w].role == MisStatus::kInMis &&
+                              r.nodes[w].head_id == r.nodes[v].head_id);
+    }
+    EXPECT_TRUE(adjacent) << "node " << v;
+  }
+}
+
+TEST(Backbone, DeterministicGivenSeed) {
+  Rng rng(6);
+  Graph g = gen::ErdosRenyi(80, 0.06, rng);
+  const auto a = Build(g, 9);
+  const auto b = Build(g, 9);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(a.nodes[v].role, b.nodes[v].role);
+    EXPECT_EQ(a.nodes[v].head_id, b.nodes[v].head_id);
+  }
+}
+
+TEST(Backbone, RoundsWithinSchedule) {
+  Rng rng(7);
+  Graph g = gen::ErdosRenyi(100, 0.08, rng);
+  const BackboneParams params = BackboneParams::Practical(100, g.MaxDegree());
+  const auto r = BuildBackbone(g, params, 3);
+  EXPECT_EQ(CheckBackbone(g, r), "");
+  EXPECT_LE(r.stats.rounds_used, params.TotalRounds());
+}
+
+TEST(Backbone, EnergyStaysPolylog) {
+  Rng rng(8);
+  Graph g = gen::ErdosRenyi(1024, 8.0 / 1024, rng);
+  const auto r = Build(g, 4);
+  ASSERT_EQ(CheckBackbone(g, r), "");
+  // MIS stage O(log n) + affiliation O(k log Δ) = O(log² n)-ish; far below n.
+  EXPECT_LT(r.energy.MaxAwake(), 600u);
+}
+
+TEST(Backbone, NoCdVariantValidAcrossFamilies) {
+  // Stage 1 = Algorithm 2 on the no-CD channel; affiliation backoffs run on
+  // the same channel.
+  Rng rng(11);
+  const Graph graphs[] = {gen::Path(20), gen::Star(24),
+                          gen::ErdosRenyi(64, 0.1, rng)};
+  std::uint64_t seed = 40;
+  for (const Graph& g : graphs) {
+    const BackboneParams params = BackboneParams::PracticalNoCd(
+        std::max<NodeId>(g.NumNodes(), 2), std::max(1u, g.MaxDegree()));
+    const auto r = BuildBackbone(g, params, seed++);
+    EXPECT_EQ(CheckBackbone(g, r), "") << "n=" << g.NumNodes();
+    EXPECT_EQ(r.NumAffiliated(), g.NumNodes());
+    EXPECT_LE(r.stats.rounds_used, params.TotalRounds());
+  }
+}
+
+TEST(Backbone, NoCdCostsMoreRoundsThanCd) {
+  Rng rng(12);
+  Graph g = gen::ErdosRenyi(48, 0.1, rng);
+  const auto cd = BuildBackbone(g, BackboneParams::Practical(48, g.MaxDegree()), 1);
+  const auto nocd =
+      BuildBackbone(g, BackboneParams::PracticalNoCd(48, g.MaxDegree()), 1);
+  ASSERT_EQ(CheckBackbone(g, cd), "");
+  ASSERT_EQ(CheckBackbone(g, nocd), "");
+  EXPECT_GT(nocd.stats.rounds_used, 10 * cd.stats.rounds_used);
+}
+
+TEST(Backbone, CheckerFlagsBrokenAffiliations) {
+  Graph g = gen::Path(3);
+  auto r = Build(g, 1);
+  ASSERT_EQ(CheckBackbone(g, r), "");
+  // Corrupt: point a member at a bogus id.
+  for (auto& n : r.nodes) {
+    if (n.role == MisStatus::kOutMis) {
+      n.head_id ^= 0xDEADBEEF;
+      break;
+    }
+  }
+  EXPECT_NE(CheckBackbone(g, r), "");
+}
+
+}  // namespace
+}  // namespace emis

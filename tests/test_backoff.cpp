@@ -1,0 +1,226 @@
+// Tests for Algorithm 4 (energy-efficient backoff) and traditional Decay —
+// Lemmas 8 and 9.
+#include "core/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+namespace {
+
+struct BackoffProbe {
+  Round snd_duration = 0;
+  Round rec_duration = 0;
+  bool heard = false;
+};
+
+proc::Task<void> SenderNode(NodeApi api, BackoffStyle style, std::uint32_t k,
+                            std::uint32_t delta, BackoffProbe* probe) {
+  const Round start = api.Now();
+  co_await SndBackoff(api, style, k, delta);
+  probe->snd_duration = api.Now() - start;
+}
+
+proc::Task<void> ReceiverNode(NodeApi api, BackoffStyle style, std::uint32_t k,
+                              std::uint32_t delta, std::uint32_t delta_est,
+                              BackoffProbe* probe) {
+  const Round start = api.Now();
+  probe->heard = co_await RecBackoff(api, style, k, delta, delta_est);
+  probe->rec_duration = api.Now() - start;
+}
+
+/// Runs one backoff on a star: `senders` leaves run the sender side, the hub
+/// runs the receiver side. Returns the probe and per-node energy.
+struct StarRun {
+  BackoffProbe hub;
+  std::vector<BackoffProbe> leaves;
+  NodeEnergy hub_energy;
+  std::vector<NodeEnergy> leaf_energy;
+};
+
+StarRun RunStar(std::uint32_t senders, BackoffStyle style, std::uint32_t k,
+                std::uint32_t delta, std::uint32_t delta_est, std::uint64_t seed) {
+  Graph g = gen::Star(senders + 1);
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, seed);
+  StarRun run;
+  run.leaves.resize(senders);
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return ReceiverNode(api, style, k, delta, delta_est, &run.hub);
+    return SenderNode(api, style, k, delta, &run.leaves[api.Id() - 1]);
+  });
+  sched.Run();
+  run.hub_energy = sched.Energy().Of(0);
+  for (NodeId v = 1; v <= senders; ++v) run.leaf_energy.push_back(sched.Energy().Of(v));
+  return run;
+}
+
+// ---- Lemma 8: durations and energy ----------------------------------------
+
+TEST(EBackoff, TakesExactlyKLogDeltaRounds) {
+  for (std::uint32_t k : {1u, 3u, 8u}) {
+    for (std::uint32_t delta : {2u, 7u, 64u}) {
+      auto run = RunStar(2, BackoffStyle::kEnergyEfficient, k, delta, delta, 42);
+      const Round expected = BackoffRounds(k, delta);
+      EXPECT_EQ(run.hub.rec_duration, expected) << "k=" << k << " delta=" << delta;
+      EXPECT_EQ(run.leaves[0].snd_duration, expected);
+      EXPECT_EQ(run.leaves[1].snd_duration, expected);
+    }
+  }
+}
+
+TEST(EBackoff, DegenerateDeltaUsesOneRoundWindow) {
+  auto run = RunStar(1, BackoffStyle::kEnergyEfficient, 5, 1, 1, 7);
+  EXPECT_EQ(run.hub.rec_duration, 5u);
+  // Window of 1: the single sender transmits every iteration and the
+  // receiver hears it in iteration 1.
+  EXPECT_TRUE(run.hub.heard);
+}
+
+TEST(EBackoff, SenderAwakeExactlyKRounds) {
+  // Lemma 8: Snd-EBackoff(k, Δ) is awake exactly k rounds, all transmitting.
+  for (std::uint32_t k : {1u, 4u, 16u}) {
+    auto run = RunStar(3, BackoffStyle::kEnergyEfficient, k, 32, 32, 3);
+    for (const auto& e : run.leaf_energy) {
+      EXPECT_EQ(e.transmit_rounds, k);
+      EXPECT_EQ(e.listen_rounds, 0u);
+    }
+  }
+}
+
+TEST(EBackoff, ReceiverAwakeAtMostKLogDeltaEst) {
+  const std::uint32_t k = 8, delta = 256, delta_est = 4;
+  auto run = RunStar(0, BackoffStyle::kEnergyEfficient, k, delta, delta_est, 5);
+  // No senders: the receiver listens its full budget, k * ceil(log delta_est).
+  EXPECT_EQ(run.hub_energy.listen_rounds, k * BackoffWindow(delta_est));
+  EXPECT_FALSE(run.hub.heard);
+  // Duration is still governed by delta, not delta_est.
+  EXPECT_EQ(run.hub.rec_duration, BackoffRounds(k, delta));
+}
+
+TEST(EBackoff, ReceiverSleepsAfterHearing) {
+  // With exactly one sender, the receiver hears in some early iteration and
+  // must spend (much) less than its full listen budget over many iterations.
+  const std::uint32_t k = 50, delta = 16;
+  auto run = RunStar(1, BackoffStyle::kEnergyEfficient, k, delta, delta, 11);
+  EXPECT_TRUE(run.hub.heard);
+  EXPECT_LT(run.hub_energy.listen_rounds, BackoffRounds(k, delta) / 2);
+}
+
+// ---- Lemma 9: detection probability ----------------------------------------
+
+TEST(EBackoff, NoSenderNeverDetects) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto run = RunStar(0, BackoffStyle::kEnergyEfficient, 6, 16, 16, seed);
+    EXPECT_FALSE(run.hub.heard);
+  }
+}
+
+TEST(EBackoff, SingleIterationDetectsWithConstantProbability) {
+  // Lemma 9 with k = 1: detection probability >= 1/8 for any sender count
+  // <= delta_est. Empirically it is far higher; assert the bound with slack.
+  for (std::uint32_t senders : {1u, 2u, 5u, 15u}) {
+    int detected = 0;
+    const int kTrials = 300;
+    for (int t = 0; t < kTrials; ++t) {
+      auto run = RunStar(senders, BackoffStyle::kEnergyEfficient, 1, 16, 16,
+                         1000 + static_cast<std::uint64_t>(t));
+      detected += run.hub.heard;
+    }
+    EXPECT_GT(detected, kTrials / 8) << senders << " senders";
+  }
+}
+
+TEST(EBackoff, DetectionImprovesGeometricallyWithK) {
+  // 1 - (7/8)^k: k = 32 should make misses rare (<= ~1.4% theoretical).
+  const std::uint32_t senders = 8;
+  int missed = 0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    auto run = RunStar(senders, BackoffStyle::kEnergyEfficient, 32, 16, 16,
+                       5000 + static_cast<std::uint64_t>(t));
+    missed += !run.hub.heard;
+  }
+  EXPECT_LE(missed, 10);  // generous: theory predicts ~3 expected
+}
+
+TEST(EBackoff, ManySendersBeyondDeltaEstStillWithinWindow) {
+  // delta_est undershoots the sender count: the receiver only listens the
+  // short window, where the geometric slots of too many senders mostly
+  // collide. The call must remain structurally sound (exact duration, no
+  // crash); detection is best-effort.
+  auto run = RunStar(32, BackoffStyle::kEnergyEfficient, 4, 64, 2, 77);
+  EXPECT_EQ(run.hub.rec_duration, BackoffRounds(4, 64));
+}
+
+// ---- Traditional Decay ------------------------------------------------------
+
+TEST(Decay, EveryoneAwakeWholeBackoff) {
+  const std::uint32_t k = 6, delta = 32;
+  auto run = RunStar(3, BackoffStyle::kTraditional, k, delta, delta, 9);
+  const std::uint64_t total = BackoffRounds(k, delta);
+  EXPECT_EQ(run.hub_energy.Awake(), total);
+  EXPECT_EQ(run.hub_energy.listen_rounds, total);
+  for (const auto& e : run.leaf_energy) {
+    EXPECT_EQ(e.Awake(), total);
+    EXPECT_GE(e.transmit_rounds, k);  // at least one transmit per iteration
+  }
+}
+
+TEST(Decay, DetectsSenders) {
+  int detected = 0;
+  const int kTrials = 100;
+  for (int t = 0; t < kTrials; ++t) {
+    auto run = RunStar(5, BackoffStyle::kTraditional, 8, 16, 16,
+                       9000 + static_cast<std::uint64_t>(t));
+    detected += run.hub.heard;
+  }
+  EXPECT_GT(detected, 90);
+}
+
+TEST(Decay, NoSenderNeverDetects) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto run = RunStar(0, BackoffStyle::kTraditional, 4, 16, 16, seed);
+    EXPECT_FALSE(run.hub.heard);
+  }
+}
+
+// ---- Synchronization across mixed outcomes ---------------------------------
+
+proc::Task<void> TwoBackoffsReceiver(NodeApi api, std::uint32_t k, std::uint32_t delta,
+                                     BackoffProbe* probe) {
+  // Hearing early in the first backoff must not desynchronize the second.
+  (void)co_await RecEBackoff(api, k, delta, delta);
+  probe->heard = co_await RecEBackoff(api, k, delta, delta);
+}
+
+proc::Task<void> TwoBackoffsSender(NodeApi api, std::uint32_t k, std::uint32_t delta,
+                                   bool second_only) {
+  if (second_only) {
+    co_await api.SleepFor(BackoffRounds(k, delta));
+  } else {
+    co_await SndEBackoff(api, k, delta);
+  }
+  co_await SndEBackoff(api, k, delta);
+}
+
+TEST(EBackoff, BackToBackCallsStaySynchronized) {
+  // Leaf 1 sends in both backoffs; leaf 2 only in the second. The hub must
+  // hear the second backoff despite having slept out the tail of the first.
+  Graph g = gen::Star(3);
+  BackoffProbe probe;
+  const std::uint32_t k = 24, delta = 4;
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, 31);
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return TwoBackoffsReceiver(api, k, delta, &probe);
+    return TwoBackoffsSender(api, k, delta, api.Id() == 2);
+  });
+  sched.Run();
+  EXPECT_TRUE(probe.heard);
+}
+
+}  // namespace
+}  // namespace emis

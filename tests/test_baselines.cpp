@@ -1,0 +1,124 @@
+// Tests for the non-radio baselines: wired Luby (CONGEST) and the
+// centralized greedy references.
+#include "baselines/greedy_mis.hpp"
+#include "baselines/luby_congest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+#include "verify/mis_checker.hpp"
+
+namespace emis {
+namespace {
+
+TEST(LubyCongest, ValidOnFamilies) {
+  Rng rng(1);
+  const Graph graphs[] = {
+      gen::Empty(10),
+      gen::Path(40),
+      gen::Cycle(33),
+      gen::Star(50),
+      gen::Complete(30),
+      gen::ErdosRenyi(300, 0.02, rng),
+      gen::Grid(10, 10),
+      gen::MatchingPlusIsolated(64),
+      gen::BarabasiAlbert(200, 2, rng),
+  };
+  std::uint64_t seed = 5;
+  for (const Graph& g : graphs) {
+    auto r = LubyCongest(g, seed++);
+    EXPECT_TRUE(r.all_decided);
+    EXPECT_TRUE(IsValidMis(g, r.status)) << CheckMis(g, r.status).Describe();
+  }
+}
+
+TEST(LubyCongest, PhasesAreLogarithmic) {
+  Rng rng(2);
+  Graph g = gen::ErdosRenyi(2000, 8.0 / 2000, rng);
+  auto r = LubyCongest(g, 3);
+  EXPECT_TRUE(r.all_decided);
+  // Luby finishes in O(log n) phases whp; log2(2000) ~ 11.
+  EXPECT_LE(r.phases_used, 40u);
+}
+
+TEST(LubyCongest, EnergyMatchesPhaseParticipation) {
+  // A node pays 2 per phase it is undecided in. On a star: phase 1 decides
+  // the hub and every leaf whose priority beats the hub's; any remaining
+  // leaves (isolated among the undecided) all join in phase 2. So phases
+  // <= 2 and total energy = 2n + 2 * (phase-2 stragglers).
+  Graph g = gen::Star(20);
+  auto r = LubyCongest(g, 7);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_LE(r.phases_used, 2u);
+  EXPECT_GE(r.energy.TotalAwake(), 40u);
+  EXPECT_LE(r.energy.TotalAwake(), 40u + 2u * 18u);
+  // Energy is 2 * (phases participated), per node.
+  EXPECT_EQ(r.energy.Of(0).transmit_rounds, r.energy.Of(0).listen_rounds);
+}
+
+TEST(LubyCongest, DeterministicGivenSeed) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyi(100, 0.05, rng);
+  auto a = LubyCongest(g, 11);
+  auto b = LubyCongest(g, 11);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.phases_used, b.phases_used);
+}
+
+TEST(LubyCongest, MaxPhasesGuard) {
+  Graph g = gen::Complete(8);
+  auto r = LubyCongest(g, 1, /*max_phases=*/0);
+  EXPECT_FALSE(r.all_decided);
+  EXPECT_EQ(r.phases_used, 0u);
+}
+
+TEST(GreedyMis, ValidAndDeterministic) {
+  Rng rng(4);
+  Graph g = gen::ErdosRenyi(150, 0.05, rng);
+  auto a = GreedyMis(g);
+  auto b = GreedyMis(g);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(IsValidMis(g, a)) << CheckMis(g, a).Describe();
+}
+
+TEST(GreedyMis, IdOrderPicksNodeZeroFirst) {
+  Graph g = gen::Star(5);
+  auto s = GreedyMis(g);
+  EXPECT_EQ(s[0], MisStatus::kInMis);
+  EXPECT_EQ(MisSize(s), 1u);
+}
+
+TEST(RandomOrderGreedy, ValidAcrossSeeds) {
+  Rng topo(5);
+  Graph g = gen::ErdosRenyi(120, 0.06, topo);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto s = RandomOrderGreedyMis(g, rng);
+    EXPECT_TRUE(IsValidMis(g, s)) << CheckMis(g, s).Describe();
+  }
+}
+
+TEST(RandomOrderGreedy, DifferentSeedsGiveDifferentSets) {
+  Rng topo(6);
+  Graph g = gen::ErdosRenyi(120, 0.06, topo);
+  Rng r1(1), r2(2);
+  auto a = RandomOrderGreedyMis(g, r1);
+  auto b = RandomOrderGreedyMis(g, r2);
+  EXPECT_NE(a, b);
+}
+
+TEST(MisSizeHelper, Counts) {
+  EXPECT_EQ(MisSize({}), 0u);
+  EXPECT_EQ(MisSize({MisStatus::kInMis, MisStatus::kOutMis, MisStatus::kInMis}), 2u);
+}
+
+TEST(Baselines, AgreeOnMisSizeForCliques) {
+  // Every correct MIS of k disjoint cliques has size exactly k.
+  Graph g = gen::DisjointCliques(7, 4);
+  EXPECT_EQ(MisSize(GreedyMis(g)), 7u);
+  auto luby = LubyCongest(g, 9);
+  EXPECT_EQ(MisSize(luby.status), 7u);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,169 @@
+#include "apps/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/coloring.hpp"
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+TEST(GraphSquare, PathSquare) {
+  // Path 0-1-2-3: square adds 0-2 and 1-3.
+  Graph g = gen::Path(4);
+  Graph sq = g.Square();
+  EXPECT_EQ(sq.NumEdges(), 5u);
+  EXPECT_TRUE(sq.HasEdge(0, 2));
+  EXPECT_TRUE(sq.HasEdge(1, 3));
+  EXPECT_FALSE(sq.HasEdge(0, 3));
+}
+
+TEST(GraphSquare, StarSquareIsComplete) {
+  Graph sq = gen::Star(6).Square();
+  EXPECT_EQ(sq.NumEdges(), 15u);
+}
+
+TEST(GraphSquare, EmptyAndSingle) {
+  EXPECT_EQ(gen::Empty(5).Square().NumEdges(), 0u);
+  EXPECT_EQ(gen::Empty(0).Square().NumNodes(), 0u);
+}
+
+TEST(BfsDistances, PathDistances) {
+  Graph g = gen::Path(5);
+  const auto d = g.BfsDistances(0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+  const auto d2 = g.BfsDistances(2);
+  EXPECT_EQ(d2[0], 2u);
+  EXPECT_EQ(d2[4], 2u);
+}
+
+TEST(BfsDistances, DisconnectedUnreachable) {
+  Graph g = gen::MatchingPlusIsolated(8);
+  const auto d = g.BfsDistances(0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[4], Graph::kUnreachable);
+}
+
+TEST(D2Coloring, GreedyIsValidAcrossFamilies) {
+  Rng rng(1);
+  const Graph graphs[] = {gen::Path(20), gen::Cycle(15), gen::Star(12),
+                          gen::Grid(5, 5), gen::ErdosRenyi(60, 0.08, rng),
+                          gen::RandomGeometric(50, 0.2, rng)};
+  for (const Graph& g : graphs) {
+    const auto color = GreedyDistanceTwoColoring(g);
+    EXPECT_EQ(CheckDistanceTwoColoring(g, color), "") << "n=" << g.NumNodes();
+    const auto max_c = *std::max_element(color.begin(), color.end());
+    EXPECT_LE(max_c, g.Square().MaxDegree());  // greedy bound on G²
+  }
+}
+
+TEST(D2Coloring, CheckerCatchesTwoHopConflicts) {
+  Graph g = gen::Path(3);  // 0-1-2: all three mutually within 2 hops
+  EXPECT_NE(CheckDistanceTwoColoring(g, {0, 1, 0}), "");
+  EXPECT_EQ(CheckDistanceTwoColoring(g, {0, 1, 2}), "");
+  EXPECT_NE(CheckDistanceTwoColoring(g, {0, 1, ~std::uint32_t{0}}), "");
+}
+
+TEST(Broadcast, SingleNode) {
+  Graph g = gen::Empty(1);
+  const auto r = FloodBroadcast(g, 0, 42, GreedyDistanceTwoColoring(g));
+  EXPECT_TRUE(r.AllInformed());
+  EXPECT_EQ(r.informed_at[0], 0u);
+}
+
+TEST(Broadcast, PathPropagatesInOrder) {
+  Graph g = gen::Path(10);
+  const auto r = FloodBroadcast(g, 0, 7, GreedyDistanceTwoColoring(g));
+  ASSERT_TRUE(r.AllInformed());
+  // Nodes farther along the path are informed later. (Node 1 can tie the
+  // source's definitional round 0 when the source's slot is round 0.)
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_GE(r.informed_at[v], r.informed_at[v - 1]) << "node " << v;
+  }
+  for (NodeId v = 2; v < 10; ++v) {
+    EXPECT_GT(r.informed_at[v], r.informed_at[v - 1]) << "node " << v;
+  }
+}
+
+TEST(Broadcast, InformsEveryConnectedNode) {
+  Rng rng(2);
+  const Graph graphs[] = {gen::Cycle(30), gen::Grid(6, 6), gen::Star(25),
+                          gen::RandomGeometric(80, 0.25, rng),
+                          gen::RandomTree(50, rng)};
+  for (const Graph& g : graphs) {
+    if (!g.IsConnected()) continue;
+    const auto r = FloodBroadcast(g, 0, 99, GreedyDistanceTwoColoring(g));
+    EXPECT_TRUE(r.AllInformed()) << "n=" << g.NumNodes();
+  }
+}
+
+TEST(Broadcast, DisconnectedComponentStaysUninformed) {
+  Graph g = gen::MatchingPlusIsolated(8);  // pairs {0,1},{2,3} + isolated
+  const auto r = FloodBroadcast(g, 0, 5, GreedyDistanceTwoColoring(g));
+  EXPECT_TRUE(r.informed[0]);
+  EXPECT_TRUE(r.informed[1]);
+  EXPECT_FALSE(r.informed[2]);
+  EXPECT_FALSE(r.informed[4]);
+}
+
+TEST(Broadcast, InformedRoundsTrackBfsDepth) {
+  // The frontier advances at least one hop per color cycle, so
+  // informed_at <= (dist + 1) * colors.
+  Rng rng(3);
+  Graph g = gen::RandomGeometric(70, 0.25, rng);
+  if (!g.IsConnected()) GTEST_SKIP();
+  const auto color = GreedyDistanceTwoColoring(g);
+  const auto colors = 1 + *std::max_element(color.begin(), color.end());
+  const auto r = FloodBroadcast(g, 0, 1, color);
+  ASSERT_TRUE(r.AllInformed());
+  const auto dist = g.BfsDistances(0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(r.informed_at[v],
+              static_cast<Round>(dist[v] + 1) * colors) << "node " << v;
+  }
+}
+
+TEST(Broadcast, EveryNodeTransmitsAtMostOnce) {
+  Rng rng(4);
+  Graph g = gen::RandomGeometric(60, 0.25, rng);
+  const auto r = FloodBroadcast(g, 0, 3, GreedyDistanceTwoColoring(g));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(r.energy.Of(v).transmit_rounds, 1u);
+  }
+}
+
+TEST(Broadcast, WorksWithDistributedColoringOnSquare) {
+  // The iterated-MIS coloring protocol run on G² yields a distance-2
+  // coloring of G (with the caveat documented in broadcast.hpp).
+  Rng rng(5);
+  Graph g = gen::RandomGeometric(40, 0.3, rng);
+  if (!g.IsConnected()) GTEST_SKIP();
+  const Graph sq = g.Square();
+  const ColoringParams params =
+      ColoringParams::Practical(sq.NumNodes(), sq.MaxDegree());
+  const ColoringResult coloring = ColorGraph(sq, params, 9);
+  ASSERT_TRUE(coloring.AllColored());
+  ASSERT_EQ(CheckDistanceTwoColoring(g, coloring.color), "");
+  const auto r = FloodBroadcast(g, 0, 11, coloring.color);
+  EXPECT_TRUE(r.AllInformed());
+}
+
+TEST(Broadcast, RejectsBadInput) {
+  Graph g = gen::Path(3);
+  EXPECT_THROW(FloodBroadcast(g, 5, 1, GreedyDistanceTwoColoring(g)),
+               PreconditionError);
+  EXPECT_THROW(FloodBroadcast(g, 0, 1, {0, 1, 0}), PreconditionError);
+}
+
+TEST(Broadcast, IsFullyDeterministic) {
+  Rng rng(6);
+  Graph g = gen::RandomGeometric(50, 0.25, rng);
+  const auto color = GreedyDistanceTwoColoring(g);
+  const auto a = FloodBroadcast(g, 0, 8, color);
+  const auto b = FloodBroadcast(g, 0, 8, color);
+  EXPECT_EQ(a.informed_at, b.informed_at);
+  EXPECT_EQ(a.stats.rounds_used, b.stats.rounds_used);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,202 @@
+#include "radio/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+// Star on 5 nodes: hub 0 with leaves 1..4.
+class ChannelTest : public ::testing::Test {
+ protected:
+  Graph star_ = gen::Star(5);
+};
+
+TEST_F(ChannelTest, CdSilence) {
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kSilence);
+}
+
+TEST_F(ChannelTest, CdSingleTransmitterDeliversPayload) {
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 0xABC);
+  const Reception r = ch.ResolveListener(0);
+  EXPECT_EQ(r.kind, ReceptionKind::kMessage);
+  EXPECT_EQ(r.payload, 0xABCu);
+  EXPECT_TRUE(r.Busy());
+}
+
+TEST_F(ChannelTest, CdTwoTransmittersCollide) {
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  ch.AddTransmitter(2, 2);
+  const Reception r = ch.ResolveListener(0);
+  EXPECT_EQ(r.kind, ReceptionKind::kCollision);
+  EXPECT_TRUE(r.Busy());
+}
+
+TEST_F(ChannelTest, NoCdCollisionIsSilence) {
+  Channel ch(star_, ChannelModel::kNoCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  ch.AddTransmitter(2, 2);
+  const Reception r = ch.ResolveListener(0);
+  EXPECT_EQ(r.kind, ReceptionKind::kSilence);
+  EXPECT_FALSE(r.Busy());
+}
+
+TEST_F(ChannelTest, NoCdSingleTransmitterStillDelivers) {
+  Channel ch(star_, ChannelModel::kNoCd);
+  ch.BeginRound();
+  ch.AddTransmitter(3, 7);
+  const Reception r = ch.ResolveListener(0);
+  EXPECT_EQ(r.kind, ReceptionKind::kMessage);
+  EXPECT_EQ(r.payload, 7u);
+}
+
+TEST_F(ChannelTest, BeepingAnyTransmitterBeeps) {
+  Channel ch(star_, ChannelModel::kBeeping);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kBeep);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  ch.AddTransmitter(2, 1);
+  ch.AddTransmitter(3, 1);
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kBeep);
+  ch.BeginRound();
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kSilence);
+}
+
+TEST_F(ChannelTest, OnlyNeighborsHear) {
+  // Leaf 1 transmits: hub 0 hears; leaves 2..4 are not adjacent to 1.
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 9);
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kMessage);
+  EXPECT_EQ(ch.ResolveListener(2).kind, ReceptionKind::kSilence);
+  EXPECT_EQ(ch.ResolveListener(3).kind, ReceptionKind::kSilence);
+}
+
+TEST_F(ChannelTest, TransmitterDoesNotHearItself) {
+  // Radio: a node cannot send and receive in the same round. The scheduler
+  // never resolves a transmitter as listener, but the channel must also not
+  // count a node as its own neighbor.
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(0, 5);
+  // Hub transmitting: all leaves hear it; hub's own "reception" (were it to
+  // listen, which it cannot) would be silence since it has no transmitting
+  // neighbor.
+  EXPECT_EQ(ch.ResolveListener(1).kind, ReceptionKind::kMessage);
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kSilence);
+}
+
+TEST_F(ChannelTest, EpochResetsBetweenRounds) {
+  Channel ch(star_, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kMessage);
+  ch.BeginRound();
+  EXPECT_EQ(ch.ResolveListener(0).kind, ReceptionKind::kSilence);
+  EXPECT_EQ(ch.TransmittingNeighbors(0), 0u);
+}
+
+TEST_F(ChannelTest, TransmittingNeighborsCount) {
+  Channel ch(star_, ChannelModel::kNoCd);
+  ch.BeginRound();
+  ch.AddTransmitter(1, 1);
+  ch.AddTransmitter(2, 1);
+  ch.AddTransmitter(4, 1);
+  EXPECT_EQ(ch.TransmittingNeighbors(0), 3u);
+  EXPECT_EQ(ch.TransmittingNeighbors(3), 0u);
+}
+
+TEST(ChannelPath, MessageScopesAreLocal) {
+  // Path 0-1-2-3: 0 and 3 transmit; 1 hears only 0, 2 hears only 3.
+  Graph path = gen::Path(4);
+  Channel ch(path, ChannelModel::kCd);
+  ch.BeginRound();
+  ch.AddTransmitter(0, 100);
+  ch.AddTransmitter(3, 200);
+  EXPECT_EQ(ch.ResolveListener(1).payload, 100u);
+  EXPECT_EQ(ch.ResolveListener(2).payload, 200u);
+}
+
+TEST(ChannelProperty, MatchesBruteForceOnRandomRounds) {
+  // The epoch-stamped incremental channel must agree with a from-scratch
+  // quadratic recomputation for random graphs and random transmitter sets,
+  // across all three models.
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId n = 5 + static_cast<NodeId>(rng.UniformBelow(40));
+    const Graph g = gen::ErdosRenyi(n, 0.2, rng);
+    for (ChannelModel model :
+         {ChannelModel::kCd, ChannelModel::kNoCd, ChannelModel::kBeeping}) {
+      Channel ch(g, model);
+      for (int round = 0; round < 5; ++round) {
+        // Random transmitter set with random payloads.
+        std::vector<std::uint64_t> payload(n, 0);
+        std::vector<bool> transmits(n, false);
+        ch.BeginRound();
+        for (NodeId v = 0; v < n; ++v) {
+          if (rng.Bernoulli(0.3)) {
+            transmits[v] = true;
+            payload[v] = 1 + rng.UniformBelow(1000);
+            ch.AddTransmitter(v, payload[v]);
+          }
+        }
+        for (NodeId v = 0; v < n; ++v) {
+          if (transmits[v]) continue;  // transmitters never listen
+          // Brute force: count transmitting neighbors.
+          std::uint32_t count = 0;
+          std::uint64_t only_payload = 0;
+          for (NodeId w : g.Neighbors(v)) {
+            if (transmits[w]) {
+              ++count;
+              only_payload = payload[w];
+            }
+          }
+          Reception expected;
+          if (count == 0) {
+            expected = {ReceptionKind::kSilence, 0};
+          } else if (model == ChannelModel::kBeeping) {
+            expected = {ReceptionKind::kBeep, 0};
+          } else if (count == 1) {
+            expected = {ReceptionKind::kMessage, only_payload};
+          } else {
+            expected = model == ChannelModel::kCd
+                           ? Reception{ReceptionKind::kCollision, 0}
+                           : Reception{ReceptionKind::kSilence, 0};
+          }
+          EXPECT_EQ(ch.ResolveListener(v), expected)
+              << "trial " << trial << " model " << ToString(model) << " node " << v;
+          EXPECT_EQ(ch.TransmittingNeighbors(v), count);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChannelPath, MiddleNodeCollision) {
+  // Path 0-1-2: both ends transmit; middle hears a CD collision.
+  Graph path = gen::Path(3);
+  Channel cd(path, ChannelModel::kCd);
+  cd.BeginRound();
+  cd.AddTransmitter(0, 1);
+  cd.AddTransmitter(2, 1);
+  EXPECT_EQ(cd.ResolveListener(1).kind, ReceptionKind::kCollision);
+
+  Channel nocd(path, ChannelModel::kNoCd);
+  nocd.BeginRound();
+  nocd.AddTransmitter(0, 1);
+  nocd.AddTransmitter(2, 1);
+  EXPECT_EQ(nocd.ResolveListener(1).kind, ReceptionKind::kSilence);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,104 @@
+#include "verify/mis_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+using S = MisStatus;
+
+TEST(Checker, AcceptsValidMis) {
+  // Path 0-1-2-3: {0, 2} is an MIS... but 3 must be dominated: 2 is in. OK.
+  Graph g = gen::Path(4);
+  const std::vector<S> status = {S::kInMis, S::kOutMis, S::kInMis, S::kOutMis};
+  const MisReport r = CheckMis(g, status);
+  EXPECT_TRUE(r.IsValidMis());
+  EXPECT_TRUE(r.Describe().empty());
+}
+
+TEST(Checker, DetectsUndecided) {
+  Graph g = gen::Path(3);
+  const std::vector<S> status = {S::kInMis, S::kOutMis, S::kUndecided};
+  const MisReport r = CheckMis(g, status);
+  EXPECT_FALSE(r.IsValidMis());
+  EXPECT_FALSE(r.Decided());
+  ASSERT_EQ(r.undecided.size(), 1u);
+  EXPECT_EQ(r.undecided[0], 2u);
+  EXPECT_TRUE(r.Independent());
+  EXPECT_NE(r.Describe().find("undecided"), std::string::npos);
+}
+
+TEST(Checker, DetectsDependentEdge) {
+  Graph g = gen::Path(3);
+  const std::vector<S> status = {S::kInMis, S::kInMis, S::kOutMis};
+  const MisReport r = CheckMis(g, status);
+  EXPECT_FALSE(r.IsValidMis());
+  ASSERT_EQ(r.dependent_edges.size(), 1u);
+  EXPECT_EQ(r.dependent_edges[0], (Edge{0, 1}));
+  EXPECT_NE(r.Describe().find("intra-set"), std::string::npos);
+}
+
+TEST(Checker, DetectsUndominated) {
+  // Path of 3, only node 0 in MIS: node 2 is out but has no MIS neighbor.
+  Graph g = gen::Path(3);
+  const std::vector<S> status = {S::kInMis, S::kOutMis, S::kOutMis};
+  const MisReport r = CheckMis(g, status);
+  EXPECT_FALSE(r.IsValidMis());
+  ASSERT_EQ(r.undominated.size(), 1u);
+  EXPECT_EQ(r.undominated[0], 2u);
+  EXPECT_NE(r.Describe().find("undominated"), std::string::npos);
+}
+
+TEST(Checker, IsolatedOutNodeIsUndominated) {
+  Graph g = gen::Empty(2);
+  const std::vector<S> status = {S::kInMis, S::kOutMis};
+  const MisReport r = CheckMis(g, status);
+  ASSERT_EQ(r.undominated.size(), 1u);
+  EXPECT_EQ(r.undominated[0], 1u);
+}
+
+TEST(Checker, EmptyGraphTrivallyValid) {
+  Graph g;
+  EXPECT_TRUE(CheckMis(g, {}).IsValidMis());
+}
+
+TEST(Checker, AllInMisOnEdgelessGraphValid) {
+  Graph g = gen::Empty(5);
+  const std::vector<S> status(5, S::kInMis);
+  EXPECT_TRUE(CheckMis(g, status).IsValidMis());
+}
+
+TEST(Checker, SizeMismatchRejected) {
+  Graph g = gen::Path(3);
+  const std::vector<S> status = {S::kInMis, S::kOutMis};
+  EXPECT_THROW(CheckMis(g, status), PreconditionError);
+}
+
+TEST(Checker, MultipleViolationsAllReported) {
+  // Triangle with everyone in the MIS: 3 dependent edges.
+  Graph g = gen::Cycle(3);
+  const std::vector<S> status(3, S::kInMis);
+  const MisReport r = CheckMis(g, status);
+  EXPECT_EQ(r.dependent_edges.size(), 3u);
+}
+
+TEST(Checker, DescribeTruncatesLongLists) {
+  Graph g = gen::Empty(50);
+  const std::vector<S> status(50, S::kUndecided);
+  const MisReport r = CheckMis(g, status);
+  EXPECT_EQ(r.undecided.size(), 50u);
+  const std::string desc = r.Describe();
+  EXPECT_NE(desc.find("..."), std::string::npos);
+}
+
+TEST(Checker, IsValidMisHelperAgrees) {
+  Graph g = gen::Path(2);
+  EXPECT_TRUE(IsValidMis(g, {S::kInMis, S::kOutMis}));
+  EXPECT_FALSE(IsValidMis(g, {S::kInMis, S::kInMis}));
+  EXPECT_FALSE(IsValidMis(g, {S::kOutMis, S::kOutMis}));
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,117 @@
+#include "apps/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+ColoringResult Color(const Graph& g, std::uint64_t seed) {
+  const ColoringParams params = ColoringParams::Practical(
+      std::max<NodeId>(g.NumNodes(), 2), g.MaxDegree());
+  return ColorGraph(g, params, seed);
+}
+
+TEST(Coloring, SingleNodeGetsColorZero) {
+  const auto r = Color(gen::Empty(1), 1);
+  EXPECT_TRUE(r.AllColored());
+  EXPECT_EQ(r.color[0], 0u);
+  EXPECT_EQ(r.colors_used, 1u);
+}
+
+TEST(Coloring, EdgelessGraphIsMonochromatic) {
+  const auto r = Color(gen::Empty(12), 2);
+  EXPECT_TRUE(r.AllColored());
+  EXPECT_EQ(r.colors_used, 1u);
+}
+
+TEST(Coloring, PathUsesFewColors) {
+  Graph g = gen::Path(40);
+  const auto r = Color(g, 3);
+  EXPECT_EQ(CheckColoring(g, r, ColoringParams::Practical(40, 2).max_colors), "");
+  // Path is 2-colorable; iterated MIS typically needs 2-3.
+  EXPECT_LE(r.colors_used, 4u);
+}
+
+TEST(Coloring, CompleteGraphNeedsExactlyN) {
+  Graph g = gen::Complete(10);
+  const auto r = Color(g, 4);
+  EXPECT_EQ(CheckColoring(g, r, ColoringParams::Practical(10, 9).max_colors), "");
+  EXPECT_EQ(r.colors_used, 10u);  // χ(K_10) = 10, one new color per epoch
+}
+
+TEST(Coloring, ValidAcrossFamilies) {
+  Rng rng(5);
+  const Graph graphs[] = {
+      gen::Cycle(31),
+      gen::Grid(6, 6),
+      gen::Star(25),
+      gen::ErdosRenyi(100, 0.08, rng),
+      gen::RandomGeometric(80, 0.2, rng),
+      gen::DisjointCliques(5, 5),
+      gen::CompleteBipartite(10, 12),
+  };
+  std::uint64_t seed = 20;
+  for (const Graph& g : graphs) {
+    const ColoringParams params = ColoringParams::Practical(
+        std::max<NodeId>(g.NumNodes(), 2), g.MaxDegree());
+    const auto r = ColorGraph(g, params, seed++);
+    EXPECT_EQ(CheckColoring(g, r, params.max_colors), "")
+        << "n=" << g.NumNodes() << " Δ=" << g.MaxDegree();
+  }
+}
+
+TEST(Coloring, ColorsStayNearDeltaPlusOne) {
+  // The structural bound: node v is colored by epoch deg(v)+1 when every
+  // epoch is maximal, so colors_used <= Δ+1 whp (budget adds slack only for
+  // the undecided tail).
+  Rng rng(6);
+  Graph g = gen::NearRegular(120, 6, rng);
+  const auto r = Color(g, 7);
+  const ColoringParams params = ColoringParams::Practical(120, g.MaxDegree());
+  ASSERT_EQ(CheckColoring(g, r, params.max_colors), "");
+  EXPECT_LE(r.colors_used, g.MaxDegree() + 1);
+}
+
+TEST(Coloring, BipartiteOftenUsesFewColors) {
+  Graph g = gen::CompleteBipartite(15, 15);
+  const auto r = Color(g, 8);
+  const ColoringParams params = ColoringParams::Practical(30, 15);
+  ASSERT_EQ(CheckColoring(g, r, params.max_colors), "");
+  // Each epoch's MIS in K_{a,b} is one full side: 2 colors, always.
+  EXPECT_EQ(r.colors_used, 2u);
+}
+
+TEST(Coloring, DeterministicGivenSeed) {
+  Rng rng(9);
+  Graph g = gen::ErdosRenyi(60, 0.1, rng);
+  const auto a = Color(g, 11);
+  const auto b = Color(g, 11);
+  EXPECT_EQ(a.color, b.color);
+}
+
+TEST(Coloring, RoundsWithinSchedule) {
+  Rng rng(10);
+  Graph g = gen::ErdosRenyi(80, 0.1, rng);
+  const ColoringParams params = ColoringParams::Practical(80, g.MaxDegree());
+  const auto r = ColorGraph(g, params, 2);
+  ASSERT_EQ(CheckColoring(g, r, params.max_colors), "");
+  EXPECT_LE(r.stats.rounds_used, params.TotalRounds());
+}
+
+TEST(Coloring, CheckerCatchesViolations) {
+  Graph g = gen::Path(3);
+  ColoringResult bad;
+  bad.color = {0, 0, 1};  // monochromatic edge 0-1
+  EXPECT_NE(CheckColoring(g, bad, 5), "");
+  bad.color = {0, kUncolored, 0};  // uncolored node
+  EXPECT_NE(CheckColoring(g, bad, 5), "");
+  bad.color = {0, 7, 0};  // out of budget
+  EXPECT_NE(CheckColoring(g, bad, 5), "");
+  bad.color = {0, 1, 0};
+  EXPECT_EQ(CheckColoring(g, bad, 5), "");
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,125 @@
+// Tests for the unknown-Δ doubling scheme (paper §1.1 footnote).
+#include "core/delta_doubling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+#include "verify/mis_checker.hpp"
+
+namespace emis {
+namespace {
+
+TEST(DeltaDoubling, GuessSequenceShape) {
+  DeltaDoublingParams p = DeltaDoublingParams::Practical(1024);
+  const auto guesses = p.Guesses();
+  // 2, 4, 16, 256, then capped at 1024.
+  ASSERT_EQ(guesses.size(), 5u);
+  EXPECT_EQ(guesses[0], 2u);
+  EXPECT_EQ(guesses[1], 4u);
+  EXPECT_EQ(guesses[2], 16u);
+  EXPECT_EQ(guesses[3], 256u);
+  EXPECT_EQ(guesses[4], 1024u);
+}
+
+TEST(DeltaDoubling, GuessSequenceSmallN) {
+  EXPECT_EQ(DeltaDoublingParams{.n = 1}.Guesses(), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(DeltaDoublingParams{.n = 2}.Guesses(), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(DeltaDoublingParams{.n = 3}.Guesses(),
+            (std::vector<std::uint32_t>{2, 3}));
+  // Ends exactly at n, strictly increasing.
+  for (std::uint64_t n : {17ULL, 100ULL, 65537ULL}) {
+    const auto g = DeltaDoublingParams{.n = n}.Guesses();
+    EXPECT_EQ(g.back(), n);
+    for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+  }
+}
+
+MisRunResult RunUnknownDelta(const Graph& g, std::uint64_t seed) {
+  return RunMis(g, {.algorithm = MisAlgorithm::kNoCdUnknownDelta, .seed = seed});
+}
+
+TEST(DeltaDoubling, ValidOnLowDegreeGraphs) {
+  // Early guesses (Δ = 2, 4) already fit these; later epochs must not
+  // destroy the standing MIS.
+  Rng rng(1);
+  const Graph graphs[] = {gen::Path(24), gen::Cycle(20),
+                          gen::MatchingPlusIsolated(32), gen::RandomTree(30, rng)};
+  std::uint64_t seed = 5;
+  for (const Graph& g : graphs) {
+    auto r = RunUnknownDelta(g, seed++);
+    EXPECT_TRUE(r.Valid()) << "n=" << g.NumNodes() << ": " << r.report.Describe();
+  }
+}
+
+TEST(DeltaDoubling, ValidOnHighDegreeGraphs) {
+  // Here the early guesses are badly wrong (windows too narrow, collisions
+  // look like silence, false winners galore) — verification must demote the
+  // violators and the Δ >= true-degree epochs must repair everything.
+  Rng rng(2);
+  const Graph graphs[] = {gen::Star(40), gen::Complete(24),
+                          gen::ErdosRenyi(64, 0.3, rng),
+                          gen::CompleteBipartite(12, 20)};
+  std::uint64_t seed = 21;
+  for (const Graph& g : graphs) {
+    auto r = RunUnknownDelta(g, seed++);
+    EXPECT_TRUE(r.Valid()) << "n=" << g.NumNodes() << " Δ=" << g.MaxDegree()
+                           << ": " << r.report.Describe();
+  }
+}
+
+TEST(DeltaDoubling, RepeatedSeedsOnDenseGraph) {
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(48, 0.4, rng);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto r = RunUnknownDelta(g, seed);
+    EXPECT_TRUE(r.Valid()) << "seed " << seed << ": " << r.report.Describe();
+  }
+}
+
+TEST(DeltaDoubling, DeterministicGivenSeed) {
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(40, 0.2, rng);
+  auto a = RunUnknownDelta(g, 9);
+  auto b = RunUnknownDelta(g, 9);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.energy.MaxAwake(), b.energy.MaxAwake());
+}
+
+TEST(DeltaDoubling, RoundsWithinTotalSchedule) {
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(48, 0.25, rng);
+  auto r = RunUnknownDelta(g, 3);
+  ASSERT_TRUE(r.Valid());
+  const auto p = DeltaDoublingParams::Practical(48);
+  EXPECT_LE(r.stats.rounds_used, DeltaDoublingTotalRounds(p));
+}
+
+TEST(DeltaDoubling, EnergyOverheadIsModest) {
+  // §1.1 promises an O(log log n) energy factor over the known-Δ run. With
+  // log log n ≈ 3 at this scale, assert the measured factor stays small.
+  Rng rng(6);
+  const Graph g = gen::ErdosRenyi(96, 8.0 / 96, rng);
+  std::uint64_t unknown = 0, known = 0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto ru = RunUnknownDelta(g, seed);
+    auto rk = RunMis(g, {.algorithm = MisAlgorithm::kNoCd, .seed = seed});
+    ASSERT_TRUE(ru.Valid() && rk.Valid());
+    unknown += ru.energy.MaxAwake();
+    known += rk.energy.MaxAwake();
+  }
+  EXPECT_LT(unknown, known * 8);
+}
+
+TEST(DeltaDoubling, SingleNodeAndEdgeless) {
+  auto r1 = RunUnknownDelta(gen::Empty(1), 1);
+  ASSERT_TRUE(r1.Valid());
+  EXPECT_EQ(r1.status[0], MisStatus::kInMis);
+  auto r2 = RunUnknownDelta(gen::Empty(7), 2);
+  ASSERT_TRUE(r2.Valid());
+  EXPECT_EQ(r2.MisSize(), 7u);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,65 @@
+#include "radio/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emis {
+namespace {
+
+TEST(EnergyMeter, StartsAtZero) {
+  EnergyMeter m(4);
+  EXPECT_EQ(m.MaxAwake(), 0u);
+  EXPECT_EQ(m.AverageAwake(), 0.0);
+  EXPECT_EQ(m.TotalAwake(), 0u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(m.Of(v).Awake(), 0u);
+}
+
+TEST(EnergyMeter, ChargesSeparately) {
+  EnergyMeter m(2);
+  m.ChargeTransmit(0);
+  m.ChargeTransmit(0);
+  m.ChargeListen(0);
+  m.ChargeListen(1);
+  EXPECT_EQ(m.Of(0).transmit_rounds, 2u);
+  EXPECT_EQ(m.Of(0).listen_rounds, 1u);
+  EXPECT_EQ(m.Of(0).Awake(), 3u);
+  EXPECT_EQ(m.Of(1).Awake(), 1u);
+  EXPECT_EQ(m.TotalTransmit(), 2u);
+  EXPECT_EQ(m.TotalListen(), 2u);
+}
+
+TEST(EnergyMeter, MaxAndAverage) {
+  EnergyMeter m(4);
+  for (int i = 0; i < 10; ++i) m.ChargeListen(2);
+  m.ChargeTransmit(0);
+  EXPECT_EQ(m.MaxAwake(), 10u);
+  EXPECT_DOUBLE_EQ(m.AverageAwake(), 11.0 / 4.0);
+  EXPECT_EQ(m.TotalAwake(), 11u);
+}
+
+TEST(EnergyMeter, Percentiles) {
+  EnergyMeter m(5);
+  // Awake counts: 0, 1, 2, 3, 4.
+  for (NodeId v = 0; v < 5; ++v) {
+    for (NodeId i = 0; i < v; ++i) m.ChargeListen(v);
+  }
+  EXPECT_EQ(m.PercentileAwake(0), 0u);
+  EXPECT_EQ(m.PercentileAwake(50), 2u);
+  EXPECT_EQ(m.PercentileAwake(100), 4u);
+  EXPECT_THROW(m.PercentileAwake(101), PreconditionError);
+  EXPECT_THROW(m.PercentileAwake(-1), PreconditionError);
+}
+
+TEST(EnergyMeter, OutOfRangeRejected) {
+  EnergyMeter m(2);
+  EXPECT_THROW(m.Of(2), PreconditionError);
+}
+
+TEST(EnergyMeter, EmptyMeter) {
+  EnergyMeter m(0);
+  EXPECT_EQ(m.MaxAwake(), 0u);
+  EXPECT_EQ(m.AverageAwake(), 0.0);
+  EXPECT_EQ(m.PercentileAwake(50), 0u);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,98 @@
+#include "verify/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emis {
+namespace {
+
+TEST(Experiment, SweepAggregatesAllRuns) {
+  SweepConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.factory = families::SparseErdosRenyi(4.0);
+  cfg.sizes = {32, 64};
+  cfg.seeds_per_size = 4;
+  const auto points = RunSweep(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.runs, 4u);
+    EXPECT_EQ(p.max_energy.count, 4u);
+    EXPECT_GT(p.max_energy.mean, 0.0);
+    EXPECT_GT(p.mis_size.mean, 0.0);
+    EXPECT_LE(p.failures, p.runs);
+  }
+  EXPECT_EQ(points[0].n, 32u);
+  EXPECT_EQ(points[1].n, 64u);
+}
+
+TEST(Experiment, SweepIsDeterministic) {
+  SweepConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.factory = families::StarFamily();
+  cfg.sizes = {40};
+  cfg.seeds_per_size = 3;
+  const auto a = RunSweep(cfg);
+  const auto b = RunSweep(cfg);
+  EXPECT_EQ(a[0].max_energy.mean, b[0].max_energy.mean);
+  EXPECT_EQ(a[0].rounds.mean, b[0].rounds.mean);
+}
+
+TEST(Experiment, FamiliesProduceExpectedShapes) {
+  Rng rng(1);
+  const Graph er = families::SparseErdosRenyi(6.0)(300, rng);
+  EXPECT_NEAR(2.0 * static_cast<double>(er.NumEdges()) / 300.0, 6.0, 2.0);
+
+  const Graph poly = families::PolynomialDegreeErdosRenyi()(400, rng);
+  // Expected degree ~ sqrt(n) = 20.
+  EXPECT_GT(poly.MaxDegree(), 10u);
+
+  const Graph udg = families::UnitDisk(5.0)(300, rng);
+  EXPECT_GT(udg.NumEdges(), 100u);
+
+  const Graph lb = families::LowerBoundFamily()(64, rng);
+  EXPECT_EQ(lb.NumEdges(), 16u);
+
+  EXPECT_EQ(families::StarFamily()(10, rng).MaxDegree(), 9u);
+  EXPECT_EQ(families::CompleteFamily()(8, rng).NumEdges(), 28u);
+  EXPECT_EQ(families::TreeFamily()(30, rng).NumEdges(), 29u);
+}
+
+TEST(Experiment, ExtractorsAlign) {
+  SweepConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.factory = families::TreeFamily();
+  cfg.sizes = {16, 32, 64};
+  cfg.seeds_per_size = 2;
+  const auto points = RunSweep(cfg);
+  const auto n = Sizes(points);
+  const auto e = MeanMaxEnergy(points);
+  const auto r = MeanRounds(points);
+  ASSERT_EQ(n.size(), 3u);
+  ASSERT_EQ(e.size(), 3u);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(n[2], 64.0);
+  for (double v : e) EXPECT_GT(v, 0.0);
+  for (double v : r) EXPECT_GT(v, 0.0);
+}
+
+TEST(Experiment, RenderSweepMentionsEverySize) {
+  SweepConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.factory = families::SparseErdosRenyi(4.0);
+  cfg.sizes = {20, 40};
+  cfg.seeds_per_size = 2;
+  const auto points = RunSweep(cfg);
+  const std::string out = RenderSweep("demo sweep", points);
+  EXPECT_NE(out.find("demo sweep"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);
+  EXPECT_NE(out.find("2/2"), std::string::npos);
+}
+
+TEST(Experiment, MissingFactoryRejected) {
+  SweepConfig cfg;
+  cfg.sizes = {8};
+  EXPECT_THROW(RunSweep(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace emis

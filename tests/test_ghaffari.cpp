@@ -1,0 +1,122 @@
+// Tests for the Ghaffari-style round-efficient MIS (§4.2 reconstruction).
+#include "core/ghaffari_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+#include "verify/mis_checker.hpp"
+
+namespace emis {
+namespace {
+
+MisRunResult RunG(const Graph& g, std::uint64_t seed) {
+  return RunMis(g, {.algorithm = MisAlgorithm::kNoCdRoundEfficient, .seed = seed});
+}
+
+TEST(Ghaffari, IsolatedAndTinyGraphs) {
+  auto r1 = RunG(gen::Empty(1), 1);
+  ASSERT_TRUE(r1.Valid()) << r1.report.Describe();
+  EXPECT_EQ(r1.status[0], MisStatus::kInMis);
+  auto r5 = RunG(gen::Empty(5), 2);
+  ASSERT_TRUE(r5.Valid());
+  EXPECT_EQ(r5.MisSize(), 5u);
+  auto r2 = RunG(gen::Path(2), 3);
+  ASSERT_TRUE(r2.Valid()) << r2.report.Describe();
+  EXPECT_EQ(r2.MisSize(), 1u);
+}
+
+TEST(Ghaffari, ValidOnFamilies) {
+  Rng rng(1);
+  const Graph graphs[] = {
+      gen::Path(30),      gen::Cycle(24),
+      gen::Star(28),      gen::Complete(16),
+      gen::Grid(5, 6),    gen::ErdosRenyi(80, 0.08, rng),
+      gen::ErdosRenyi(64, 0.25, rng),  // dense: exercises the p-halving
+      gen::DisjointCliques(4, 6),      gen::MatchingPlusIsolated(40),
+      gen::RandomTree(40, rng),
+  };
+  std::uint64_t seed = 10;
+  for (const Graph& g : graphs) {
+    auto r = RunG(g, seed++);
+    EXPECT_TRUE(r.Valid()) << "n=" << g.NumNodes() << " m=" << g.NumEdges()
+                           << ": " << r.report.Describe();
+  }
+}
+
+TEST(Ghaffari, RepeatedSeedsOnModerateGraph) {
+  Rng rng(2);
+  Graph g = gen::ErdosRenyi(96, 8.0 / 96, rng);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto r = RunG(g, seed);
+    EXPECT_TRUE(r.Valid()) << "seed " << seed << ": " << r.report.Describe();
+  }
+}
+
+TEST(Ghaffari, DeterministicGivenSeed) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyi(48, 0.1, rng);
+  auto a = RunG(g, 7);
+  auto b = RunG(g, 7);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stats.rounds_used, b.stats.rounds_used);
+}
+
+TEST(Ghaffari, RoundsWithinScheduleAndBelowNaiveSimulation) {
+  // The whole point of §4.2: fewer rounds than the naive simulation of
+  // Algorithm 1 at the same degree bound.
+  Rng rng(4);
+  Graph g = gen::ErdosRenyi(256, 8.0 / 256, rng);
+  MisRunConfig cfg{.algorithm = MisAlgorithm::kNoCdRoundEfficient, .seed = 5,
+                   .delta_estimate = 256};
+  auto fast = RunMis(g, cfg);
+  ASSERT_TRUE(fast.Valid()) << fast.report.Describe();
+  EXPECT_LE(fast.stats.rounds_used,
+            GhaffariParams::Practical(256, 256).TotalRounds());
+
+  auto naive = RunMis(g, {.algorithm = MisAlgorithm::kNoCdDaviesProfile,
+                          .seed = 5, .delta_estimate = 256});
+  ASSERT_TRUE(naive.Valid());
+  EXPECT_LT(fast.stats.rounds_used, naive.stats.rounds_used);
+}
+
+TEST(Ghaffari, AsLowDegreeMisInsideAlgorithm2) {
+  // Algorithm 2 with LowDegreeKind::kGhaffari: same correctness, shorter T_G.
+  Rng rng(5);
+  Graph g = gen::ErdosRenyi(96, 0.15, rng);
+  MisRunConfig base{.algorithm = MisAlgorithm::kNoCd, .seed = 3};
+  MisRunConfig ghaf = base;
+  ghaf.nocd_params = DeriveNoCdParams(g, base);
+  ghaf.nocd_params->low_degree_kind = LowDegreeKind::kGhaffari;
+
+  auto r = RunMis(g, ghaf);
+  EXPECT_TRUE(r.Valid()) << r.report.Describe();
+
+  const NoCdSchedule sched_naive = NoCdSchedule::Of(DeriveNoCdParams(g, base));
+  const NoCdSchedule sched_ghaf = NoCdSchedule::Of(*ghaf.nocd_params);
+  EXPECT_LT(sched_ghaf.low_degree, sched_naive.low_degree);
+}
+
+TEST(Ghaffari, Algorithm2WithGhaffariAcrossSeeds) {
+  Rng rng(6);
+  Graph g = gen::ErdosRenyi(80, 8.0 / 80, rng);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    MisRunConfig cfg{.algorithm = MisAlgorithm::kNoCd, .seed = seed};
+    cfg.nocd_params = DeriveNoCdParams(g, cfg);
+    cfg.nocd_params->low_degree_kind = LowDegreeKind::kGhaffari;
+    auto r = RunMis(g, cfg);
+    EXPECT_TRUE(r.Valid()) << "seed " << seed << ": " << r.report.Describe();
+  }
+}
+
+TEST(Ghaffari, ScheduleArithmetic) {
+  const GhaffariParams p = GhaffariParams::Practical(256, 32);
+  EXPECT_EQ(p.Levels(), CeilLog2(32) + 2);
+  EXPECT_EQ(p.IterationRounds(),
+            p.MarkExchangeRounds() + p.AnnounceRounds() + p.EstimateRounds());
+  EXPECT_EQ(p.TotalRounds(), p.iterations * p.IterationRounds());
+}
+
+}  // namespace
+}  // namespace emis

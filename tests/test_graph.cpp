@@ -1,0 +1,155 @@
+#include "radio/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace emis {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, EdgelessGraph) {
+  Graph g = GraphBuilder(5).Build();
+  EXPECT_EQ(g.NumNodes(), 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  Graph g = Graph::FromEdges(6, {{3, 5}, {3, 1}, {3, 4}, {3, 0}});
+  const auto nbrs = g.Neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, EdgeOrientationNormalized) {
+  Graph g = Graph::FromEdges(4, {{2, 0}, {3, 1}});
+  const auto edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 3}));
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.AddEdge(1, 1), PreconditionError);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.AddEdge(0, 3), PreconditionError);
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  EXPECT_THROW(g.Degree(3), PreconditionError);
+  EXPECT_THROW((void)g.Neighbors(7), PreconditionError);
+  EXPECT_THROW(g.HasEdge(0, 9), PreconditionError);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same edge, opposite orientation
+  EXPECT_THROW(std::move(b).Build(), PreconditionError);
+}
+
+TEST(GraphBuilder, AddEdgeIfAbsent) {
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdgeIfAbsent(0, 1));
+  EXPECT_FALSE(b.AddEdgeIfAbsent(1, 0));
+  EXPECT_FALSE(b.AddEdgeIfAbsent(2, 2));  // self-loop: not added, no throw
+  EXPECT_TRUE(b.AddEdgeIfAbsent(2, 3));
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilder, MixedStylesStayConsistent) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  EXPECT_FALSE(b.AddEdgeIfAbsent(1, 0));  // must see the AddEdge edge
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(Graph, InducedSubgraph) {
+  // Path 0-1-2-3-4; induce {0, 2, 3}: only edge 2-3 survives.
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<NodeId> pick = {3, 0, 2};  // intentionally unsorted
+  auto sub = g.Induced(pick);
+  EXPECT_EQ(sub.graph.NumNodes(), 3u);
+  EXPECT_EQ(sub.graph.NumEdges(), 1u);
+  // to_original is sorted: [0, 2, 3]; the edge joins subgraph ids 1 and 2.
+  ASSERT_EQ(sub.to_original, (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_TRUE(sub.graph.HasEdge(1, 2));
+  EXPECT_FALSE(sub.graph.HasEdge(0, 1));
+}
+
+TEST(Graph, InducedRejectsDuplicates) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  const std::vector<NodeId> pick = {1, 1};
+  EXPECT_THROW((void)g.Induced(pick), PreconditionError);
+}
+
+TEST(Graph, InducedEmptySelection) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  auto sub = g.Induced(std::vector<NodeId>{});
+  EXPECT_EQ(sub.graph.NumNodes(), 0u);
+}
+
+TEST(Graph, ConnectedComponents) {
+  // Two triangles and an isolated node.
+  Graph g = Graph::FromEdges(7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  std::vector<std::uint32_t> comp;
+  EXPECT_EQ(g.ConnectedComponents(comp), 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_NE(comp[6], comp[3]);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  Graph g = GraphBuilder(1).Build();
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(Graph, MaxDegreeOnStar) {
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.AddEdge(0, v);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.MaxDegree(), 5u);
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(Graph, EdgeListRoundTrips) {
+  const std::vector<Edge> edges = {{0, 3}, {1, 2}, {2, 3}};
+  Graph g = Graph::FromEdges(4, edges);
+  Graph g2 = Graph::FromEdges(4, g.EdgeList());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  for (const Edge& e : edges) EXPECT_TRUE(g2.HasEdge(e.u, e.v));
+}
+
+}  // namespace
+}  // namespace emis

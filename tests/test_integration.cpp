@@ -1,0 +1,158 @@
+// Cross-module property sweeps: every algorithm × topology family × seed
+// must produce a valid MIS, and invariants hold across the board.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/greedy_mis.hpp"
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "verify/mis_checker.hpp"
+
+namespace emis {
+namespace {
+
+struct Family {
+  const char* name;
+  Graph (*build)(std::uint64_t topo_seed);
+};
+
+Graph BuildPath(std::uint64_t) { return gen::Path(25); }
+Graph BuildCycle(std::uint64_t) { return gen::Cycle(24); }
+Graph BuildStar(std::uint64_t) { return gen::Star(30); }
+Graph BuildGrid(std::uint64_t) { return gen::Grid(5, 6); }
+Graph BuildComplete(std::uint64_t) { return gen::Complete(14); }
+Graph BuildSparseEr(std::uint64_t s) {
+  Rng rng(s);
+  return gen::ErdosRenyi(70, 5.0 / 70, rng);
+}
+Graph BuildDenseEr(std::uint64_t s) {
+  Rng rng(s + 1000);
+  return gen::ErdosRenyi(48, 0.3, rng);
+}
+Graph BuildUdg(std::uint64_t s) {
+  Rng rng(s + 2000);
+  return gen::RandomGeometric(60, 0.2, rng);
+}
+Graph BuildTree(std::uint64_t s) {
+  Rng rng(s + 3000);
+  return gen::RandomTree(50, rng);
+}
+Graph BuildMatching(std::uint64_t) { return gen::MatchingPlusIsolated(48); }
+Graph BuildCliques(std::uint64_t) { return gen::DisjointCliques(5, 5); }
+Graph BuildBipartite(std::uint64_t) { return gen::CompleteBipartite(10, 14); }
+
+constexpr Family kFamilies[] = {
+    {"path", BuildPath},          {"cycle", BuildCycle},
+    {"star", BuildStar},          {"grid", BuildGrid},
+    {"complete", BuildComplete},  {"sparse-er", BuildSparseEr},
+    {"dense-er", BuildDenseEr},   {"udg", BuildUdg},
+    {"tree", BuildTree},          {"matching", BuildMatching},
+    {"cliques", BuildCliques},    {"bipartite", BuildBipartite},
+};
+
+constexpr MisAlgorithm kAlgorithms[] = {
+    MisAlgorithm::kCd,
+    MisAlgorithm::kCdBeeping,
+    MisAlgorithm::kCdNaive,
+    MisAlgorithm::kNoCd,
+    MisAlgorithm::kNoCdDaviesProfile,
+    MisAlgorithm::kNoCdNaive,
+};
+
+class MisPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MisPropertyTest, ProducesValidMis) {
+  const Family& family = kFamilies[std::get<0>(GetParam())];
+  const MisAlgorithm algorithm = kAlgorithms[std::get<1>(GetParam())];
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = family.build(seed);
+    const auto r = RunMis(g, {.algorithm = algorithm, .seed = seed * 31 + 7});
+    EXPECT_TRUE(r.Valid()) << family.name << " / " << ToString(algorithm)
+                           << " seed " << seed << ": " << r.report.Describe();
+    // Any maximal independent set is a dominating set, so its size is at
+    // least n / (Δ + 1) — a bound every valid output must meet. (Upper
+    // bounds against a greedy reference don't exist: on a star, {hub} and
+    // {all leaves} are both correct MIS's.)
+    if (r.Valid() && g.NumNodes() > 0) {
+      EXPECT_GE(r.MisSize() * (g.MaxDegree() + 1), g.NumNodes())
+          << family.name << " / " << ToString(algorithm);
+    }
+  }
+}
+
+TEST_P(MisPropertyTest, DeterministicAcrossReruns) {
+  const Family& family = kFamilies[std::get<0>(GetParam())];
+  const MisAlgorithm algorithm = kAlgorithms[std::get<1>(GetParam())];
+  const Graph g = family.build(99);
+  const auto a = RunMis(g, {.algorithm = algorithm, .seed = 1234});
+  const auto b = RunMis(g, {.algorithm = algorithm, .seed = 1234});
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.stats.rounds_used, b.stats.rounds_used);
+  EXPECT_EQ(a.energy.MaxAwake(), b.energy.MaxAwake());
+  EXPECT_EQ(a.energy.TotalAwake(), b.energy.TotalAwake());
+}
+
+std::string ParamName(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string name = kFamilies[std::get<0>(info.param)].name;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  std::string alg(ToString(kAlgorithms[std::get<1>(info.param)]));
+  for (char& c : alg) {
+    if (c == '-') c = '_';
+  }
+  return name + "__" + alg;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllAlgorithms, MisPropertyTest,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(std::size(kFamilies))),
+                       ::testing::Range(0, static_cast<int>(std::size(kAlgorithms)))),
+    ParamName);
+
+// --- Cross-algorithm consistency --------------------------------------------
+
+TEST(Integration, AllAlgorithmsAgreeOnForcedMisSize) {
+  // On disjoint cliques every valid MIS has exactly one node per clique, so
+  // all six algorithms must agree on the size.
+  const Graph g = gen::DisjointCliques(6, 4);
+  for (MisAlgorithm alg : kAlgorithms) {
+    const auto r = RunMis(g, {.algorithm = alg, .seed = 17});
+    ASSERT_TRUE(r.Valid()) << ToString(alg);
+    EXPECT_EQ(r.MisSize(), 6u) << ToString(alg);
+  }
+}
+
+TEST(Integration, EnergyOrderingOnModerateGraph) {
+  // The paper's headline ordering, total energy version:
+  //   CD efficient < CD naive, and no-CD efficient < no-CD naive.
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(128, 8.0 / 128, rng);
+  auto energy = [&](MisAlgorithm alg) {
+    std::uint64_t total = 0;
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto r = RunMis(g, {.algorithm = alg, .seed = seed});
+      EXPECT_TRUE(r.Valid()) << ToString(alg);
+      total += r.energy.TotalAwake();
+    }
+    return total;
+  };
+  EXPECT_LT(energy(MisAlgorithm::kCd), energy(MisAlgorithm::kCdNaive));
+  EXPECT_LT(energy(MisAlgorithm::kNoCd), energy(MisAlgorithm::kNoCdNaive));
+  // And CD is far cheaper than any no-CD variant.
+  EXPECT_LT(energy(MisAlgorithm::kCd), energy(MisAlgorithm::kNoCd));
+}
+
+TEST(Integration, NoCdUsesManyMoreRoundsThanCd) {
+  Rng rng(6);
+  const Graph g = gen::ErdosRenyi(96, 6.0 / 96, rng);
+  const auto cd = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 2});
+  const auto nocd = RunMis(g, {.algorithm = MisAlgorithm::kNoCd, .seed = 2});
+  ASSERT_TRUE(cd.Valid() && nocd.Valid());
+  EXPECT_GT(nocd.stats.rounds_used, 10 * cd.stats.rounds_used);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,170 @@
+// Runtime invariants observed at phase boundaries via partial scheduler runs
+// (Scheduler::RunUntil) — the lemmas of §3.2/§5.4 as executable checks.
+#include <gtest/gtest.h>
+
+#include "core/mis_cd.hpp"
+#include "core/mis_nocd.hpp"
+#include "core/runner.hpp"
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+#include "verify/mis_checker.hpp"
+
+namespace emis {
+namespace {
+
+bool InMisSetIsIndependent(const Graph& g, const std::vector<MisStatus>& status) {
+  for (const Edge& e : g.EdgeList()) {
+    if (status[e.u] == MisStatus::kInMis && status[e.v] == MisStatus::kInMis) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OutMisAreDominated(const Graph& g, const std::vector<MisStatus>& status) {
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (status[v] != MisStatus::kOutMis) continue;
+    bool dominated = false;
+    for (NodeId w : g.Neighbors(v)) {
+      dominated = dominated || status[w] == MisStatus::kInMis;
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+TEST(Invariants, CdMisSetMonotoneAndIndependentPerPhase) {
+  // At every Luby-phase boundary of Algorithm 1: the in-MIS set is
+  // independent (Lemma 3's induction), decided-out nodes are dominated, the
+  // residual shrinks monotonically, and decisions are irrevocable.
+  Rng rng(1);
+  const Graph g = gen::ErdosRenyi(150, 0.06, rng);
+  const CdParams params = CdParams::Practical(150);
+  std::vector<MisStatus> status(g.NumNodes(), MisStatus::kUndecided);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 3);
+  sched.Spawn(MisCdProtocol(params, &status));
+
+  std::vector<MisStatus> previous = status;
+  std::uint64_t prev_undecided = g.NumNodes();
+  for (std::uint32_t phase = 1; phase <= params.luby_phases; ++phase) {
+    sched.RunUntil(static_cast<Round>(phase) * params.PhaseRounds());
+    EXPECT_TRUE(InMisSetIsIndependent(g, status)) << "phase " << phase;
+    EXPECT_TRUE(OutMisAreDominated(g, status)) << "phase " << phase;
+    std::uint64_t undecided = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (previous[v] != MisStatus::kUndecided) {
+        EXPECT_EQ(status[v], previous[v]) << "decision reversed at " << v;
+      }
+      undecided += status[v] == MisStatus::kUndecided ? 1 : 0;
+    }
+    EXPECT_LE(undecided, prev_undecided) << "phase " << phase;
+    prev_undecided = undecided;
+    previous = status;
+    if (sched.AllFinished()) break;
+  }
+  sched.Run();
+  EXPECT_TRUE(IsValidMis(g, status)) << CheckMis(g, status).Describe();
+}
+
+TEST(Invariants, NoCdMisSetIndependentAtEveryPhaseBoundary) {
+  // Lemma 17: the in-MIS set stays independent throughout Algorithm 2.
+  Rng rng(2);
+  const Graph g = gen::ErdosRenyi(80, 0.1, rng);
+  const NoCdParams params = NoCdParams::Practical(80, std::max(1u, g.MaxDegree()));
+  const NoCdSchedule sched_info = NoCdSchedule::Of(params);
+  std::vector<MisStatus> status(g.NumNodes(), MisStatus::kUndecided);
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, 5);
+  sched.Spawn(MisNoCdProtocol(params, &status));
+  for (std::uint32_t phase = 1; phase <= params.luby_phases; ++phase) {
+    sched.RunUntil(static_cast<Round>(phase) * sched_info.phase);
+    EXPECT_TRUE(InMisSetIsIndependent(g, status)) << "phase " << phase;
+    EXPECT_TRUE(OutMisAreDominated(g, status)) << "phase " << phase;
+    if (sched.AllFinished()) break;
+  }
+  sched.Run();
+  EXPECT_TRUE(IsValidMis(g, status)) << CheckMis(g, status).Describe();
+}
+
+TEST(Invariants, NoCdIntraPhaseSnapshotsAreSane) {
+  // Even *inside* a phase (at stage boundaries) the in-MIS set must be
+  // independent; out-MIS domination may lag by design (a node decides out
+  // upon hearing a winner that formally joins later the same stage), so only
+  // independence is asserted mid-phase.
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(60, 0.12, rng);
+  const NoCdParams params = NoCdParams::Practical(60, std::max(1u, g.MaxDegree()));
+  const NoCdSchedule s = NoCdSchedule::Of(params);
+  std::vector<MisStatus> status(g.NumNodes(), MisStatus::kUndecided);
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, 7);
+  sched.Spawn(MisNoCdProtocol(params, &status));
+  for (std::uint32_t phase = 0; phase < params.luby_phases && !sched.AllFinished();
+       ++phase) {
+    const Round base = static_cast<Round>(phase) * s.phase;
+    for (Round offset : {s.CompetitionEnd(), s.FirstDeepEnd(), s.SecondDeepEnd(),
+                         s.LowDegreeEnd(), s.PhaseEnd()}) {
+      sched.RunUntil(base + offset);
+      EXPECT_TRUE(InMisSetIsIndependent(g, status))
+          << "phase " << phase << " offset " << offset;
+    }
+  }
+}
+
+TEST(Invariants, TheoryPresetNoCdOnTinyGraph) {
+  // The paper's own constants (C ≈ 176, C' = 26 log n, ...) are feasible at
+  // n = 16; the run must be correct and respect its (enormous) schedule.
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(16, 0.3, rng);
+  const auto r = RunMis(g, {.algorithm = MisAlgorithm::kNoCd,
+                            .preset = ParamPreset::kTheory,
+                            .seed = 2});
+  EXPECT_TRUE(r.Valid()) << r.report.Describe();
+  const NoCdParams p = NoCdParams::Theory(16, std::max(1u, g.MaxDegree()));
+  EXPECT_LE(r.stats.rounds_used,
+            static_cast<Round>(p.luby_phases) * NoCdSchedule::Of(p).phase);
+}
+
+TEST(Invariants, EpochComposition) {
+  // Two sequential MisNoCdEpoch calls (the Δ-doubling pattern): statuses
+  // from epoch 1 must survive into epoch 2 unharmed when nothing changes.
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(40, 0.15, rng);
+  const NoCdParams params = NoCdParams::Practical(40, std::max(1u, g.MaxDegree()));
+  const Round epoch_rounds =
+      static_cast<Round>(params.luby_phases) * NoCdSchedule::Of(params).phase;
+
+  struct State {
+    std::vector<MisStatus> status;
+    std::vector<MisStatus> after_first;
+  } state;
+  state.status.assign(g.NumNodes(), MisStatus::kUndecided);
+  state.after_first.assign(g.NumNodes(), MisStatus::kUndecided);
+
+  struct TwoEpochs {
+    static proc::Task<void> Run(NodeApi api, NoCdParams params, Round epoch_rounds,
+                                State* s) {
+      bool in_mis = false;
+      MisStatus& status = s->status[api.Id()];
+      co_await MisNoCdEpoch(api, params, 0, &in_mis, &status);
+      co_await api.SleepUntil(epoch_rounds);
+      s->after_first[api.Id()] = status;
+      if (!in_mis) status = MisStatus::kUndecided;  // the doubling reset
+      co_await MisNoCdEpoch(api, params, epoch_rounds, &in_mis, &status);
+    }
+  };
+  Scheduler sched(g, {.model = ChannelModel::kNoCd}, 9);
+  sched.Spawn([&](NodeApi api) {
+    return TwoEpochs::Run(api, params, epoch_rounds, &state);
+  });
+  sched.Run();
+  EXPECT_TRUE(IsValidMis(g, state.status))
+      << CheckMis(g, state.status).Describe();
+  // Epoch-1 MIS members must still be MIS members after epoch 2.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (state.after_first[v] == MisStatus::kInMis) {
+      EXPECT_EQ(state.status[v], MisStatus::kInMis) << "node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emis

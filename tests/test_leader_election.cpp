@@ -1,0 +1,99 @@
+#include "apps/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+LeaderElectionResult Elect(NodeId n, std::uint64_t seed) {
+  return ElectLeader(gen::Complete(n), LeaderElectionParams::Practical(n), seed);
+}
+
+TEST(LeaderElection, SingleNodeElectsItself) {
+  const auto r = Elect(1, 1);
+  EXPECT_EQ(CheckLeaderElection(r), "");
+  EXPECT_TRUE(r.is_leader[0]);
+  EXPECT_NE(r.leader_id[0], 0u);
+}
+
+TEST(LeaderElection, PairElectsExactlyOne) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = Elect(2, seed);
+    EXPECT_EQ(CheckLeaderElection(r), "") << "seed " << seed;
+  }
+}
+
+TEST(LeaderElection, ScalesAcrossSizes) {
+  for (NodeId n : {3u, 8u, 32u, 100u, 300u}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto r = Elect(n, seed);
+      EXPECT_EQ(CheckLeaderElection(r), "") << "n=" << n << " seed " << seed;
+    }
+  }
+}
+
+TEST(LeaderElection, EveryoneAgreesOnTheLeaderId) {
+  const auto r = Elect(50, 7);
+  ASSERT_EQ(CheckLeaderElection(r), "");
+  std::uint64_t leader = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    if (r.is_leader[v]) leader = r.leader_id[v];
+  }
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(r.leader_id[v], leader);
+}
+
+TEST(LeaderElection, DeterministicGivenSeed) {
+  const auto a = Elect(40, 11);
+  const auto b = Elect(40, 11);
+  EXPECT_EQ(a.leader_id, b.leader_id);
+  EXPECT_EQ(a.is_leader, b.is_leader);
+  EXPECT_EQ(a.stats.rounds_used, b.stats.rounds_used);
+}
+
+TEST(LeaderElection, TerminatesQuicklyInPractice) {
+  // The sweep hits transmit probability ~1/n within one pass, so elections
+  // conclude in the first sweep almost always: rounds << the schedule bound.
+  const auto r = Elect(128, 3);
+  ASSERT_EQ(CheckLeaderElection(r), "");
+  const LeaderElectionParams p = LeaderElectionParams::Practical(128);
+  EXPECT_LE(r.stats.rounds_used, p.TotalRounds());
+  EXPECT_LT(r.stats.rounds_used, p.TotalRounds() / 4);
+}
+
+TEST(LeaderElection, EnergyIsModest) {
+  const auto r = Elect(256, 5);
+  ASSERT_EQ(CheckLeaderElection(r), "");
+  // Everyone listens through the election: O(rounds) energy, rounds ~ one
+  // sweep of 2 * levels round pairs typically.
+  EXPECT_LT(r.energy.MaxAwake(), 200u);
+}
+
+TEST(LeaderElection, RejectsNonCliqueTopologies) {
+  EXPECT_THROW(
+      ElectLeader(gen::Path(4), LeaderElectionParams::Practical(4), 1),
+      PreconditionError);
+  EXPECT_THROW(
+      ElectLeader(gen::Empty(0), LeaderElectionParams::Practical(2), 1),
+      PreconditionError);
+}
+
+TEST(LeaderElection, CheckerCatchesViolations) {
+  LeaderElectionResult bad;
+  bad.leader_id = {5, 5};
+  bad.is_leader = {true, true};  // two leaders
+  EXPECT_NE(CheckLeaderElection(bad), "");
+  bad.is_leader = {false, false};  // none
+  EXPECT_NE(CheckLeaderElection(bad), "");
+  bad.is_leader = {true, false};
+  bad.leader_id = {5, 7};  // disagreement
+  EXPECT_NE(CheckLeaderElection(bad), "");
+  bad.leader_id = {5, 0};  // unlearned
+  EXPECT_NE(CheckLeaderElection(bad), "");
+  bad.leader_id = {5, 5};
+  EXPECT_EQ(CheckLeaderElection(bad), "");
+}
+
+}  // namespace
+}  // namespace emis

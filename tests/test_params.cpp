@@ -1,0 +1,112 @@
+// Tests for parameter derivation and the Algorithm 2 phase schedule.
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emis {
+namespace {
+
+TEST(BackoffWindow, Values) {
+  EXPECT_EQ(BackoffWindow(0), 1u);
+  EXPECT_EQ(BackoffWindow(1), 1u);
+  EXPECT_EQ(BackoffWindow(2), 2u);
+  EXPECT_EQ(BackoffWindow(3), 3u);
+  EXPECT_EQ(BackoffWindow(4), 3u);
+  EXPECT_EQ(BackoffWindow(1024), 11u);
+}
+
+TEST(BackoffRounds, Product) {
+  EXPECT_EQ(BackoffRounds(5, 16), 5u * 5);
+  EXPECT_EQ(BackoffRounds(0, 16), 0u);
+  EXPECT_EQ(BackoffRounds(3, 1), 3u);
+}
+
+TEST(CdParams, LogNFloorsAtOne) {
+  EXPECT_EQ(CdParams::LogN(0), 1u);
+  EXPECT_EQ(CdParams::LogN(1), 1u);
+  EXPECT_EQ(CdParams::LogN(2), 1u);
+  EXPECT_EQ(CdParams::LogN(3), 2u);
+  EXPECT_EQ(CdParams::LogN(1024), 10u);
+  EXPECT_EQ(CdParams::LogN(1025), 11u);
+}
+
+TEST(CdParams, PresetsScaleWithLogN) {
+  const CdParams small = CdParams::Practical(64);
+  const CdParams large = CdParams::Practical(64 * 1024);
+  EXPECT_GT(large.luby_phases, small.luby_phases);
+  EXPECT_GT(large.rank_bits, small.rank_bits);
+  // Doubling the exponent should not double the parameters' ratio more than
+  // linearly in log n.
+  EXPECT_LE(large.rank_bits, 3 * small.rank_bits);
+}
+
+TEST(CdParams, TheoryUsesPaperConstants) {
+  const CdParams p = CdParams::Theory(1024);  // log n = 10
+  EXPECT_EQ(p.luby_phases, 40u);              // C = 4
+  EXPECT_EQ(p.rank_bits, 40u);                // beta = 4
+}
+
+TEST(CdParams, PhaseAndTotalRounds) {
+  const CdParams p{.luby_phases = 7, .rank_bits = 12};
+  EXPECT_EQ(p.PhaseRounds(), 13u);
+  EXPECT_EQ(p.TotalRounds(), 91u);
+}
+
+TEST(SimCdParams, RoundFormulas) {
+  SimCdParams p;
+  p.luby_phases = 3;
+  p.rank_bits = 5;
+  p.reps = 4;
+  p.delta = 16;  // window 5
+  p.delta_est = 16;
+  EXPECT_EQ(p.BittyRounds(), 20u);
+  EXPECT_EQ(p.PhaseRounds(), 6u * 20);
+  EXPECT_EQ(p.TotalRounds(), 3u * 6 * 20);
+}
+
+TEST(NoCdSchedule, OffsetsArePartitioned) {
+  const NoCdParams p = NoCdParams::Practical(256, 32);
+  const NoCdSchedule s = NoCdSchedule::Of(p);
+  EXPECT_EQ(s.competition,
+            static_cast<Round>(p.rank_bits) * BackoffRounds(p.deep_reps, p.delta));
+  EXPECT_EQ(s.deep_check, BackoffRounds(p.deep_reps, p.delta));
+  EXPECT_EQ(s.low_degree, p.low_degree.TotalRounds());
+  EXPECT_EQ(s.shallow_check, BackoffRounds(1, p.delta));
+  EXPECT_EQ(s.phase,
+            s.competition + 2 * s.deep_check + s.low_degree + s.shallow_check);
+  // Offset accessors are cumulative.
+  EXPECT_EQ(s.CompetitionEnd(), s.competition);
+  EXPECT_EQ(s.FirstDeepEnd(), s.competition + s.deep_check);
+  EXPECT_EQ(s.SecondDeepEnd(), s.competition + 2 * s.deep_check);
+  EXPECT_EQ(s.LowDegreeEnd(), s.competition + 2 * s.deep_check + s.low_degree);
+  EXPECT_EQ(s.PhaseEnd(), s.phase);
+}
+
+TEST(NoCdParams, LowDegreeSubgraphUsesCommitDegree) {
+  const NoCdParams p = NoCdParams::Practical(1024, 600);
+  EXPECT_EQ(p.low_degree.delta, p.commit_degree);
+  EXPECT_EQ(p.low_degree.delta_est, p.commit_degree);
+  EXPECT_EQ(p.low_degree.style, BackoffStyle::kEnergyEfficient);
+}
+
+TEST(NoCdParams, TheoryConstantsMatchPaper) {
+  const NoCdParams p = NoCdParams::Theory(1 << 10, 64);  // log n = 10
+  EXPECT_EQ(p.luby_phases, 1760u);   // C = 4 / log2(64/63) ≈ 176
+  EXPECT_EQ(p.rank_bits, 40u);       // beta = 4
+  EXPECT_EQ(p.commit_degree, 50u);   // kappa = 5
+  EXPECT_EQ(p.deep_reps, 260u);      // (7/8)^k <= n^-5
+  EXPECT_EQ(p.delta, 64u);
+}
+
+TEST(NoCdParams, RoundComplexityShape) {
+  // T_L should be dominated by T_C + T_G and grow polylogarithmically.
+  const NoCdParams small = NoCdParams::Practical(1 << 8, 16);
+  const NoCdParams large = NoCdParams::Practical(1 << 12, 16);
+  const Round tl_small = NoCdSchedule::Of(small).phase;
+  const Round tl_large = NoCdSchedule::Of(large).phase;
+  EXPECT_GT(tl_large, tl_small);
+  EXPECT_LT(tl_large, 30 * tl_small);  // no polynomial blow-up
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,227 @@
+// Tests for the coroutine machinery itself: proc::Task semantics, awaitable
+// behaviour, frame lifetime, and abandonment (destruction at a suspension
+// point, which happens whenever a run hits max_rounds).
+#include "radio/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis {
+namespace {
+
+// --- Task value plumbing (no scheduler involved) ----------------------------
+
+proc::Task<int> ReturnsFortyTwo() { co_return 42; }
+
+proc::Task<int> AddsSubValues() {
+  const int a = co_await ReturnsFortyTwo();
+  const int b = co_await ReturnsFortyTwo();
+  co_return a + b;
+}
+
+proc::Task<void> StoreResult(int* out) { *out = co_await AddsSubValues(); }
+
+TEST(Task, ValuePropagationWithoutSuspension) {
+  // Tasks that never hit an action awaitable complete synchronously once
+  // started; drive the root by resuming it directly.
+  int out = 0;
+  proc::Task<void> root = StoreResult(&out);
+  ASSERT_TRUE(root.Valid());
+  EXPECT_FALSE(root.Done());
+  root.RawHandle().resume();
+  EXPECT_TRUE(root.Done());
+  EXPECT_EQ(out, 84);
+}
+
+proc::Task<std::unique_ptr<int>> ReturnsMoveOnly() {
+  co_return std::make_unique<int>(7);
+}
+
+proc::Task<void> ConsumesMoveOnly(int* out) {
+  std::unique_ptr<int> p = co_await ReturnsMoveOnly();
+  *out = *p;
+}
+
+TEST(Task, MoveOnlyReturnValues) {
+  int out = 0;
+  proc::Task<void> root = ConsumesMoveOnly(&out);
+  root.RawHandle().resume();
+  EXPECT_TRUE(root.Done());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Task, MoveSemantics) {
+  proc::Task<int> a = ReturnsFortyTwo();
+  ASSERT_TRUE(a.Valid());
+  proc::Task<int> b = std::move(a);
+  EXPECT_FALSE(a.Valid());  // NOLINT(bugprone-use-after-move): testing the contract
+  EXPECT_TRUE(b.Valid());
+  proc::Task<int> c;
+  c = std::move(b);
+  EXPECT_FALSE(b.Valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(c.Valid());
+  EXPECT_TRUE(a.Done());  // invalid tasks report done
+}
+
+TEST(Task, DefaultConstructedIsInvalid) {
+  proc::Task<void> t;
+  EXPECT_FALSE(t.Valid());
+  EXPECT_TRUE(t.Done());
+  t.RethrowIfFailed();  // no-op on invalid
+}
+
+// --- Frame lifetime and abandonment ------------------------------------------
+
+struct LifetimeCanary {
+  explicit LifetimeCanary(bool* flag) : destroyed(flag) {}
+  ~LifetimeCanary() { *destroyed = true; }
+  LifetimeCanary(const LifetimeCanary&) = delete;
+  LifetimeCanary& operator=(const LifetimeCanary&) = delete;
+  bool* destroyed;
+};
+
+proc::Task<void> HoldsCanary(NodeApi api, bool* destroyed) {
+  const LifetimeCanary canary(destroyed);
+  for (;;) co_await api.Listen();  // never finishes
+}
+
+TEST(Task, AbandonedFrameRunsDestructors) {
+  // When the scheduler stops at max_rounds and is destroyed, suspended
+  // coroutine frames must be destroyed, running local destructors (RAII
+  // through abandonment).
+  bool destroyed = false;
+  {
+    Graph g = gen::Empty(1);
+    Scheduler sched(g, {.model = ChannelModel::kCd, .max_rounds = 5}, 1);
+    sched.Spawn([&](NodeApi api) { return HoldsCanary(api, &destroyed); });
+    const RunStats stats = sched.Run();
+    EXPECT_TRUE(stats.hit_round_limit);
+    EXPECT_FALSE(destroyed);  // still suspended, frame alive
+  }
+  EXPECT_TRUE(destroyed);  // scheduler destruction released the frame
+}
+
+proc::Task<void> NestedCanaryInner(NodeApi api, bool* destroyed) {
+  const LifetimeCanary canary(destroyed);
+  for (;;) co_await api.Listen();
+}
+
+proc::Task<void> NestedCanaryOuter(NodeApi api, bool* destroyed) {
+  co_await NestedCanaryInner(api, destroyed);
+}
+
+TEST(Task, AbandonedNestedFramesAlsoDestroyed) {
+  bool destroyed = false;
+  {
+    Graph g = gen::Empty(1);
+    Scheduler sched(g, {.model = ChannelModel::kCd, .max_rounds = 3}, 1);
+    sched.Spawn([&](NodeApi api) { return NestedCanaryOuter(api, &destroyed); });
+    sched.Run();
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+// --- Awaitable mechanics ------------------------------------------------------
+
+proc::Task<void> NowAdvancesPerAction(NodeApi api, std::vector<Round>* log) {
+  log->push_back(api.Now());
+  co_await api.Transmit(1);
+  log->push_back(api.Now());
+  co_await api.Listen();
+  log->push_back(api.Now());
+  co_await api.SleepFor(3);
+  log->push_back(api.Now());
+}
+
+TEST(NodeApi, NowTracksUpcomingActionRound) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  std::vector<Round> log;
+  sched.Spawn([&](NodeApi api) { return NowAdvancesPerAction(api, &log); });
+  sched.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 0u);  // first action executes in round 0
+  EXPECT_EQ(log[1], 1u);  // after transmit, next action is round 1
+  EXPECT_EQ(log[2], 2u);  // after listen
+  EXPECT_EQ(log[3], 5u);  // after sleeping rounds 2,3,4
+}
+
+proc::Task<void> EnergySpentVisible(NodeApi api, std::vector<std::uint64_t>* log) {
+  log->push_back(api.EnergySpent());
+  co_await api.Transmit(1);
+  log->push_back(api.EnergySpent());
+  co_await api.SleepFor(10);
+  log->push_back(api.EnergySpent());
+  co_await api.Listen();
+  log->push_back(api.EnergySpent());
+}
+
+TEST(NodeApi, EnergySpentReflectsMeter) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  std::vector<std::uint64_t> log;
+  sched.Spawn([&](NodeApi api) { return EnergySpentVisible(api, &log); });
+  sched.Run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], 0u);
+  EXPECT_EQ(log[1], 1u);  // transmit charged
+  EXPECT_EQ(log[2], 1u);  // sleep free
+  EXPECT_EQ(log[3], 2u);  // listen charged
+}
+
+// --- Exceptions through nesting ----------------------------------------------
+
+proc::Task<int> ThrowingLeaf(NodeApi api) {
+  co_await api.Listen();
+  throw std::runtime_error("leaf failure");
+}
+
+proc::Task<int> MiddleLayer(NodeApi api) {
+  const int v = co_await ThrowingLeaf(api);
+  co_return v + 1;  // unreachable
+}
+
+proc::Task<void> CatchesDeepException(NodeApi api, std::string* what) {
+  try {
+    (void)co_await MiddleLayer(api);
+  } catch (const std::runtime_error& e) {
+    *what = e.what();
+  }
+}
+
+TEST(Task, ExceptionsUnwindThroughNestedTasks) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  std::string what;
+  sched.Spawn([&](NodeApi api) { return CatchesDeepException(api, &what); });
+  sched.Run();
+  EXPECT_EQ(what, "leaf failure");
+  EXPECT_TRUE(sched.AllFinished());
+}
+
+proc::Task<void> ContinuesAfterCaughtException(NodeApi api, bool* recovered) {
+  try {
+    (void)co_await ThrowingLeaf(api);
+  } catch (const std::runtime_error&) {
+  }
+  // The protocol must still be able to act after recovery.
+  co_await api.Transmit(1);
+  *recovered = true;
+}
+
+TEST(Task, ProtocolSurvivesCaughtExceptionAndKeepsActing) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  bool recovered = false;
+  sched.Spawn([&](NodeApi api) { return ContinuesAfterCaughtException(api, &recovered); });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(stats.rounds_used, 2u);  // listen + transmit
+}
+
+}  // namespace
+}  // namespace emis

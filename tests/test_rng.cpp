@@ -1,0 +1,186 @@
+#include "radio/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace emis {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64, AdjacentSeedsDecorrelate) {
+  // SplitMix64's whole job is to turn correlated seeds into uncorrelated
+  // streams; adjacent integer seeds should differ in ~half their output bits.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    SplitMix64 a(seed), b(seed + 1);
+    const std::uint64_t x = a.Next() ^ b.Next();
+    const int popcount = __builtin_popcountll(x);
+    EXPECT_GT(popcount, 10);
+    EXPECT_LT(popcount, 54);
+  }
+}
+
+TEST(Xoshiro, DiffersBySeed) {
+  Xoshiro256StarStar a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += a() != b();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  Rng parent(99);
+  Rng c1 = parent.Split(0);
+  Rng c1_again = parent.Split(0);
+  EXPECT_EQ(c1.NextU64(), c1_again.NextU64());
+  // Different stream ids give different streams.
+  Rng c1b = parent.Split(0);
+  Rng c2b = parent.Split(1);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += c1b.NextU64() != c2b.NextU64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, SplitDependsOnParentSeed) {
+  Rng p1(1), p2(2);
+  Rng c1 = p1.Split(5);
+  Rng c2 = p2.Split(5);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += c1.NextU64() != c2.NextU64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, GrandchildDiffersFromChild) {
+  Rng p(3);
+  Rng child = p.Split(1);
+  Rng grandchild = child.Split(1);
+  Rng child2 = p.Split(1);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += grandchild.NextU64() != child2.NextU64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, BitIsRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) heads += rng.Bit();
+  EXPECT_NEAR(heads, kTrials / 2, 1000);  // ~6 sigma
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformBelow(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.UniformBelow(10)];
+  for (int c : counts) EXPECT_NEAR(c, kTrials / 10, 600);
+}
+
+TEST(Rng, UniformInRangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.UniformInRange(3, 5);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 5u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformUnitInHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(12);
+  const int kTrials = 100000;
+  int hits = 0;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits, 30000, 900);
+}
+
+TEST(Rng, GeometricHalfDistribution) {
+  Rng rng(13);
+  const int kTrials = 200000;
+  std::vector<int> counts(8, 0);
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto g = rng.GeometricHalf();
+    ASSERT_GE(g, 1u);
+    sum += g;
+    if (g < counts.size()) ++counts[g];
+  }
+  // Mean of Geometric(1/2) on {1,2,...} is 2.
+  EXPECT_NEAR(sum / kTrials, 2.0, 0.03);
+  // P(X = k) = 2^-k.
+  EXPECT_NEAR(counts[1], kTrials / 2.0, 1500);
+  EXPECT_NEAR(counts[2], kTrials / 4.0, 1200);
+  EXPECT_NEAR(counts[3], kTrials / 8.0, 900);
+}
+
+TEST(Rng, GeometricGeneralMean) {
+  Rng rng(14);
+  const int kTrials = 50000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) sum += static_cast<double>(rng.Geometric(0.25));
+  EXPECT_NEAR(sum / kTrials, 4.0, 0.15);
+}
+
+TEST(Rng, RandomBitsBounded) {
+  Rng rng(15);
+  for (std::uint32_t bits : {0u, 1u, 5u, 32u, 63u}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto x = rng.RandomBits(bits);
+      if (bits < 64) {
+        EXPECT_LT(x, 1ULL << bits);
+      }
+    }
+  }
+  // 64-bit requests use the full range.
+  bool high_bit = false;
+  for (int i = 0; i < 200; ++i) high_bit |= (rng.RandomBits(64) >> 63) != 0;
+  EXPECT_TRUE(high_bit);
+}
+
+TEST(Rng, RandomBitsZeroIsZero) {
+  Rng rng(16);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.RandomBits(0), 0u);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,138 @@
+// Tests for the RunMis facade: configuration plumbing, parameter derivation,
+// overrides, and result invariants.
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+TEST(Runner, ToStringCoversAllAlgorithms) {
+  for (MisAlgorithm alg :
+       {MisAlgorithm::kCd, MisAlgorithm::kCdBeeping, MisAlgorithm::kCdNaive,
+        MisAlgorithm::kNoCd, MisAlgorithm::kNoCdDaviesProfile,
+        MisAlgorithm::kNoCdNaive, MisAlgorithm::kNoCdUnknownDelta}) {
+    EXPECT_NE(ToString(alg), "?");
+  }
+}
+
+TEST(Runner, ModelMapping) {
+  EXPECT_EQ(ModelFor(MisAlgorithm::kCd), ChannelModel::kCd);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kCdNaive), ChannelModel::kCd);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kCdBeeping), ChannelModel::kBeeping);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kNoCd), ChannelModel::kNoCd);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kNoCdDaviesProfile), ChannelModel::kNoCd);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kNoCdNaive), ChannelModel::kNoCd);
+  EXPECT_EQ(ModelFor(MisAlgorithm::kNoCdUnknownDelta), ChannelModel::kNoCd);
+}
+
+TEST(Runner, NEstimateScalesParameters) {
+  Graph g = gen::Path(8);
+  MisRunConfig small{.algorithm = MisAlgorithm::kCd};
+  MisRunConfig big{.algorithm = MisAlgorithm::kCd, .n_estimate = 1 << 20};
+  const CdParams ps = DeriveCdParams(g, small);
+  const CdParams pb = DeriveCdParams(g, big);
+  EXPECT_GT(pb.rank_bits, ps.rank_bits);
+  EXPECT_GT(pb.luby_phases, ps.luby_phases);
+}
+
+TEST(Runner, OverestimatedNStillCorrect) {
+  // Paper §1.1: n only needs to be an upper bound; overestimates cost only
+  // polylog factors.
+  Rng rng(1);
+  Graph g = gen::ErdosRenyi(50, 0.1, rng);
+  const auto r = RunMis(
+      g, {.algorithm = MisAlgorithm::kCd, .seed = 2, .n_estimate = 1 << 16});
+  EXPECT_TRUE(r.Valid()) << r.report.Describe();
+}
+
+TEST(Runner, DeltaEstimateDrivesNoCdWindows) {
+  Graph g = gen::Path(8);
+  MisRunConfig exact{.algorithm = MisAlgorithm::kNoCd};
+  MisRunConfig crude{.algorithm = MisAlgorithm::kNoCd, .delta_estimate = 1024};
+  const NoCdParams pe = DeriveNoCdParams(g, exact);
+  const NoCdParams pc = DeriveNoCdParams(g, crude);
+  EXPECT_EQ(pe.delta, 2u);  // true max degree of a path
+  EXPECT_EQ(pc.delta, 1024u);
+  EXPECT_GT(NoCdSchedule::Of(pc).phase, NoCdSchedule::Of(pe).phase);
+}
+
+TEST(Runner, ExplicitParamOverridesWin) {
+  Graph g = gen::Path(4);
+  MisRunConfig cfg{.algorithm = MisAlgorithm::kCd, .n_estimate = 1 << 20};
+  cfg.cd_params = CdParams{.luby_phases = 3, .rank_bits = 5};
+  const CdParams p = DeriveCdParams(g, cfg);
+  EXPECT_EQ(p.luby_phases, 3u);
+  EXPECT_EQ(p.rank_bits, 5u);
+
+  MisRunConfig ncfg{.algorithm = MisAlgorithm::kNoCd};
+  ncfg.nocd_params = NoCdParams::Practical(99, 7);
+  EXPECT_EQ(DeriveNoCdParams(g, ncfg).delta, 7u);
+
+  MisRunConfig scfg{.algorithm = MisAlgorithm::kNoCdNaive};
+  SimCdParams sp;
+  sp.luby_phases = 2;
+  sp.rank_bits = 3;
+  sp.reps = 4;
+  sp.delta = 5;
+  sp.delta_est = 5;
+  scfg.sim_params = sp;
+  EXPECT_EQ(DeriveSimParams(g, scfg).luby_phases, 2u);
+}
+
+TEST(Runner, NaiveAlgorithmsGetTheirStyles) {
+  Graph g = gen::Path(8);
+  EXPECT_TRUE(DeriveCdParams(g, {.algorithm = MisAlgorithm::kCdNaive})
+                  .losers_keep_listening);
+  EXPECT_FALSE(DeriveCdParams(g, {.algorithm = MisAlgorithm::kCd})
+                   .losers_keep_listening);
+  EXPECT_EQ(DeriveSimParams(g, {.algorithm = MisAlgorithm::kNoCdNaive}).style,
+            BackoffStyle::kTraditional);
+  EXPECT_EQ(
+      DeriveSimParams(g, {.algorithm = MisAlgorithm::kNoCdDaviesProfile}).style,
+      BackoffStyle::kEnergyEfficient);
+}
+
+TEST(Runner, MaxRoundsReportsLimit) {
+  Rng rng(2);
+  Graph g = gen::ErdosRenyi(40, 0.2, rng);
+  const auto r =
+      RunMis(g, {.algorithm = MisAlgorithm::kNoCd, .seed = 1, .max_rounds = 50});
+  EXPECT_TRUE(r.stats.hit_round_limit);
+  EXPECT_FALSE(r.Valid());
+}
+
+TEST(Runner, ResultStatusSizeMatchesGraph) {
+  Graph g = gen::Star(17);
+  const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 1});
+  EXPECT_EQ(r.status.size(), 17u);
+  EXPECT_EQ(r.energy.NumNodes(), 17u);
+}
+
+TEST(Runner, MisSizeCountsInMis) {
+  Graph g = gen::Empty(5);
+  const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 1});
+  EXPECT_EQ(r.MisSize(), 5u);
+}
+
+TEST(Runner, TinyGraphsAcrossAllAlgorithms) {
+  // n = 0, 1, 2 edge cases through the whole facade.
+  for (MisAlgorithm alg :
+       {MisAlgorithm::kCd, MisAlgorithm::kCdBeeping, MisAlgorithm::kCdNaive,
+        MisAlgorithm::kNoCd, MisAlgorithm::kNoCdDaviesProfile,
+        MisAlgorithm::kNoCdNaive, MisAlgorithm::kNoCdUnknownDelta}) {
+    const auto r0 = RunMis(gen::Empty(0), {.algorithm = alg, .seed = 1});
+    EXPECT_TRUE(r0.Valid()) << ToString(alg);
+    const auto r1 = RunMis(gen::Empty(1), {.algorithm = alg, .seed = 1});
+    EXPECT_TRUE(r1.Valid()) << ToString(alg);
+    EXPECT_EQ(r1.status[0], MisStatus::kInMis) << ToString(alg);
+    const auto r2 = RunMis(gen::Path(2), {.algorithm = alg, .seed = 1});
+    EXPECT_TRUE(r2.Valid()) << ToString(alg);
+    EXPECT_EQ(r2.MisSize(), 1u) << ToString(alg);
+  }
+}
+
+}  // namespace
+}  // namespace emis

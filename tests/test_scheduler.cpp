@@ -1,0 +1,390 @@
+#include "radio/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "radio/graph_generators.hpp"
+
+namespace emis {
+namespace {
+
+// --- Tiny protocols used as fixtures -------------------------------------
+
+struct Slots {
+  std::vector<Reception> heard;
+  std::vector<Round> acted_at;
+};
+
+proc::Task<void> TransmitOnce(NodeApi api) { co_await api.Transmit(42); }
+
+proc::Task<void> ListenOnce(NodeApi api, Slots* out) {
+  const Reception r = co_await api.Listen();
+  out->heard.push_back(r);
+}
+
+TEST(Scheduler, SingleTransmitterIsHeard) {
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return TransmitOnce(api);
+    return ListenOnce(api, &slots);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 1u);
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+  EXPECT_EQ(slots.heard[0].payload, 42u);
+}
+
+TEST(Scheduler, CollisionOnStarHub) {
+  Graph g = gen::Star(4);  // hub 0, leaves 1..3
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return ListenOnce(api, &slots);
+    return TransmitOnce(api);
+  });
+  sched.Run();
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kCollision);
+}
+
+proc::Task<void> SleepThenTransmit(NodeApi api, Round sleep_rounds) {
+  co_await api.SleepFor(sleep_rounds);
+  co_await api.Transmit(7);
+}
+
+proc::Task<void> ListenAtRound(NodeApi api, Round round, Slots* out) {
+  co_await api.SleepUntil(round);
+  out->acted_at.push_back(api.Now());
+  const Reception r = co_await api.Listen();
+  out->heard.push_back(r);
+}
+
+TEST(Scheduler, SleepAlignsRounds) {
+  // Node 0 sleeps 5 rounds then transmits (acts in round 5); node 1 sleeps
+  // until round 5 then listens. They must meet.
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepThenTransmit(api, 5);
+    return ListenAtRound(api, 5, &slots);
+  });
+  const RunStats stats = sched.Run();
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+  EXPECT_EQ(slots.acted_at[0], 5u);
+  EXPECT_EQ(stats.rounds_used, 6u);  // rounds 0..5, awake only in round 5
+  EXPECT_EQ(stats.node_rounds, 2u);  // round-skipping: only 2 node-rounds simulated
+}
+
+TEST(Scheduler, RoundSkippingJumpsLongSleeps) {
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  const Round kFar = 1'000'000;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepThenTransmit(api, kFar);
+    return ListenAtRound(api, kFar, &slots);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_EQ(stats.rounds_used, kFar + 1);
+  EXPECT_EQ(stats.node_rounds, 2u);
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+}
+
+proc::Task<void> SleepZeroThenTransmit(NodeApi api) {
+  co_await api.SleepFor(0);              // must not suspend
+  co_await api.SleepUntil(api.Now());    // must not suspend
+  co_await api.Transmit(3);
+}
+
+TEST(Scheduler, ZeroSleepIsNoop) {
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepZeroThenTransmit(api);
+    return ListenOnce(api, &slots);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_EQ(stats.rounds_used, 1u);
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].payload, 3u);
+}
+
+// --- Sub-task composition -------------------------------------------------
+
+proc::Task<bool> ListenTwiceSub(NodeApi api) {
+  const Reception a = co_await api.Listen();
+  const Reception b = co_await api.Listen();
+  co_return a.Busy() || b.Busy();
+}
+
+proc::Task<void> ComposedListener(NodeApi api, bool* heard) {
+  *heard = co_await ListenTwiceSub(api);
+}
+
+proc::Task<void> TransmitSecondRound(NodeApi api) {
+  co_await api.SleepFor(1);
+  co_await api.Transmit(1);
+}
+
+TEST(Scheduler, SubTasksComposeAndReturnValues) {
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  bool heard = false;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return ComposedListener(api, &heard);
+    return TransmitSecondRound(api);
+  });
+  sched.Run();
+  EXPECT_TRUE(heard);
+}
+
+proc::Task<int> NestedInner(NodeApi api) {
+  co_await api.Listen();
+  co_return 21;
+}
+
+proc::Task<int> NestedMiddle(NodeApi api) {
+  const int x = co_await NestedInner(api);
+  co_await api.Listen();
+  co_return x * 2;
+}
+
+proc::Task<void> NestedOuter(NodeApi api, int* out) {
+  *out = co_await NestedMiddle(api);
+}
+
+TEST(Scheduler, DeeplyNestedSubTasks) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  int out = 0;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> { return NestedOuter(api, &out); });
+  const RunStats stats = sched.Run();
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(stats.rounds_used, 2u);
+}
+
+// --- Energy accounting ----------------------------------------------------
+
+proc::Task<void> MixedActivity(NodeApi api) {
+  co_await api.Transmit(1);   // 1 transmit
+  co_await api.Listen();      // 1 listen
+  co_await api.SleepFor(10);  // free
+  co_await api.Listen();      // 1 listen
+}
+
+TEST(Scheduler, EnergyCountsOnlyAwakeRounds) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return MixedActivity(api); });
+  const RunStats stats = sched.Run();
+  EXPECT_EQ(stats.rounds_used, 13u);  // rounds 0..12
+  const NodeEnergy e = sched.Energy().Of(0);
+  EXPECT_EQ(e.transmit_rounds, 1u);
+  EXPECT_EQ(e.listen_rounds, 2u);
+  EXPECT_EQ(e.Awake(), 3u);
+}
+
+// --- Partial runs and limits ----------------------------------------------
+
+proc::Task<void> TransmitForever(NodeApi api) {
+  for (;;) co_await api.Transmit(1);
+}
+
+TEST(Scheduler, MaxRoundsStopsRunaways) {
+  Graph g = gen::Empty(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd, .max_rounds = 100}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return TransmitForever(api); });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_FALSE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 100u);
+  EXPECT_EQ(sched.Energy().Of(0).transmit_rounds, 100u);
+}
+
+TEST(Scheduler, RunUntilResumesSeamlessly) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return MixedActivity(api); });
+  sched.RunUntil(2);
+  EXPECT_EQ(sched.Energy().Of(0).Awake(), 2u);  // transmit + listen happened
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 13u);
+  EXPECT_EQ(sched.Energy().Of(0).Awake(), 3u);
+}
+
+TEST(Scheduler, RunUntilMidSleepThenContinue) {
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepThenTransmit(api, 50);
+    return ListenAtRound(api, 50, &slots);
+  });
+  sched.RunUntil(10);
+  EXPECT_FALSE(sched.AllFinished());
+  sched.RunUntil(51);
+  EXPECT_TRUE(sched.AllFinished());
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+}
+
+// --- Error handling ---------------------------------------------------------
+
+proc::Task<void> ThrowingProtocol(NodeApi api) {
+  co_await api.Listen();
+  throw std::runtime_error("protocol bug");
+}
+
+TEST(Scheduler, ProtocolExceptionsPropagate) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return ThrowingProtocol(api); });
+  EXPECT_THROW(sched.Run(), std::runtime_error);
+}
+
+proc::Task<void> ThrowingSub(NodeApi api) {
+  co_await api.Listen();
+  throw std::runtime_error("sub bug");
+}
+
+proc::Task<void> CatchingParent(NodeApi api, bool* caught) {
+  try {
+    co_await ThrowingSub(api);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Scheduler, SubTaskExceptionsReachParent) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  bool caught = false;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> { return CatchingParent(api, &caught); });
+  sched.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Scheduler, SpawnTwiceIsRejected) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  auto factory = [](NodeApi api) -> proc::Task<void> { return TransmitOnce(api); };
+  sched.Spawn(factory);
+  EXPECT_THROW(sched.Spawn(factory), PreconditionError);
+}
+
+TEST(Scheduler, RunBeforeSpawnIsRejected) {
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  EXPECT_THROW(sched.Run(), PreconditionError);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+proc::Task<void> RandomActivity(NodeApi api, std::vector<int>* log) {
+  for (int i = 0; i < 20; ++i) {
+    if (api.Rand().Bit()) {
+      co_await api.Transmit(api.Id());
+      log->push_back(-1);
+    } else {
+      const Reception r = co_await api.Listen();
+      log->push_back(static_cast<int>(r.kind));
+    }
+  }
+}
+
+TEST(Scheduler, RunsAreDeterministicGivenSeed) {
+  Graph g = gen::Complete(6);
+  std::vector<std::vector<int>> logs1(6), logs2(6);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto& logs = rep == 0 ? logs1 : logs2;
+    Scheduler sched(g, {.model = ChannelModel::kCd}, 777);
+    sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+      return RandomActivity(api, &logs[api.Id()]);
+    });
+    sched.Run();
+  }
+  EXPECT_EQ(logs1, logs2);
+}
+
+TEST(Scheduler, DifferentSeedsDiverge) {
+  Graph g = gen::Complete(6);
+  std::vector<std::vector<int>> logs1(6), logs2(6);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto& logs = rep == 0 ? logs1 : logs2;
+    Scheduler sched(g, {.model = ChannelModel::kCd}, rep == 0 ? 1 : 2);
+    sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+      return RandomActivity(api, &logs[api.Id()]);
+    });
+    sched.Run();
+  }
+  EXPECT_NE(logs1, logs2);
+}
+
+// --- Tracing ----------------------------------------------------------------
+
+TEST(Scheduler, TraceRecordsAwakeEvents) {
+  Graph g = gen::Path(2);
+  RingTrace trace;
+  Scheduler sched(g, {.model = ChannelModel::kCd, .max_rounds = 1000, .trace = &trace}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return TransmitOnce(api);
+    return ListenOnce(api, &slots);
+  });
+  sched.Run();
+  ASSERT_EQ(trace.Events().size(), 2u);
+  // Transmissions are logged before receptions within a round.
+  EXPECT_EQ(trace.Events()[0].action, ActionKind::kTransmit);
+  EXPECT_EQ(trace.Events()[0].node, 0u);
+  EXPECT_EQ(trace.Events()[1].action, ActionKind::kListen);
+  EXPECT_EQ(trace.Events()[1].reception.kind, ReceptionKind::kMessage);
+}
+
+// --- Edge cases ---------------------------------------------------------------
+
+TEST(Scheduler, ZeroNodeGraph) {
+  Graph g = gen::Empty(0);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return TransmitOnce(api); });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 0u);
+}
+
+proc::Task<void> ImmediateReturn(NodeApi) { co_return; }
+
+TEST(Scheduler, ProtocolThatNeverActs) {
+  Graph g = gen::Empty(3);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> { return ImmediateReturn(api); });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 0u);
+  EXPECT_EQ(stats.node_rounds, 0u);
+}
+
+TEST(Scheduler, BeepingModelEndToEnd) {
+  Graph g = gen::Star(4);
+  Scheduler sched(g, {.model = ChannelModel::kBeeping}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return ListenOnce(api, &slots);
+    return TransmitOnce(api);
+  });
+  sched.Run();
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kBeep);
+}
+
+}  // namespace
+}  // namespace emis

@@ -1,0 +1,111 @@
+#include "verify/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emis {
+namespace {
+
+TEST(Summary, TracksMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) s.Add(x);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_NEAR(s.Variance(), 20.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.Stddev(), std::sqrt(20.0 / 3.0), 1e-9);
+}
+
+TEST(Summary, SingleAndEmpty) {
+  Summary s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.Variance(), 0.0);
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(PowerFit, RecoversExactLaw) {
+  // y = 3 x^2.
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);
+  }
+  const PowerFit fit = FitPowerLaw(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerFit, NoisyDataStillClose) {
+  std::vector<double> x, y;
+  double wiggle = 0.9;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(v, 1.5) * wiggle);
+    wiggle = wiggle < 1.0 ? 1.1 : 0.9;
+  }
+  const PowerFit fit = FitPowerLaw(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 0.1);
+}
+
+TEST(PowerFit, RejectsBadInput) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(FitPowerLaw(one, one), PreconditionError);
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> bad = {1.0, -2.0};
+  EXPECT_THROW(FitPowerLaw(x, bad), PreconditionError);
+  const std::vector<double> y3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(FitPowerLaw(x, y3), PreconditionError);
+}
+
+TEST(PolylogFit, RecoversLogSquare) {
+  // y = 2 (log2 n)^2 over n = 2^4 .. 2^12.
+  std::vector<double> n, y;
+  for (int e = 4; e <= 12; ++e) {
+    n.push_back(std::pow(2.0, e));
+    y.push_back(2.0 * e * e);
+  }
+  const PowerFit fit = FitPolylog(n, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 2.0, 1e-9);
+}
+
+TEST(BestExponent, ClassifiesCurves) {
+  std::vector<double> n, log1, log2c, log3;
+  for (int e = 5; e <= 13; ++e) {
+    n.push_back(std::pow(2.0, e));
+    log1.push_back(7.0 * e);
+    log2c.push_back(0.5 * e * e);
+    log3.push_back(0.1 * e * e * e);
+  }
+  const std::vector<double> candidates = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(BestPolylogExponent(n, log1, candidates), 1.0);
+  EXPECT_DOUBLE_EQ(BestPolylogExponent(n, log2c, candidates), 2.0);
+  EXPECT_DOUBLE_EQ(BestPolylogExponent(n, log3, candidates), 3.0);
+}
+
+TEST(TableRender, AlignsColumns) {
+  Table t({"n", "value"});
+  t.AddRow({"64", "1.5"});
+  t.AddRow({"65536", "123.0"});
+  const std::string out = t.Render("demo");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("65536"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_THROW(t.AddRow({"only-one"}), PreconditionError);
+}
+
+TEST(FmtHelper, Precision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Fmt(10.0, 1), "10.0");
+}
+
+}  // namespace
+}  // namespace emis

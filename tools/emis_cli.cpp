@@ -1,0 +1,242 @@
+// emis_cli — run the library from the command line.
+//
+//   emis_cli algorithms
+//   emis_cli gen   <graph-spec> [--seed S] [--out FILE]
+//   emis_cli run   --graph <spec | file:PATH> --alg <name>
+//                  [--seed S] [--preset practical|theory] [--delta-unknown]
+//                  [--trace FILE.csv] [--quiet]
+//   emis_cli sweep --alg <name> --family <spec-with-n-omitted? no: family key>
+//                  --sizes 64,128,... [--seeds K] [--delta-unknown]
+//
+// Exit status: 0 on success (and valid MIS for `run`), 1 on invalid MIS,
+// 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "radio/graph_io.hpp"
+#include "verify/experiment.hpp"
+
+namespace emis::cli {
+namespace {
+
+const std::map<std::string, MisAlgorithm>& AlgorithmsByName() {
+  static const std::map<std::string, MisAlgorithm> kMap = {
+      {"cd", MisAlgorithm::kCd},
+      {"cd-beeping", MisAlgorithm::kCdBeeping},
+      {"cd-naive-luby", MisAlgorithm::kCdNaive},
+      {"nocd", MisAlgorithm::kNoCd},
+      {"nocd-davies-profile", MisAlgorithm::kNoCdDaviesProfile},
+      {"nocd-naive-luby", MisAlgorithm::kNoCdNaive},
+      {"nocd-unknown-delta", MisAlgorithm::kNoCdUnknownDelta},
+      {"nocd-round-efficient", MisAlgorithm::kNoCdRoundEfficient},
+  };
+  return kMap;
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+  bool Has(const std::string& key) const { return named.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+};
+
+Flags Parse(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      // Boolean flags take no value; everything else consumes the next arg.
+      if (key == "delta-unknown" || key == "quiet") {
+        flags.named[key] = "1";
+      } else if (i + 1 < argc) {
+        flags.named[key] = argv[++i];
+      } else {
+        throw PreconditionError("flag --" + key + " needs a value");
+      }
+    } else {
+      flags.positional.push_back(std::move(arg));
+    }
+  }
+  return flags;
+}
+
+Graph LoadGraph(const std::string& source, std::uint64_t seed) {
+  if (source.rfind("file:", 0) == 0) {
+    const std::string path = source.substr(5);
+    std::ifstream in(path);
+    EMIS_REQUIRE(in.good(), "cannot open graph file '" + path + "'");
+    return ReadEdgeList(in);
+  }
+  Rng rng(seed ^ 0xC0FFEEULL);
+  return GraphFromSpec(source, rng);
+}
+
+int CmdAlgorithms() {
+  std::printf("algorithm            channel   paper artifact\n");
+  std::printf("cd                   CD        Algorithm 1 (Thm 2: O(log n) energy)\n");
+  std::printf("cd-beeping           beeping   Algorithm 1, beeping variant (§3.1)\n");
+  std::printf("cd-naive-luby        CD        §1.3 naive baseline (Θ(log² n) energy)\n");
+  std::printf("nocd                 no-CD     Algorithm 2 (Thm 10: O(log² n loglog n))\n");
+  std::printf("nocd-davies-profile  no-CD     Davies'23 energy profile (Θ(log² n logΔ))\n");
+  std::printf("nocd-naive-luby      no-CD     §1.3 naive baseline (O(log⁴ n))\n");
+  std::printf("nocd-unknown-delta   no-CD     §1.1 Δ-doubling wrapper around Alg 2\n");
+  std::printf("nocd-round-efficient no-CD     §4.2-style Ghaffari simulation (Davies'23 stand-in)\n");
+  return 0;
+}
+
+int CmdGen(const Flags& flags) {
+  EMIS_REQUIRE(flags.positional.size() == 1, "gen needs exactly one graph spec");
+  const std::uint64_t seed = std::stoull(flags.Get("seed", "1"));
+  Rng rng(seed);
+  const Graph g = GraphFromSpec(flags.positional[0], rng);
+  const std::string out_path = flags.Get("out");
+  if (out_path.empty()) {
+    WriteEdgeList(std::cout, g);
+  } else {
+    std::ofstream out(out_path);
+    EMIS_REQUIRE(out.good(), "cannot write '" + out_path + "'");
+    WriteEdgeList(out, g);
+    std::printf("wrote %u nodes, %llu edges to %s\n", g.NumNodes(),
+                static_cast<unsigned long long>(g.NumEdges()), out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  const std::string alg_name = flags.Get("alg", "cd");
+  const auto alg_it = AlgorithmsByName().find(alg_name);
+  EMIS_REQUIRE(alg_it != AlgorithmsByName().end(),
+               "unknown algorithm '" + alg_name + "' (see `emis_cli algorithms`)");
+  const std::string graph_spec = flags.Get("graph");
+  EMIS_REQUIRE(!graph_spec.empty(), "run needs --graph <spec|file:PATH>");
+  const std::uint64_t seed = std::stoull(flags.Get("seed", "1"));
+
+  const Graph g = LoadGraph(graph_spec, seed);
+
+  MisRunConfig cfg{.algorithm = alg_it->second, .seed = seed};
+  const std::string preset = flags.Get("preset", "practical");
+  EMIS_REQUIRE(preset == "practical" || preset == "theory",
+               "--preset must be practical or theory");
+  cfg.preset = preset == "theory" ? ParamPreset::kTheory : ParamPreset::kPractical;
+  if (flags.Has("delta-unknown")) cfg.delta_estimate = g.NumNodes();
+
+  std::ofstream trace_file;
+  std::optional<CsvTrace> trace;
+  if (flags.Has("trace")) {
+    trace_file.open(flags.Get("trace"));
+    EMIS_REQUIRE(trace_file.good(), "cannot write trace file");
+    trace.emplace(trace_file);
+    cfg.trace = &*trace;
+  }
+
+  const MisRunResult r = RunMis(g, cfg);
+  if (!flags.Has("quiet")) {
+    std::printf("graph:       %u nodes, %llu edges, max degree %u\n", g.NumNodes(),
+                static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
+    std::printf("algorithm:   %s (%s channel, %s preset)\n", alg_name.c_str(),
+                std::string(ToString(ModelFor(cfg.algorithm))).c_str(),
+                preset.c_str());
+    std::printf("valid MIS:   %s\n", r.Valid() ? "yes" : "NO");
+    if (!r.Valid()) std::printf("violations:  %s\n", r.report.Describe().c_str());
+    std::printf("|MIS|:       %llu\n", static_cast<unsigned long long>(r.MisSize()));
+    std::printf("rounds:      %llu\n",
+                static_cast<unsigned long long>(r.stats.rounds_used));
+    std::printf("energy max:  %llu awake rounds\n",
+                static_cast<unsigned long long>(r.energy.MaxAwake()));
+    std::printf("energy avg:  %.2f awake rounds\n", r.energy.AverageAwake());
+    std::printf("energy p50:  %llu / p90: %llu\n",
+                static_cast<unsigned long long>(r.energy.PercentileAwake(50)),
+                static_cast<unsigned long long>(r.energy.PercentileAwake(90)));
+  }
+  return r.Valid() ? 0 : 1;
+}
+
+int CmdSweep(const Flags& flags) {
+  const std::string alg_name = flags.Get("alg", "cd");
+  const auto alg_it = AlgorithmsByName().find(alg_name);
+  EMIS_REQUIRE(alg_it != AlgorithmsByName().end(),
+               "unknown algorithm '" + alg_name + "'");
+  const std::string family = flags.Get("family", "er");
+  const std::string sizes_csv = flags.Get("sizes", "64,128,256,512");
+
+  SweepConfig cfg;
+  cfg.algorithm = alg_it->second;
+  cfg.seeds_per_size = static_cast<std::uint32_t>(std::stoul(flags.Get("seeds", "5")));
+  cfg.delta_unknown = flags.Has("delta-unknown");
+  std::istringstream ss(sizes_csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    cfg.sizes.push_back(static_cast<NodeId>(std::stoul(item)));
+  }
+  if (family == "er") {
+    cfg.factory = families::SparseErdosRenyi(std::stod(flags.Get("avg-degree", "8")));
+  } else if (family == "udg") {
+    cfg.factory = families::UnitDisk(std::stod(flags.Get("avg-degree", "8")));
+  } else if (family == "star") {
+    cfg.factory = families::StarFamily();
+  } else if (family == "tree") {
+    cfg.factory = families::TreeFamily();
+  } else if (family == "matching") {
+    cfg.factory = families::LowerBoundFamily();
+  } else if (family == "complete") {
+    cfg.factory = families::CompleteFamily();
+  } else {
+    throw PreconditionError("unknown sweep family '" + family +
+                            "' (er, udg, star, tree, matching, complete)");
+  }
+  const auto points = RunSweep(cfg);
+  std::printf("%s", RenderSweep("algorithm " + alg_name + ", family " + family,
+                                points)
+                        .c_str());
+  return 0;
+}
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  emis_cli algorithms\n"
+      "  emis_cli gen <graph-spec> [--seed S] [--out FILE]\n"
+      "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
+      "               [--preset practical|theory] [--delta-unknown]\n"
+      "               [--trace FILE.csv] [--quiet]\n"
+      "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
+      "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
+      "               [--delta-unknown]\n"
+      "graph specs: %s\n",
+      GraphSpecHelp().c_str());
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "algorithms") return CmdAlgorithms();
+    const Flags flags = Parse(argc, argv, 2);
+    if (cmd == "gen") return CmdGen(flags);
+    if (cmd == "run") return CmdRun(flags);
+    if (cmd == "sweep") return CmdSweep(flags);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+}  // namespace emis::cli
+
+int main(int argc, char** argv) { return emis::cli::Main(argc, argv); }
