@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_wakeup.dir/bench_async_wakeup.cpp.o"
+  "CMakeFiles/bench_async_wakeup.dir/bench_async_wakeup.cpp.o.d"
+  "bench_async_wakeup"
+  "bench_async_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_awake_profiles.dir/bench_awake_profiles.cpp.o"
+  "CMakeFiles/bench_awake_profiles.dir/bench_awake_profiles.cpp.o.d"
+  "bench_awake_profiles"
+  "bench_awake_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_awake_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

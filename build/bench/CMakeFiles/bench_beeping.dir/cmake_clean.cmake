@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beeping.dir/bench_beeping.cpp.o"
+  "CMakeFiles/bench_beeping.dir/bench_beeping.cpp.o.d"
+  "bench_beeping"
+  "bench_beeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cd_rounds.dir/bench_cd_rounds.cpp.o"
+  "CMakeFiles/bench_cd_rounds.dir/bench_cd_rounds.cpp.o.d"
+  "bench_cd_rounds"
+  "bench_cd_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cd_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_degree.dir/bench_commit_degree.cpp.o"
+  "CMakeFiles/bench_commit_degree.dir/bench_commit_degree.cpp.o.d"
+  "bench_commit_degree"
+  "bench_commit_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

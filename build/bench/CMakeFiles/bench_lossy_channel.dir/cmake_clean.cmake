@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lossy_channel.dir/bench_lossy_channel.cpp.o"
+  "CMakeFiles/bench_lossy_channel.dir/bench_lossy_channel.cpp.o.d"
+  "bench_lossy_channel"
+  "bench_lossy_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lossy_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

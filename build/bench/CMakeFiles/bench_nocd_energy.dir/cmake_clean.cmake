@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nocd_energy.dir/bench_nocd_energy.cpp.o"
+  "CMakeFiles/bench_nocd_energy.dir/bench_nocd_energy.cpp.o.d"
+  "bench_nocd_energy"
+  "bench_nocd_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nocd_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nocd_rounds.dir/bench_nocd_rounds.cpp.o"
+  "CMakeFiles/bench_nocd_rounds.dir/bench_nocd_rounds.cpp.o.d"
+  "bench_nocd_rounds"
+  "bench_nocd_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nocd_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_residual_decay.dir/bench_residual_decay.cpp.o"
+  "CMakeFiles/bench_residual_decay.dir/bench_residual_decay.cpp.o.d"
+  "bench_residual_decay"
+  "bench_residual_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_residual_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_lower_bound.dir/adversarial_lower_bound.cpp.o"
+  "CMakeFiles/adversarial_lower_bound.dir/adversarial_lower_bound.cpp.o.d"
+  "adversarial_lower_bound"
+  "adversarial_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_and_coloring.dir/clustering_and_coloring.cpp.o"
+  "CMakeFiles/clustering_and_coloring.dir/clustering_and_coloring.cpp.o.d"
+  "clustering_and_coloring"
+  "clustering_and_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_and_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_backbone.dir/sensor_backbone.cpp.o"
+  "CMakeFiles/sensor_backbone.dir/sensor_backbone.cpp.o.d"
+  "sensor_backbone"
+  "sensor_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

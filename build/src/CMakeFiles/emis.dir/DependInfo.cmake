@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/backbone.cpp" "src/CMakeFiles/emis.dir/apps/backbone.cpp.o" "gcc" "src/CMakeFiles/emis.dir/apps/backbone.cpp.o.d"
+  "/root/repo/src/apps/broadcast.cpp" "src/CMakeFiles/emis.dir/apps/broadcast.cpp.o" "gcc" "src/CMakeFiles/emis.dir/apps/broadcast.cpp.o.d"
+  "/root/repo/src/apps/coloring.cpp" "src/CMakeFiles/emis.dir/apps/coloring.cpp.o" "gcc" "src/CMakeFiles/emis.dir/apps/coloring.cpp.o.d"
+  "/root/repo/src/apps/leader_election.cpp" "src/CMakeFiles/emis.dir/apps/leader_election.cpp.o" "gcc" "src/CMakeFiles/emis.dir/apps/leader_election.cpp.o.d"
+  "/root/repo/src/baselines/greedy_mis.cpp" "src/CMakeFiles/emis.dir/baselines/greedy_mis.cpp.o" "gcc" "src/CMakeFiles/emis.dir/baselines/greedy_mis.cpp.o.d"
+  "/root/repo/src/baselines/luby_congest.cpp" "src/CMakeFiles/emis.dir/baselines/luby_congest.cpp.o" "gcc" "src/CMakeFiles/emis.dir/baselines/luby_congest.cpp.o.d"
+  "/root/repo/src/core/async_wakeup.cpp" "src/CMakeFiles/emis.dir/core/async_wakeup.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/async_wakeup.cpp.o.d"
+  "/root/repo/src/core/backoff.cpp" "src/CMakeFiles/emis.dir/core/backoff.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/backoff.cpp.o.d"
+  "/root/repo/src/core/competition.cpp" "src/CMakeFiles/emis.dir/core/competition.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/competition.cpp.o.d"
+  "/root/repo/src/core/delta_doubling.cpp" "src/CMakeFiles/emis.dir/core/delta_doubling.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/delta_doubling.cpp.o.d"
+  "/root/repo/src/core/ghaffari_mis.cpp" "src/CMakeFiles/emis.dir/core/ghaffari_mis.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/ghaffari_mis.cpp.o.d"
+  "/root/repo/src/core/mis_cd.cpp" "src/CMakeFiles/emis.dir/core/mis_cd.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/mis_cd.cpp.o.d"
+  "/root/repo/src/core/mis_nocd.cpp" "src/CMakeFiles/emis.dir/core/mis_nocd.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/mis_nocd.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/emis.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/simulated_cd_mis.cpp" "src/CMakeFiles/emis.dir/core/simulated_cd_mis.cpp.o" "gcc" "src/CMakeFiles/emis.dir/core/simulated_cd_mis.cpp.o.d"
+  "/root/repo/src/radio/graph.cpp" "src/CMakeFiles/emis.dir/radio/graph.cpp.o" "gcc" "src/CMakeFiles/emis.dir/radio/graph.cpp.o.d"
+  "/root/repo/src/radio/graph_generators.cpp" "src/CMakeFiles/emis.dir/radio/graph_generators.cpp.o" "gcc" "src/CMakeFiles/emis.dir/radio/graph_generators.cpp.o.d"
+  "/root/repo/src/radio/graph_io.cpp" "src/CMakeFiles/emis.dir/radio/graph_io.cpp.o" "gcc" "src/CMakeFiles/emis.dir/radio/graph_io.cpp.o.d"
+  "/root/repo/src/radio/scheduler.cpp" "src/CMakeFiles/emis.dir/radio/scheduler.cpp.o" "gcc" "src/CMakeFiles/emis.dir/radio/scheduler.cpp.o.d"
+  "/root/repo/src/radio/trace.cpp" "src/CMakeFiles/emis.dir/radio/trace.cpp.o" "gcc" "src/CMakeFiles/emis.dir/radio/trace.cpp.o.d"
+  "/root/repo/src/verify/experiment.cpp" "src/CMakeFiles/emis.dir/verify/experiment.cpp.o" "gcc" "src/CMakeFiles/emis.dir/verify/experiment.cpp.o.d"
+  "/root/repo/src/verify/mis_checker.cpp" "src/CMakeFiles/emis.dir/verify/mis_checker.cpp.o" "gcc" "src/CMakeFiles/emis.dir/verify/mis_checker.cpp.o.d"
+  "/root/repo/src/verify/stats.cpp" "src/CMakeFiles/emis.dir/verify/stats.cpp.o" "gcc" "src/CMakeFiles/emis.dir/verify/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_wakeup.dir/test_async_wakeup.cpp.o"
+  "CMakeFiles/test_async_wakeup.dir/test_async_wakeup.cpp.o.d"
+  "test_async_wakeup"
+  "test_async_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

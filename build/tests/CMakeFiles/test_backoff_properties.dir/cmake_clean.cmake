@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backoff_properties.dir/test_backoff_properties.cpp.o"
+  "CMakeFiles/test_backoff_properties.dir/test_backoff_properties.cpp.o.d"
+  "test_backoff_properties"
+  "test_backoff_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backoff_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_competition.dir/test_competition.cpp.o"
+  "CMakeFiles/test_competition.dir/test_competition.cpp.o.d"
+  "test_competition"
+  "test_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

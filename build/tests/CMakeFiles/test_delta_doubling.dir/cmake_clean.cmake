@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_doubling.dir/test_delta_doubling.cpp.o"
+  "CMakeFiles/test_delta_doubling.dir/test_delta_doubling.cpp.o.d"
+  "test_delta_doubling"
+  "test_delta_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghaffari.dir/test_ghaffari.cpp.o"
+  "CMakeFiles/test_ghaffari.dir/test_ghaffari.cpp.o.d"
+  "test_ghaffari"
+  "test_ghaffari.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghaffari.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossy_channel.dir/test_lossy_channel.cpp.o"
+  "CMakeFiles/test_lossy_channel.dir/test_lossy_channel.cpp.o.d"
+  "test_lossy_channel"
+  "test_lossy_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossy_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

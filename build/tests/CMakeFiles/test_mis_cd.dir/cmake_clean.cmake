@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_cd.dir/test_mis_cd.cpp.o"
+  "CMakeFiles/test_mis_cd.dir/test_mis_cd.cpp.o.d"
+  "test_mis_cd"
+  "test_mis_cd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_cd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

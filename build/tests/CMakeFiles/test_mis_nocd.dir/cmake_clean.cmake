@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mis_nocd.dir/test_mis_nocd.cpp.o"
+  "CMakeFiles/test_mis_nocd.dir/test_mis_nocd.cpp.o.d"
+  "test_mis_nocd"
+  "test_mis_nocd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mis_nocd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process.dir/test_process.cpp.o"
+  "CMakeFiles/test_process.dir/test_process.cpp.o.d"
+  "test_process"
+  "test_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulated_cd.dir/test_simulated_cd.cpp.o"
+  "CMakeFiles/test_simulated_cd.dir/test_simulated_cd.cpp.o.d"
+  "test_simulated_cd"
+  "test_simulated_cd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulated_cd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_simulated_cd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emis_cli.dir/emis_cli.cpp.o"
+  "CMakeFiles/emis_cli.dir/emis_cli.cpp.o.d"
+  "emis_cli"
+  "emis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
