@@ -20,6 +20,8 @@ void RunFamily(const std::string& name, GraphFactory factory) {
   const auto efficient = RunSweep(cfg);
   cfg.algorithm = MisAlgorithm::kCdNaive;
   const auto naive = RunSweep(cfg);
+  bench::RecordSweep(name + " / cd", efficient);
+  bench::RecordSweep(name + " / cd-naive-luby", naive);
 
   Table table({"n", "log2 n", "Alg1 energy", "naive energy", "ratio",
                "Alg1 energy/log n", "naive energy/log^2 n", "ok"});

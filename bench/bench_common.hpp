@@ -7,20 +7,34 @@
 //     the measurement matches the claim's shape.
 // Exit code is 0 even on shape failures (so `for b in bench/*; do $b; done`
 // runs everything); verdicts are for the human/EXPERIMENTS.md.
+//
+// When the environment variable EMIS_BENCH_JSON names a file, Footer()
+// additionally writes everything Banner/Verdict/RecordSweep saw as an
+// "emis-bench-report/1" JSON document (see obs/report.hpp for the schema),
+// which CI validates with `emis_cli validate-report`.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "obs/report.hpp"
 #include "verify/experiment.hpp"
 #include "verify/stats.hpp"
 
 namespace emis::bench {
 
 inline int g_failures = 0;
+inline std::string g_bench_id;
+inline std::string g_bench_claim;
+inline obs::JsonValue g_verdicts = obs::JsonValue::MakeArray();
+inline obs::JsonValue g_sweeps = obs::JsonValue::MakeArray();
 
 inline void Banner(const std::string& id, const std::string& claim) {
+  g_bench_id = id;
+  g_bench_claim = claim;
   std::printf("==============================================================\n");
   std::printf("%s\n", id.c_str());
   std::printf("Claim: %s\n", claim.c_str());
@@ -30,6 +44,32 @@ inline void Banner(const std::string& id, const std::string& claim) {
 inline void Verdict(bool ok, const std::string& what) {
   std::printf("SHAPE-CHECK [%s] %s\n", ok ? "pass" : "FAIL", what.c_str());
   if (!ok) ++g_failures;
+  obs::JsonValue entry = obs::JsonValue::MakeObject();
+  entry.Set("what", what);
+  entry.Set("ok", ok);
+  g_verdicts.Push(std::move(entry));
+}
+
+/// Saves a sweep's aggregate columns for the JSON artifact. Call once per
+/// rendered table; a no-op for the human-readable output.
+inline void RecordSweep(const std::string& title,
+                        const std::vector<SweepPoint>& points) {
+  obs::JsonValue sweep = obs::JsonValue::MakeObject();
+  sweep.Set("title", title);
+  obs::JsonValue rows = obs::JsonValue::MakeArray();
+  for (const SweepPoint& p : points) {
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("n", static_cast<std::uint64_t>(p.n));
+    row.Set("runs", static_cast<std::uint64_t>(p.runs));
+    row.Set("failures", static_cast<std::uint64_t>(p.failures));
+    row.Set("max_energy_mean", p.max_energy.mean);
+    row.Set("avg_energy_mean", p.avg_energy.mean);
+    row.Set("rounds_mean", p.rounds.mean);
+    row.Set("mis_size_mean", p.mis_size.mean);
+    rows.Push(std::move(row));
+  }
+  sweep.Set("points", std::move(rows));
+  g_sweeps.Push(std::move(sweep));
 }
 
 inline void Footer() {
@@ -37,6 +77,23 @@ inline void Footer() {
     std::printf("\nAll shape checks passed.\n");
   } else {
     std::printf("\n%d shape check(s) FAILED.\n", g_failures);
+  }
+  const char* json_path = std::getenv("EMIS_BENCH_JSON");
+  if (json_path != nullptr && json_path[0] != '\0') {
+    obs::JsonValue doc = obs::JsonValue::MakeObject();
+    doc.Set("schema", obs::kBenchReportSchema);
+    doc.Set("bench", g_bench_id);
+    doc.Set("claim", g_bench_claim);
+    doc.Set("failures", static_cast<std::int64_t>(g_failures));
+    doc.Set("verdicts", std::move(g_verdicts));
+    doc.Set("sweeps", std::move(g_sweeps));
+    std::ofstream out(json_path);
+    if (out.good()) {
+      out << doc.Dump(2) << '\n';
+      std::printf("wrote %s\n", json_path);
+    } else {
+      std::fprintf(stderr, "cannot write EMIS_BENCH_JSON=%s\n", json_path);
+    }
   }
 }
 

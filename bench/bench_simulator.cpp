@@ -6,6 +6,8 @@
 
 #include "core/backoff.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
 #include "radio/channel.hpp"
 #include "radio/graph_generators.hpp"
 #include "radio/scheduler.hpp"
@@ -67,6 +69,24 @@ void BM_SchedulerNodeRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerNodeRounds)->Arg(256)->Arg(4096);
 
+void BM_SchedulerNodeRoundsInstrumented(benchmark::State& state) {
+  // Same workload with a MetricsRegistry attached: the delta against
+  // BM_SchedulerNodeRounds is the observability overhead (budget: <= 5%).
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(3);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  const std::uint32_t kRounds = 64;
+  obs::MetricsRegistry metrics;
+  for (auto _ : state) {
+    Scheduler sched(g, {.model = ChannelModel::kCd, .metrics = &metrics}, 7);
+    sched.Spawn([&](NodeApi api) { return PingPong(api, kRounds); });
+    const RunStats stats = sched.Run();
+    benchmark::DoNotOptimize(stats.node_rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * n * kRounds);
+}
+BENCHMARK(BM_SchedulerNodeRoundsInstrumented)->Arg(256)->Arg(4096);
+
 void BM_RoundSkipping(benchmark::State& state) {
   // A single pair exchanging one message across a huge sleep gap: measures
   // the event-driven jump, which must not scale with the gap.
@@ -118,6 +138,24 @@ void BM_MisCdEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_MisCdEndToEnd)->Arg(1024)->Arg(8192);
+
+void BM_MisCdEndToEndInstrumented(benchmark::State& state) {
+  // Full observability (registry + timeline + residual probes) on the same
+  // end-to-end run as BM_MisCdEndToEnd.
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  obs::MetricsRegistry metrics;
+  for (auto _ : state) {
+    obs::PhaseTimeline timeline;
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = ++seed,
+                              .metrics = &metrics, .timeline = &timeline});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MisCdEndToEndInstrumented)->Arg(1024)->Arg(8192);
 
 void BM_MisNoCdEndToEnd(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));

@@ -73,6 +73,7 @@ proc::Task<std::optional<std::uint64_t>> RecEBackoffCapture(NodeApi api,
 }
 
 proc::Task<void> SndDecay(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  api.SubPhase("decay");
   const std::uint32_t window = BackoffWindow(delta);
   for (std::uint32_t i = 0; i < k; ++i) {
     // Transmit a geometric prefix: all senders start together and each keeps
@@ -91,6 +92,7 @@ proc::Task<void> SndDecay(NodeApi api, std::uint32_t k, std::uint32_t delta) {
 }
 
 proc::Task<bool> RecDecay(NodeApi api, std::uint32_t k, std::uint32_t delta) {
+  api.SubPhase("decay");
   const Round total = BackoffRounds(k, delta);
   bool heard = false;
   for (Round j = 0; j < total; ++j) {

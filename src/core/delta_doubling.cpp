@@ -50,6 +50,9 @@ proc::Task<void> DeltaDoublingMisNode(NodeApi api, DeltaDoublingParams params,
   Round epoch_start = 0;
   const std::vector<std::uint32_t> guesses = params.Guesses();
   for (std::uint32_t guess : guesses) {
+    // Spans the verification window; the nested epoch's "luby-phase"
+    // annotations take over from there.
+    api.Phase("delta-epoch", guess);
     // --- 1. Verification window -----------------------------------------
     // Only in-MIS nodes are awake; each iteration they either announce or
     // listen (fair coin). Hearing anything here means an MIS neighbor:

@@ -50,6 +50,7 @@ proc::Task<MisStatus> GhaffariMisRun(NodeApi api, GhaffariParams params) {
 
   for (std::uint32_t t = 0; t < params.iterations; ++t) {
     const Round iter_start = start + static_cast<Round>(t) * iter_rounds;
+    if (params.annotate_phases) api.Phase("ghaffari-iter", t);
     const Round announce_start = iter_start + params.MarkExchangeRounds();
     const Round estimate_start = announce_start + params.AnnounceRounds();
     const Round iter_end = iter_start + iter_rounds;
@@ -107,6 +108,7 @@ namespace {
 
 proc::Task<void> Standalone(NodeApi api, GhaffariParams params,
                             std::vector<MisStatus>* out) {
+  params.annotate_phases = true;
   (*out)[api.Id()] = MisStatus::kUndecided;
   (*out)[api.Id()] = co_await GhaffariMisRun(api, params);
 }

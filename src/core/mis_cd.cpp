@@ -61,6 +61,7 @@ proc::Task<void> MisCdEpoch(NodeApi api, CdParams params, MisStatus* out_status)
   const std::uint32_t reps = std::max(1u, params.repetitions);
 
   for (std::uint32_t phase = 0; phase < params.luby_phases; ++phase) {
+    api.Phase("luby-phase", phase);
     bool lost = false;
     // Competition: β log n Bitty phases, rank bits drawn lazily.
     for (std::uint32_t j = 0; j < params.rank_bits; ++j) {

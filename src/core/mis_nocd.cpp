@@ -26,20 +26,25 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
       // MIS nodes sleep through the competition and announce in both deep
       // checks and the shallow check (Alg. 2 lines 4, 7, 15, 26).
       co_await api.SleepUntil(phase_start + sched.CompetitionEnd());
+      api.SubPhase("deep-check");
       co_await SndEBackoff(api, params.deep_reps, params.delta);
       co_await SndEBackoff(api, params.deep_reps, params.delta);
       co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+      api.SubPhase("shallow-check");
       co_await SndEBackoff(api, params.shallow_reps, params.delta);
       continue;
     }
     if (*status != MisStatus::kUndecided) co_return;  // decided earlier
 
     co_await api.SleepUntil(phase_start);
+    api.Phase("luby-phase", i);
+    api.SubPhase("competition");
     const CompetitionOutcome outcome = co_await Competition(api, params);
 
     switch (outcome) {
       case CompetitionOutcome::kWin: {
         // Deep check A: listen for MIS neighbors before joining (lines 8-11).
+        api.SubPhase("deep-check");
         const bool heard =
             co_await RecEBackoff(api, params.deep_reps, params.delta, params.delta);
         if (heard) {
@@ -52,6 +57,7 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
         // hear us (lines 14-15), then sleep through the LowDegreeMIS window.
         co_await SndEBackoff(api, params.deep_reps, params.delta);
         co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+        api.SubPhase("shallow-check");
         co_await SndEBackoff(api, params.shallow_reps, params.delta);
         break;
       }
@@ -59,6 +65,7 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
         // Committed nodes sleep through deep check A (line 12)...
         co_await api.SleepUntil(phase_start + sched.FirstDeepEnd());
         // ...then deep-check for MIS neighbors, old and fresh (lines 17-20).
+        api.SubPhase("deep-check");
         const bool heard =
             co_await RecEBackoff(api, params.deep_reps, params.delta, params.delta);
         if (heard) {
@@ -67,6 +74,7 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
         }
         // Survivors induce an O(log n)-degree subgraph (Cor. 13): resolve
         // with LowDegreeMIS inside the T_G window (lines 21-23).
+        api.SubPhase("low-degree-mis");
         const MisStatus sub =
             params.low_degree_kind == LowDegreeKind::kGhaffari
                 ? co_await GhaffariMisRun(api, params.low_degree_ghaffari)
@@ -80,6 +88,7 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
         }
         co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
         // Shallow check (lines 26-30).
+        api.SubPhase("shallow-check");
         if (*in_mis) {
           co_await SndEBackoff(api, params.shallow_reps, params.delta);
         } else {
@@ -96,6 +105,7 @@ proc::Task<void> MisNoCdEpoch(NodeApi api, NoCdParams params, Round start,
         // Losers sleep until the shallow check (lines 12, 24), then listen
         // once for an MIS neighbor (lines 28-30).
         co_await api.SleepUntil(phase_start + sched.LowDegreeEnd());
+        api.SubPhase("shallow-check");
         const bool shallow = co_await RecEBackoff(api, params.shallow_reps,
                                                   params.delta, params.delta);
         if (shallow) {

@@ -123,6 +123,11 @@ struct SimCdParams {
   std::uint32_t delta = 0;        ///< degree bound Δ defining the window
   std::uint32_t delta_est = 0;    ///< receiver listen bound Δ_est (≤ Δ)
   BackoffStyle style = BackoffStyle::kEnergyEfficient;
+  /// Emit NodeApi::Phase("luby-phase", k) annotations. On by default only in
+  /// the standalone protocol: when embedded as Algorithm 2's LowDegreeMIS the
+  /// enclosing phase structure belongs to the caller, which marks the window
+  /// with a single "low-degree-mis" sub-phase instead.
+  bool annotate_phases = false;
 
   std::uint32_t BittyReps() const noexcept { return bitty_reps == 0 ? reps : bitty_reps; }
   /// Rounds of one Bitty phase (= one BittyReps()-repeated backoff).
@@ -165,6 +170,9 @@ struct GhaffariParams {
   /// Crowdedness threshold θ: a subsampling level hearing ≥ θ·m clean slots
   /// marks the neighborhood as crowded (effective degree ≥ ~2).
   double crowded_threshold = 0.33;
+  /// Emit NodeApi::Phase("ghaffari-iter", t) annotations; same contract as
+  /// SimCdParams::annotate_phases (standalone only).
+  bool annotate_phases = false;
 
   std::uint32_t Levels() const noexcept { return CeilLog2(delta) + 2; }
   Round MarkExchangeRounds() const noexcept {

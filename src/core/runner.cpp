@@ -87,8 +87,25 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
   Scheduler scheduler(
       graph,
       {.model = ModelFor(config.algorithm), .max_rounds = config.max_rounds,
-       .trace = config.trace, .link_loss = config.link_loss},
+       .trace = config.trace, .link_loss = config.link_loss,
+       .metrics = config.metrics, .timeline = config.timeline},
       config.seed);
+
+  if (config.timeline != nullptr) {
+    // Residual graph at each phase boundary: edges whose endpoints are both
+    // still undecided — the quantity Lemma 5 / Lemma 20 argue halves/decays
+    // per Luby phase. O(m) per probe, and probes happen once per phase.
+    config.timeline->SetResidualProbe([&graph, &status = result.status] {
+      std::uint64_t residual = 0;
+      for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+        if (status[u] != MisStatus::kUndecided) continue;
+        for (const NodeId v : graph.Neighbors(u)) {
+          residual += u < v && status[v] == MisStatus::kUndecided;
+        }
+      }
+      return residual;
+    });
+  }
 
   switch (config.algorithm) {
     case MisAlgorithm::kCd:
@@ -119,6 +136,13 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
   }
 
   result.stats = scheduler.Run();
+  if (config.timeline != nullptr) {
+    // Close any span left open by a protocol that went quiet without
+    // finishing (the scheduler closes only on completion / round limit), and
+    // drop the probe — it references result.status, which this frame owns.
+    config.timeline->Close(result.stats.rounds_used);
+    config.timeline->SetResidualProbe(nullptr);
+  }
   result.energy = scheduler.Energy();
   result.report = CheckMis(graph, result.status);
   return result;

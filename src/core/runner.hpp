@@ -90,6 +90,15 @@ struct MisRunConfig {
   /// assumes a reliable channel). Combine with CdParams::repetitions to
   /// harden Algorithm 1 against it.
   double link_loss = 0.0;
+
+  /// Optional observability (src/obs/): a metrics registry fed by the
+  /// scheduler's hot-path timers/counters, and a phase timeline fed by the
+  /// protocols' NodeApi::Phase annotations. RunMis additionally installs a
+  /// residual-edge probe on the timeline (edges between still-undecided
+  /// nodes), making Lemma 5 / Lemma 20 decay visible per phase. Both are
+  /// caller-owned and may be serialized afterwards with obs/report.hpp.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::PhaseTimeline* timeline = nullptr;
 };
 
 struct MisRunResult {

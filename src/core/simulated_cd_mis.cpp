@@ -10,6 +10,7 @@ proc::Task<MisStatus> SimulatedCdMisRun(NodeApi api, SimCdParams params) {
   for (std::uint32_t phase = 0; phase < params.luby_phases; ++phase) {
     const Round phase_start = start + static_cast<Round>(phase) * phase_rounds;
     const Round check_start = phase_start + static_cast<Round>(params.rank_bits) * bitty;
+    if (params.annotate_phases) api.Phase("luby-phase", phase);
 
     bool lost = false;
     for (std::uint32_t j = 0; j < params.rank_bits && !lost; ++j) {
@@ -42,6 +43,7 @@ namespace {
 
 proc::Task<void> Standalone(NodeApi api, SimCdParams params,
                             std::vector<MisStatus>* out) {
+  params.annotate_phases = true;
   (*out)[api.Id()] = MisStatus::kUndecided;
   (*out)[api.Id()] = co_await SimulatedCdMisRun(api, params);
 }

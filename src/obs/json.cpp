@@ -1,0 +1,287 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace emis::obs {
+namespace {
+
+void AppendNumber(std::string& out, double d) {
+  // Integers (the common case: rounds, counts) render without a fraction so
+  // reports stay diff-friendly; everything else gets shortest-roundtrip via
+  // %.17g trimmed by to_chars when available.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; clamp to null (observability data, not math).
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, res.ptr);
+}
+
+void DumpTo(const JsonValue& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(out, v.AsNumber());
+      break;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += EscapeJson(v.AsString());
+      out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.Items()) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        DumpTo(item, out, indent, depth + 1);
+      }
+      if (!v.Items().empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.Entries()) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += EscapeJson(key);
+        out += pretty ? "\": " : "\":";
+        DumpTo(value, out, indent, depth + 1);
+      }
+      if (!v.Entries().empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWhitespace();
+    EMIS_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    EMIS_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    EMIS_REQUIRE(Peek() == c, std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return JsonValue(ParseString());
+      case 't':
+        EMIS_REQUIRE(ConsumeLiteral("true"), "bad JSON literal");
+        return JsonValue(true);
+      case 'f':
+        EMIS_REQUIRE(ConsumeLiteral("false"), "bad JSON literal");
+        return JsonValue(false);
+      case 'n':
+        EMIS_REQUIRE(ConsumeLiteral("null"), "bad JSON literal");
+        return JsonValue();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue obj = JsonValue::MakeObject();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      EMIS_REQUIRE(Peek() == '"', "JSON object key must be a string");
+      std::string key = ParseString();
+      Expect(':');
+      obj.Set(std::move(key), ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue arr = JsonValue::MakeArray();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.Push(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return arr;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      EMIS_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      EMIS_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          EMIS_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else EMIS_REQUIRE(false, "bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the emitters only escape control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: EMIS_REQUIRE(false, "bad JSON escape character");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    SkipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    EMIS_REQUIRE(pos_ > start, "expected a JSON value");
+    double value = 0.0;
+    const auto res = std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    EMIS_REQUIRE(res.ec == std::errc() && res.ptr == text_.data() + pos_,
+                 "malformed JSON number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, out, indent, 0);
+  return out;
+}
+
+JsonValue ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace emis::obs

@@ -1,0 +1,121 @@
+// Minimal JSON document model used by the observability layer.
+//
+// The run-report and bench-artifact schemas (obs/report.hpp) need a writer
+// with correct string escaping and deterministic key order, and the schema
+// validators need a parser; both are small enough that carrying a third-party
+// dependency would cost more than these ~300 lines. Objects preserve
+// insertion order so emitted reports are byte-stable for a given run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "radio/types.hpp"
+
+namespace emis::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// Ordered key/value pairs; duplicate keys are not rejected but Find
+  /// returns the first match.
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}              // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}        // NOLINT
+  JsonValue(std::uint64_t u)                                       // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(std::int64_t i)                                        // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(int i) : kind_(Kind::kNumber), number_(i) {}           // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}        // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}             // NOLINT
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  bool IsNull() const noexcept { return kind_ == Kind::kNull; }
+  bool IsBool() const noexcept { return kind_ == Kind::kBool; }
+  bool IsNumber() const noexcept { return kind_ == Kind::kNumber; }
+  bool IsString() const noexcept { return kind_ == Kind::kString; }
+  bool IsArray() const noexcept { return kind_ == Kind::kArray; }
+  bool IsObject() const noexcept { return kind_ == Kind::kObject; }
+
+  bool AsBool() const {
+    EMIS_REQUIRE(IsBool(), "JSON value is not a bool");
+    return bool_;
+  }
+  double AsNumber() const {
+    EMIS_REQUIRE(IsNumber(), "JSON value is not a number");
+    return number_;
+  }
+  const std::string& AsString() const {
+    EMIS_REQUIRE(IsString(), "JSON value is not a string");
+    return string_;
+  }
+  const Array& Items() const {
+    EMIS_REQUIRE(IsArray(), "JSON value is not an array");
+    return array_;
+  }
+  const Object& Entries() const {
+    EMIS_REQUIRE(IsObject(), "JSON value is not an object");
+    return object_;
+  }
+
+  /// Appends to an array value.
+  void Push(JsonValue v) {
+    EMIS_REQUIRE(IsArray(), "Push needs an array");
+    array_.push_back(std::move(v));
+  }
+  /// Appends a key/value pair to an object value.
+  void Set(std::string key, JsonValue v) {
+    EMIS_REQUIRE(IsObject(), "Set needs an object");
+    object_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// First value under `key`, or nullptr if absent (or not an object).
+  const JsonValue* Find(std::string_view key) const noexcept {
+    if (!IsObject()) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Serializes. indent < 0 renders compact one-line JSON; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string EscapeJson(std::string_view s);
+
+/// Strict recursive-descent parser; throws PreconditionError on malformed
+/// input or trailing garbage. Numbers are parsed as doubles.
+JsonValue ParseJson(std::string_view text);
+
+}  // namespace emis::obs

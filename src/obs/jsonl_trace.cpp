@@ -1,0 +1,29 @@
+#include "obs/jsonl_trace.hpp"
+
+#include <ostream>
+
+namespace emis::obs {
+
+JsonlTraceSink::~JsonlTraceSink() { Flush(); }
+
+void JsonlTraceSink::OnEvent(const TraceEvent& event) {
+  // Hand-rolled emission: every field is numeric or a fixed enum name, and
+  // per-event JsonValue construction would allocate on the hot path.
+  std::ostream& out = *out_;
+  out << "{\"round\":" << event.round << ",\"node\":" << event.node
+      << ",\"action\":\"" << ToString(event.action) << '"';
+  if (event.action == ActionKind::kTransmit) {
+    out << ",\"payload\":" << event.payload;
+  } else if (event.action == ActionKind::kListen) {
+    out << ",\"reception\":\"" << ToString(event.reception.kind) << '"';
+    if (event.reception.kind == ReceptionKind::kMessage) {
+      out << ",\"recv_payload\":" << event.reception.payload;
+    }
+  }
+  out << "}\n";
+  ++events_written_;
+}
+
+void JsonlTraceSink::Flush() { out_->flush(); }
+
+}  // namespace emis::obs

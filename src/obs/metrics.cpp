@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace emis::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  EMIS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+}
+
+void Histogram::Observe(double x) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && x > bounds_[i]) ++i;
+  ++counts_[i];
+  ++total_count_;
+  sum_ += x;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 std::size_t count) {
+  EMIS_REQUIRE(start > 0.0 && factor > 1.0, "need start > 0 and factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+double Histogram::UpperBound(std::size_t i) const {
+  EMIS_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::BucketCount(std::size_t i) const {
+  EMIS_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+Timer& MetricsRegistry::GetTimer(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_.emplace(std::string(name), Timer{}).first->second;
+}
+
+}  // namespace emis::obs

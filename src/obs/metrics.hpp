@@ -1,0 +1,134 @@
+// Named run-time metrics: counters, gauges, fixed-bucket histograms and
+// wall-clock timers.
+//
+// Design goal: cheap enough to leave enabled in perf runs. Call sites resolve
+// a metric by name ONCE (a map lookup) and then hold a reference; the hot
+// path is a single add/compare on a cached pointer. The registry owns all
+// metrics; references stay valid for the registry's lifetime (node-based
+// containers). Instances are not thread-safe — the simulator is
+// single-threaded per scheduler, and a registry belongs to one run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "radio/types.hpp"
+
+namespace emis::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t Value() const noexcept { return value_; }
+  void Reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written sample of an instantaneous quantity.
+class Gauge {
+ public:
+  void Set(double value) noexcept { value_ = value; }
+  double Value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Buckets are defined by ascending upper bounds; an
+/// implicit overflow bucket catches everything above the last bound. Bounds
+/// are fixed at creation so observation cost is a small linear scan (bucket
+/// counts are typically < 32).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double x) noexcept;
+
+  /// `count` buckets with bounds start, start*factor, start*factor², ... —
+  /// the natural scale for awake-round and latency distributions.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               std::size_t count);
+
+  std::size_t NumBuckets() const noexcept { return counts_.size(); }
+  /// Upper bound of bucket i; the final bucket returns +infinity.
+  double UpperBound(std::size_t i) const;
+  std::uint64_t BucketCount(std::size_t i) const;
+  std::uint64_t TotalCount() const noexcept { return total_count_; }
+  double Sum() const noexcept { return sum_; }
+  double Mean() const noexcept {
+    return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+  }
+
+ private:
+  std::vector<double> bounds_;        // ascending; one fewer than counts_
+  std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (overflow bucket)
+  std::uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Accumulated wall-clock sections, fed by ScopedTimer (scoped_timer.hpp).
+class Timer {
+ public:
+  void Record(std::uint64_t ns) noexcept {
+    ++count_;
+    total_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+  }
+  std::uint64_t Count() const noexcept { return count_; }
+  std::uint64_t TotalNs() const noexcept { return total_ns_; }
+  std::uint64_t MaxNs() const noexcept { return max_ns_; }
+  double MeanNs() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(total_ns_) / static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// Owns named metrics; get-or-create by name. Returned references remain
+/// valid as long as the registry lives.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// Creating an existing histogram returns it unchanged; the bounds of the
+  /// first creation win (callers sharing a name must agree on buckets).
+  Histogram& GetHistogram(std::string_view name, std::vector<double> upper_bounds);
+  Timer& GetTimer(std::string_view name);
+
+  const std::map<std::string, Counter, std::less<>>& Counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& Gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& Histograms() const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, Timer, std::less<>>& Timers() const noexcept {
+    return timers_;
+  }
+
+  bool Empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           timers_.empty();
+  }
+
+ private:
+  // std::map gives reference stability across inserts (node-based), which is
+  // what lets call sites cache the returned references.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+}  // namespace emis::obs

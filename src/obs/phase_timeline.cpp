@@ -1,0 +1,85 @@
+#include "obs/phase_timeline.hpp"
+
+namespace emis::obs {
+namespace {
+
+std::string MakeLabel(std::string_view base, std::uint64_t index) {
+  std::string label(base);
+  if (index != PhaseTimeline::kNoIndex) {
+    label += ' ';
+    label += std::to_string(index);
+  }
+  return label;
+}
+
+}  // namespace
+
+void PhaseTimeline::Annotate(std::string_view base, std::uint64_t index,
+                             Round round) {
+  if (Matches(open_[0], base, index)) return;
+  // One residual probe per boundary serves both the closing and the opening
+  // span (probing twice would double the O(m) scan for the same round).
+  const bool probed = static_cast<bool>(residual_probe_);
+  const std::uint64_t residual = probed ? residual_probe_() : 0;
+  CloseLevel(1, round, /*probed=*/false, 0);
+  CloseLevel(0, round, probed, residual);
+  Open(0, base, index, round, probed, residual);
+}
+
+void PhaseTimeline::AnnotateSub(std::string_view base, std::uint64_t index,
+                                Round round) {
+  if (Matches(open_[1], base, index)) return;
+  CloseLevel(1, round, /*probed=*/false, 0);
+  Open(1, base, index, round, /*probe_residual=*/false, 0);
+}
+
+void PhaseTimeline::Close(Round round) {
+  const bool probed = open_[0].active && static_cast<bool>(residual_probe_);
+  const std::uint64_t residual = probed ? residual_probe_() : 0;
+  CloseLevel(1, round, /*probed=*/false, 0);
+  CloseLevel(0, round, probed, residual);
+}
+
+void PhaseTimeline::Open(std::uint32_t level, std::string_view base,
+                         std::uint64_t index, Round round, bool probe_residual,
+                         std::uint64_t residual) {
+  OpenSpan& open = open_[level];
+  open.active = true;
+  open.base.assign(base);
+  open.index = index;
+  open.begin_round = round;
+  open.transmit_at_open = meter_ != nullptr ? meter_->TotalTransmit() : 0;
+  open.listen_at_open = meter_ != nullptr ? meter_->TotalListen() : 0;
+  open.has_residual = probe_residual;
+  open.residual_at_open = residual;
+}
+
+void PhaseTimeline::CloseLevel(std::uint32_t level, Round round, bool probed,
+                               std::uint64_t residual) {
+  OpenSpan& open = open_[level];
+  if (!open.active) return;
+  PhaseSpan span;
+  span.label = MakeLabel(open.base, open.index);
+  span.level = level;
+  span.begin_round = open.begin_round;
+  // An annotation in the same round the span opened (e.g. a protocol that
+  // decided instantly) yields an empty span; keep end >= begin regardless.
+  span.end_round = round >= open.begin_round ? round : open.begin_round;
+  const std::uint64_t tx = meter_ != nullptr ? meter_->TotalTransmit() : 0;
+  const std::uint64_t lx = meter_ != nullptr ? meter_->TotalListen() : 0;
+  span.transmit_rounds = tx - open.transmit_at_open;
+  span.listen_rounds = lx - open.listen_at_open;
+  span.has_residual = open.has_residual && probed;
+  span.residual_edges_begin = open.residual_at_open;
+  span.residual_edges_end = residual;
+  spans_.push_back(std::move(span));
+  open.active = false;
+}
+
+void PhaseTimeline::Clear() {
+  spans_.clear();
+  open_[0] = OpenSpan{};
+  open_[1] = OpenSpan{};
+}
+
+}  // namespace emis::obs

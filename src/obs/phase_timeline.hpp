@@ -1,0 +1,113 @@
+// Phase-attributed accounting: where inside a run the rounds and energy went.
+//
+// Protocols annotate phase boundaries through NodeApi::Phase / SubPhase (see
+// radio/process.hpp); the timeline snapshots the scheduler's energy totals at
+// each boundary and records per-phase deltas of rounds, transmit/listen
+// energy and (optionally) residual-edge counts. That makes the paper's
+// per-phase arguments — Lemma 5 / Lemma 20 residual decay, Lemma 8's
+// sender/receiver asymmetry — directly inspectable from a run report instead
+// of inferable from end-of-run aggregates.
+//
+// Two levels exist:
+//   * level 0 ("phase"): the protocol's outermost structure, e.g.
+//     "luby-phase 3" or "delta-epoch 1". Residual edges are probed here.
+//   * level 1 ("sub-phase"): windows inside a phase, e.g. "decay" backoffs.
+//     Sub-phases close automatically when the enclosing phase does.
+//
+// Many nodes annotate the same boundary (every participant reaches the same
+// scheduled round); consecutive annotations with the same label merge, so
+// the first annotator opens the span and the rest are single string compares.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "radio/energy.hpp"
+#include "radio/types.hpp"
+
+namespace emis::obs {
+
+struct PhaseSpan {
+  std::string label;
+  std::uint32_t level = 0;      ///< 0 = phase, 1 = sub-phase
+  Round begin_round = 0;
+  Round end_round = 0;          ///< exclusive
+  std::uint64_t transmit_rounds = 0;  ///< Σ transmit energy spent in the span
+  std::uint64_t listen_rounds = 0;    ///< Σ listen energy spent in the span
+  std::uint64_t AwakeRounds() const noexcept {
+    return transmit_rounds + listen_rounds;
+  }
+  Round Rounds() const noexcept { return end_round - begin_round; }
+  bool has_residual = false;
+  std::uint64_t residual_edges_begin = 0;
+  std::uint64_t residual_edges_end = 0;
+};
+
+class PhaseTimeline {
+ public:
+  /// Index value for un-indexed labels ("decay" rather than "luby-phase 3").
+  static constexpr std::uint64_t kNoIndex = ~0ULL;
+
+  /// Bound by the Scheduler so boundary snapshots read live energy totals.
+  /// The meter must outlive the timeline's use; null is tolerated (all
+  /// energy deltas read as zero).
+  void BindEnergy(const EnergyMeter* meter) noexcept { meter_ = meter; }
+
+  /// Optional residual-graph probe, e.g. "edges between still-undecided
+  /// nodes"; invoked once per level-0 boundary. Installed by RunMis; clear
+  /// (pass nullptr) before the probed state dies.
+  void SetResidualProbe(std::function<std::uint64_t()> probe) {
+    residual_probe_ = std::move(probe);
+  }
+
+  /// Opens the level-0 span `base` (+ " <index>" if indexed) at `round`,
+  /// closing any open spans. Re-annotating the currently open label is a
+  /// no-op, which is how per-node annotations of one global boundary merge.
+  void Annotate(std::string_view base, std::uint64_t index, Round round);
+
+  /// Level-1 variant; the enclosing level-0 span stays open.
+  void AnnotateSub(std::string_view base, std::uint64_t index, Round round);
+
+  /// Closes all open spans at `round` (typically the run's final round).
+  /// Idempotent; annotations afterwards start fresh spans.
+  void Close(Round round);
+
+  /// Closed spans in completion order. Call Close first to include the
+  /// trailing open spans.
+  const std::vector<PhaseSpan>& Spans() const noexcept { return spans_; }
+
+  bool HasOpenPhase() const noexcept { return open_[0].active; }
+
+  void Clear();
+
+ private:
+  struct OpenSpan {
+    bool active = false;
+    std::string base;
+    std::uint64_t index = kNoIndex;
+    Round begin_round = 0;
+    std::uint64_t transmit_at_open = 0;
+    std::uint64_t listen_at_open = 0;
+    std::uint64_t residual_at_open = 0;
+    bool has_residual = false;
+  };
+
+  bool Matches(const OpenSpan& open, std::string_view base,
+               std::uint64_t index) const noexcept {
+    return open.active && open.index == index && open.base == base;
+  }
+  void Open(std::uint32_t level, std::string_view base, std::uint64_t index,
+            Round round, bool probe_residual, std::uint64_t residual);
+  void CloseLevel(std::uint32_t level, Round round, bool probed,
+                  std::uint64_t residual);
+
+  const EnergyMeter* meter_ = nullptr;
+  std::function<std::uint64_t()> residual_probe_;
+  OpenSpan open_[2];
+  std::vector<PhaseSpan> spans_;
+};
+
+}  // namespace emis::obs

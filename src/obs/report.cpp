@@ -1,0 +1,361 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace emis::obs {
+namespace {
+
+JsonValue HistogramJson(const Histogram& h) {
+  JsonValue bounds = JsonValue::MakeArray();
+  JsonValue counts = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < h.NumBuckets(); ++i) {
+    // The final (overflow) bucket has an infinite bound; JSON cannot carry
+    // infinity, so it is implied by counts being one longer than bounds.
+    if (i + 1 < h.NumBuckets()) bounds.Push(JsonValue(h.UpperBound(i)));
+    counts.Push(JsonValue(h.BucketCount(i)));
+  }
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("bounds", std::move(bounds));
+  obj.Set("counts", std::move(counts));
+  obj.Set("sum", JsonValue(h.Sum()));
+  return obj;
+}
+
+JsonValue EnergyJson(const EnergyMeter& energy) {
+  JsonValue e = JsonValue::MakeObject();
+  e.Set("max_awake", JsonValue(energy.MaxAwake()));
+  e.Set("avg_awake", JsonValue(energy.AverageAwake()));
+  e.Set("total_awake", JsonValue(energy.TotalAwake()));
+  e.Set("total_transmit", JsonValue(energy.TotalTransmit()));
+  e.Set("total_listen", JsonValue(energy.TotalListen()));
+  JsonValue pct = JsonValue::MakeObject();
+  pct.Set("p10", JsonValue(energy.PercentileAwake(10)));
+  pct.Set("p50", JsonValue(energy.PercentileAwake(50)));
+  pct.Set("p90", JsonValue(energy.PercentileAwake(90)));
+  pct.Set("p99", JsonValue(energy.PercentileAwake(99)));
+  e.Set("percentiles", std::move(pct));
+  // Per-node awake distribution in power-of-two buckets: enough resolution
+  // to separate O(log n) from O(log² n) profiles at any practical n.
+  Histogram awake(Histogram::ExponentialBounds(1.0, 2.0, 20));
+  for (NodeId v = 0; v < energy.NumNodes(); ++v) {
+    awake.Observe(static_cast<double>(energy.Of(v).Awake()));
+  }
+  e.Set("awake_histogram", HistogramJson(awake));
+  return e;
+}
+
+JsonValue PhasesJson(const PhaseTimeline& timeline) {
+  // Report order: by begin round, phases before their sub-phases, stable for
+  // ties — reads as a chronological timeline regardless of close order.
+  std::vector<const PhaseSpan*> spans;
+  spans.reserve(timeline.Spans().size());
+  for (const PhaseSpan& s : timeline.Spans()) spans.push_back(&s);
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const PhaseSpan* a, const PhaseSpan* b) {
+                     if (a->begin_round != b->begin_round) {
+                       return a->begin_round < b->begin_round;
+                     }
+                     return a->level < b->level;
+                   });
+  JsonValue arr = JsonValue::MakeArray();
+  for (const PhaseSpan* s : spans) {
+    JsonValue p = JsonValue::MakeObject();
+    p.Set("label", JsonValue(s->label));
+    p.Set("level", JsonValue(static_cast<std::uint64_t>(s->level)));
+    p.Set("begin_round", JsonValue(s->begin_round));
+    p.Set("end_round", JsonValue(s->end_round));
+    p.Set("rounds", JsonValue(s->Rounds()));
+    p.Set("transmit_rounds", JsonValue(s->transmit_rounds));
+    p.Set("listen_rounds", JsonValue(s->listen_rounds));
+    p.Set("awake_rounds", JsonValue(s->AwakeRounds()));
+    if (s->has_residual) {
+      p.Set("residual_edges_begin", JsonValue(s->residual_edges_begin));
+      p.Set("residual_edges_end", JsonValue(s->residual_edges_end));
+    }
+    arr.Push(std::move(p));
+  }
+  return arr;
+}
+
+// --- validation helpers ----------------------------------------------------
+
+std::string KindName(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+/// Returns the value at `path`.`key` if present with the right kind, else
+/// writes an error into *err and returns nullptr.
+const JsonValue* Need(const JsonValue& obj, std::string_view key,
+                      JsonValue::Kind kind, const std::string& path,
+                      std::string* err) {
+  if (!err->empty()) return nullptr;
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    *err = path + "." + std::string(key) + ": missing";
+    return nullptr;
+  }
+  if (v->kind() != kind) {
+    *err = path + "." + std::string(key) + ": expected " + KindName(kind) +
+           ", got " + KindName(v->kind());
+    return nullptr;
+  }
+  return v;
+}
+
+void NeedKeys(const JsonValue& obj, const std::string& path,
+              std::initializer_list<std::pair<const char*, JsonValue::Kind>> keys,
+              std::string* err) {
+  for (const auto& [key, kind] : keys) {
+    Need(obj, key, kind, path, err);
+    if (!err->empty()) return;
+  }
+}
+
+std::string CheckHistogramObject(const JsonValue& h, const std::string& path) {
+  std::string err;
+  const JsonValue* bounds = Need(h, "bounds", JsonValue::Kind::kArray, path, &err);
+  const JsonValue* counts = Need(h, "counts", JsonValue::Kind::kArray, path, &err);
+  if (!err.empty()) return err;
+  if (counts->Items().size() != bounds->Items().size() + 1) {
+    return path + ": counts must have exactly one more entry than bounds";
+  }
+  return "";
+}
+
+}  // namespace
+
+JsonValue BuildMetricsJson(const MetricsRegistry& registry) {
+  JsonValue m = JsonValue::MakeObject();
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, c] : registry.Counters()) {
+    counters.Set(name, JsonValue(c.Value()));
+  }
+  m.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& [name, g] : registry.Gauges()) {
+    gauges.Set(name, JsonValue(g.Value()));
+  }
+  m.Set("gauges", std::move(gauges));
+  JsonValue timers = JsonValue::MakeObject();
+  for (const auto& [name, t] : registry.Timers()) {
+    JsonValue tj = JsonValue::MakeObject();
+    tj.Set("count", JsonValue(t.Count()));
+    tj.Set("total_ns", JsonValue(t.TotalNs()));
+    tj.Set("mean_ns", JsonValue(t.MeanNs()));
+    tj.Set("max_ns", JsonValue(t.MaxNs()));
+    timers.Set(name, std::move(tj));
+  }
+  m.Set("timers", std::move(timers));
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& [name, h] : registry.Histograms()) {
+    histograms.Set(name, HistogramJson(h));
+  }
+  m.Set("histograms", std::move(histograms));
+  return m;
+}
+
+JsonValue BuildRunReport(const RunReportInputs& inputs) {
+  EMIS_REQUIRE(inputs.stats != nullptr && inputs.energy != nullptr,
+               "run report needs stats and energy");
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", JsonValue(kRunReportSchema));
+
+  JsonValue run = JsonValue::MakeObject();
+  run.Set("algorithm", JsonValue(inputs.algorithm));
+  run.Set("graph", JsonValue(inputs.graph));
+  run.Set("preset", JsonValue(inputs.preset));
+  run.Set("seed", JsonValue(inputs.seed));
+  run.Set("nodes", JsonValue(static_cast<std::uint64_t>(inputs.nodes)));
+  run.Set("edges", JsonValue(inputs.edges));
+  run.Set("max_degree", JsonValue(static_cast<std::uint64_t>(inputs.max_degree)));
+  doc.Set("run", std::move(run));
+
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("valid_mis", JsonValue(inputs.valid_mis));
+  result.Set("mis_size", JsonValue(inputs.mis_size));
+  result.Set("rounds", JsonValue(inputs.stats->rounds_used));
+  result.Set("node_rounds", JsonValue(inputs.stats->node_rounds));
+  result.Set("nodes_finished",
+             JsonValue(static_cast<std::uint64_t>(inputs.stats->nodes_finished)));
+  result.Set("hit_round_limit", JsonValue(inputs.stats->hit_round_limit));
+  doc.Set("result", std::move(result));
+
+  doc.Set("energy", EnergyJson(*inputs.energy));
+  doc.Set("phases", inputs.timeline != nullptr ? PhasesJson(*inputs.timeline)
+                                               : JsonValue::MakeArray());
+  doc.Set("metrics", inputs.metrics != nullptr ? BuildMetricsJson(*inputs.metrics)
+                                               : BuildMetricsJson(MetricsRegistry{}));
+  return doc;
+}
+
+void WriteRunReport(std::ostream& out, const RunReportInputs& inputs) {
+  out << BuildRunReport(inputs).Dump(2) << '\n';
+}
+
+std::string ValidateRunReport(const JsonValue& doc) {
+  if (!doc.IsObject()) return "report: not a JSON object";
+  std::string err;
+  const JsonValue* schema =
+      Need(doc, "schema", JsonValue::Kind::kString, "report", &err);
+  if (!err.empty()) return err;
+  if (schema->AsString() != kRunReportSchema) {
+    return "report.schema: expected \"" + std::string(kRunReportSchema) + "\"";
+  }
+
+  const JsonValue* run = Need(doc, "run", JsonValue::Kind::kObject, "report", &err);
+  if (run != nullptr) {
+    NeedKeys(*run, "run",
+             {{"algorithm", JsonValue::Kind::kString},
+              {"graph", JsonValue::Kind::kString},
+              {"preset", JsonValue::Kind::kString},
+              {"seed", JsonValue::Kind::kNumber},
+              {"nodes", JsonValue::Kind::kNumber},
+              {"edges", JsonValue::Kind::kNumber},
+              {"max_degree", JsonValue::Kind::kNumber}},
+             &err);
+  }
+
+  const JsonValue* result =
+      Need(doc, "result", JsonValue::Kind::kObject, "report", &err);
+  if (result != nullptr) {
+    NeedKeys(*result, "result",
+             {{"valid_mis", JsonValue::Kind::kBool},
+              {"mis_size", JsonValue::Kind::kNumber},
+              {"rounds", JsonValue::Kind::kNumber},
+              {"node_rounds", JsonValue::Kind::kNumber},
+              {"nodes_finished", JsonValue::Kind::kNumber},
+              {"hit_round_limit", JsonValue::Kind::kBool}},
+             &err);
+  }
+
+  const JsonValue* energy =
+      Need(doc, "energy", JsonValue::Kind::kObject, "report", &err);
+  if (energy != nullptr) {
+    NeedKeys(*energy, "energy",
+             {{"max_awake", JsonValue::Kind::kNumber},
+              {"avg_awake", JsonValue::Kind::kNumber},
+              {"total_awake", JsonValue::Kind::kNumber},
+              {"total_transmit", JsonValue::Kind::kNumber},
+              {"total_listen", JsonValue::Kind::kNumber},
+              {"percentiles", JsonValue::Kind::kObject},
+              {"awake_histogram", JsonValue::Kind::kObject}},
+             &err);
+    if (err.empty()) {
+      err = CheckHistogramObject(*energy->Find("awake_histogram"),
+                                 "energy.awake_histogram");
+    }
+  }
+
+  const JsonValue* phases =
+      Need(doc, "phases", JsonValue::Kind::kArray, "report", &err);
+  if (phases != nullptr && err.empty()) {
+    std::size_t i = 0;
+    for (const JsonValue& p : phases->Items()) {
+      const std::string path = "phases[" + std::to_string(i) + "]";
+      if (!p.IsObject()) return path + ": not an object";
+      NeedKeys(p, path,
+               {{"label", JsonValue::Kind::kString},
+                {"level", JsonValue::Kind::kNumber},
+                {"begin_round", JsonValue::Kind::kNumber},
+                {"end_round", JsonValue::Kind::kNumber},
+                {"rounds", JsonValue::Kind::kNumber},
+                {"transmit_rounds", JsonValue::Kind::kNumber},
+                {"listen_rounds", JsonValue::Kind::kNumber},
+                {"awake_rounds", JsonValue::Kind::kNumber}},
+               &err);
+      if (!err.empty()) return err;
+      ++i;
+    }
+  }
+
+  const JsonValue* metrics =
+      Need(doc, "metrics", JsonValue::Kind::kObject, "report", &err);
+  if (metrics != nullptr) {
+    NeedKeys(*metrics, "metrics",
+             {{"counters", JsonValue::Kind::kObject},
+              {"gauges", JsonValue::Kind::kObject},
+              {"timers", JsonValue::Kind::kObject},
+              {"histograms", JsonValue::Kind::kObject}},
+             &err);
+  }
+  return err;
+}
+
+std::string ValidateBenchReport(const JsonValue& doc) {
+  if (!doc.IsObject()) return "report: not a JSON object";
+  std::string err;
+  const JsonValue* schema =
+      Need(doc, "schema", JsonValue::Kind::kString, "report", &err);
+  if (!err.empty()) return err;
+  if (schema->AsString() != kBenchReportSchema) {
+    return "report.schema: expected \"" + std::string(kBenchReportSchema) + "\"";
+  }
+  NeedKeys(doc, "report",
+           {{"bench", JsonValue::Kind::kString},
+            {"claim", JsonValue::Kind::kString},
+            {"failures", JsonValue::Kind::kNumber},
+            {"verdicts", JsonValue::Kind::kArray},
+            {"sweeps", JsonValue::Kind::kArray}},
+           &err);
+  if (!err.empty()) return err;
+  std::size_t i = 0;
+  for (const JsonValue& v : doc.Find("verdicts")->Items()) {
+    const std::string path = "verdicts[" + std::to_string(i) + "]";
+    if (!v.IsObject()) return path + ": not an object";
+    NeedKeys(v, path,
+             {{"what", JsonValue::Kind::kString}, {"ok", JsonValue::Kind::kBool}},
+             &err);
+    if (!err.empty()) return err;
+    ++i;
+  }
+  i = 0;
+  for (const JsonValue& s : doc.Find("sweeps")->Items()) {
+    const std::string path = "sweeps[" + std::to_string(i) + "]";
+    if (!s.IsObject()) return path + ": not an object";
+    NeedKeys(s, path,
+             {{"title", JsonValue::Kind::kString},
+              {"points", JsonValue::Kind::kArray}},
+             &err);
+    if (!err.empty()) return err;
+    std::size_t j = 0;
+    for (const JsonValue& p : s.Find("points")->Items()) {
+      const std::string ppath = path + ".points[" + std::to_string(j) + "]";
+      if (!p.IsObject()) return ppath + ": not an object";
+      NeedKeys(p, ppath,
+               {{"n", JsonValue::Kind::kNumber},
+                {"runs", JsonValue::Kind::kNumber},
+                {"failures", JsonValue::Kind::kNumber},
+                {"max_energy_mean", JsonValue::Kind::kNumber},
+                {"avg_energy_mean", JsonValue::Kind::kNumber},
+                {"rounds_mean", JsonValue::Kind::kNumber},
+                {"mis_size_mean", JsonValue::Kind::kNumber}},
+               &err);
+      if (!err.empty()) return err;
+      ++j;
+    }
+    ++i;
+  }
+  return "";
+}
+
+std::string ValidateReport(const JsonValue& doc) {
+  if (!doc.IsObject()) return "report: not a JSON object";
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->IsString()) {
+    return "report.schema: missing or not a string";
+  }
+  if (schema->AsString() == kRunReportSchema) return ValidateRunReport(doc);
+  if (schema->AsString() == kBenchReportSchema) return ValidateBenchReport(doc);
+  return "report.schema: unknown schema \"" + schema->AsString() + "\"";
+}
+
+}  // namespace emis::obs

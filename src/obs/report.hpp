@@ -1,0 +1,82 @@
+// Run-report emission: one stable JSON document per run.
+//
+// The report serializes everything a perf/quality trajectory needs from a
+// single run — RunStats, the EnergyMeter distribution, the PhaseTimeline and
+// the MetricsRegistry — under a versioned schema ("emis-run-report/1").
+// `emis_cli run --report-out FILE` and bench_common.hpp's artifact writer
+// both emit through here; ValidateRunReport / ValidateBenchReport are the
+// schema checks used by tests, `emis_cli validate-report` and CI.
+//
+// Schema emis-run-report/1 (all keys required unless noted):
+//   schema   "emis-run-report/1"
+//   run      {algorithm, graph, preset, seed, nodes, edges, max_degree}
+//   result   {valid_mis, mis_size, rounds, node_rounds, nodes_finished,
+//             hit_round_limit}
+//   energy   {max_awake, avg_awake, total_awake, total_transmit,
+//             total_listen, percentiles{p10,p50,p90,p99},
+//             awake_histogram{bounds[], counts[]}}
+//   phases   [{label, level, begin_round, end_round, rounds,
+//              transmit_rounds, listen_rounds, awake_rounds,
+//              residual_edges_begin?, residual_edges_end?}]
+//   metrics  {counters{}, gauges{}, timers{name:{count,total_ns,mean_ns,
+//             max_ns}}, histograms{name:{bounds[], counts[], sum}}}
+//
+// Schema emis-bench-report/1:
+//   schema   "emis-bench-report/1"
+//   bench    experiment id (e.g. "E1  bench_cd_energy")
+//   claim    the paper claim the bench reproduces
+//   failures total SHAPE-CHECK failures
+//   verdicts [{what, ok}]
+//   sweeps   [{title, points[{n, runs, failures, max_energy_mean,
+//              avg_energy_mean, rounds_mean, mis_size_mean}]}]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
+#include "radio/energy.hpp"
+#include "radio/scheduler.hpp"
+
+namespace emis::obs {
+
+inline constexpr std::string_view kRunReportSchema = "emis-run-report/1";
+inline constexpr std::string_view kBenchReportSchema = "emis-bench-report/1";
+
+struct RunReportInputs {
+  std::string algorithm;
+  std::string graph;      ///< spec or file description of the topology
+  std::string preset;
+  std::uint64_t seed = 0;
+  NodeId nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint32_t max_degree = 0;
+  bool valid_mis = false;
+  std::uint64_t mis_size = 0;
+  const RunStats* stats = nullptr;         ///< required
+  const EnergyMeter* energy = nullptr;     ///< required
+  const PhaseTimeline* timeline = nullptr; ///< optional; spans must be closed
+  const MetricsRegistry* metrics = nullptr;///< optional
+};
+
+/// Builds the report document. Deterministic in the inputs (stable key and
+/// span order), so emitted files are diffable across runs of the same seed.
+JsonValue BuildRunReport(const RunReportInputs& inputs);
+
+/// Serializes BuildRunReport pretty-printed with a trailing newline.
+void WriteRunReport(std::ostream& out, const RunReportInputs& inputs);
+
+/// Serializes a MetricsRegistry alone (the `metrics` sub-document).
+JsonValue BuildMetricsJson(const MetricsRegistry& registry);
+
+/// Schema checks: empty string if the document conforms, else a description
+/// of the first violation.
+std::string ValidateRunReport(const JsonValue& doc);
+std::string ValidateBenchReport(const JsonValue& doc);
+
+/// Dispatches on the document's "schema" field; unknown schemas are errors.
+std::string ValidateReport(const JsonValue& doc);
+
+}  // namespace emis::obs

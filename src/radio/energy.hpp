@@ -30,8 +30,14 @@ class EnergyMeter {
   EnergyMeter() = default;
   explicit EnergyMeter(NodeId num_nodes) : per_node_(num_nodes) {}
 
-  void ChargeTransmit(NodeId v) { ++per_node_[v].transmit_rounds; }
-  void ChargeListen(NodeId v) { ++per_node_[v].listen_rounds; }
+  void ChargeTransmit(NodeId v) {
+    ++per_node_[v].transmit_rounds;
+    ++total_transmit_;
+  }
+  void ChargeListen(NodeId v) {
+    ++per_node_[v].listen_rounds;
+    ++total_listen_;
+  }
 
   NodeId NumNodes() const noexcept { return static_cast<NodeId>(per_node_.size()); }
 
@@ -56,23 +62,11 @@ class EnergyMeter {
     return static_cast<double>(total) / static_cast<double>(per_node_.size());
   }
 
-  std::uint64_t TotalAwake() const noexcept {
-    std::uint64_t total = 0;
-    for (const auto& e : per_node_) total += e.Awake();
-    return total;
-  }
-
-  std::uint64_t TotalTransmit() const noexcept {
-    std::uint64_t total = 0;
-    for (const auto& e : per_node_) total += e.transmit_rounds;
-    return total;
-  }
-
-  std::uint64_t TotalListen() const noexcept {
-    std::uint64_t total = 0;
-    for (const auto& e : per_node_) total += e.listen_rounds;
-    return total;
-  }
+  // Totals are maintained incrementally so phase-boundary snapshots (the
+  // observability layer's PhaseTimeline) are O(1), not O(n).
+  std::uint64_t TotalAwake() const noexcept { return total_transmit_ + total_listen_; }
+  std::uint64_t TotalTransmit() const noexcept { return total_transmit_; }
+  std::uint64_t TotalListen() const noexcept { return total_listen_; }
 
   /// q-th percentile (q in [0,100]) of per-node awake rounds.
   std::uint64_t PercentileAwake(double q) const {
@@ -89,6 +83,8 @@ class EnergyMeter {
 
  private:
   std::vector<NodeEnergy> per_node_;
+  std::uint64_t total_transmit_ = 0;
+  std::uint64_t total_listen_ = 0;
 };
 
 }  // namespace emis

@@ -25,6 +25,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/phase_timeline.hpp"
 #include "radio/energy.hpp"
 #include "radio/model.hpp"
 #include "radio/rng.hpp"
@@ -61,6 +62,11 @@ struct NodeContext {
   /// This node's energy counters (owned by the scheduler's meter). Protocols
   /// read them to implement the paper's deterministic energy thresholds.
   const NodeEnergy* energy = nullptr;
+
+  /// Optional run-level phase timeline (owned by the caller, installed via
+  /// SchedulerConfig); null when observability is off. Protocols annotate
+  /// through NodeApi::Phase / SubPhase.
+  obs::PhaseTimeline* timeline = nullptr;
 };
 
 namespace proc {
@@ -246,6 +252,24 @@ class NodeApi {
   /// Awake rounds this node has paid so far (reads the scheduler's meter).
   std::uint64_t EnergySpent() const noexcept {
     return ctx_->energy != nullptr ? ctx_->energy->Awake() : 0;
+  }
+
+  /// Annotates a protocol phase boundary (e.g. Phase("luby-phase", k)) at
+  /// this node's current round. All participants of a synchronized phase may
+  /// call it; repeats of the open label are merged by the timeline. No-op
+  /// when no timeline is installed.
+  void Phase(std::string_view base,
+             std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
+    if (ctx_->timeline != nullptr) ctx_->timeline->Annotate(base, index, ctx_->now);
+  }
+
+  /// Annotates a sub-phase (a window inside the current phase, e.g. a
+  /// "decay" backoff) without closing the enclosing phase span.
+  void SubPhase(std::string_view base,
+                std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
+    if (ctx_->timeline != nullptr) {
+      ctx_->timeline->AnnotateSub(base, index, ctx_->now);
+    }
   }
 
   /// Spend one awake round transmitting `payload`. The paper's algorithms

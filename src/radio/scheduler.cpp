@@ -1,5 +1,7 @@
 #include "radio/scheduler.hpp"
 
+#include "obs/scoped_timer.hpp"
+
 namespace emis {
 
 Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t seed)
@@ -10,12 +12,24 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
   if (config.link_loss > 0.0) {
     channel_.SetLoss(config.link_loss, seed ^ 0x10ad10ad10ad10adULL);
   }
+  if (config_.timeline != nullptr) {
+    config_.timeline->BindEnergy(&energy_);
+  }
+  if (config_.metrics != nullptr) {
+    execute_timer_ = &config_.metrics->GetTimer("sched.execute_round");
+    resume_timer_ = &config_.metrics->GetTimer("sched.resume");
+    wake_timer_ = &config_.metrics->GetTimer("sched.wake_heap");
+    rounds_executed_ = &config_.metrics->GetCounter("sched.rounds_executed");
+    rounds_skipped_ = &config_.metrics->GetCounter("sched.rounds_skipped");
+    wake_events_ = &config_.metrics->GetCounter("sched.wake_events");
+  }
   const Rng root(seed);
   contexts_.resize(graph.NumNodes());
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     contexts_[v].id = v;
     contexts_[v].rng = root.Split(v);
     contexts_[v].energy = &energy_.Of(v);
+    contexts_[v].timeline = config_.timeline;
   }
 }
 
@@ -58,35 +72,40 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
 }
 
 void Scheduler::ExecuteRound() {
-  channel_.BeginRound();
-  // Phase 1: register all transmissions.
-  for (NodeId v : actors_) {
-    NodeContext& ctx = contexts_[v];
-    EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
-    if (ctx.pending == ActionKind::kTransmit) {
-      channel_.AddTransmitter(v, ctx.out_payload);
-      energy_.ChargeTransmit(v);
-      if (config_.trace != nullptr) {
-        config_.trace->OnEvent({now_, v, ActionKind::kTransmit, ctx.out_payload, {}});
+  {
+    const obs::ScopedTimer timing(execute_timer_);
+    channel_.BeginRound();
+    // Phase 1: register all transmissions.
+    for (NodeId v : actors_) {
+      NodeContext& ctx = contexts_[v];
+      EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
+      if (ctx.pending == ActionKind::kTransmit) {
+        channel_.AddTransmitter(v, ctx.out_payload);
+        energy_.ChargeTransmit(v);
+        if (config_.trace != nullptr) {
+          config_.trace->OnEvent({now_, v, ActionKind::kTransmit, ctx.out_payload, {}});
+        }
       }
     }
-  }
-  // Phase 2: resolve receptions.
-  for (NodeId v : actors_) {
-    NodeContext& ctx = contexts_[v];
-    if (ctx.pending == ActionKind::kListen) {
-      ctx.last_reception = channel_.ResolveListener(v);
-      energy_.ChargeListen(v);
-      if (config_.trace != nullptr) {
-        config_.trace->OnEvent({now_, v, ActionKind::kListen, 0, ctx.last_reception});
+    // Phase 2: resolve receptions.
+    for (NodeId v : actors_) {
+      NodeContext& ctx = contexts_[v];
+      if (ctx.pending == ActionKind::kListen) {
+        ctx.last_reception = channel_.ResolveListener(v);
+        energy_.ChargeListen(v);
+        if (config_.trace != nullptr) {
+          config_.trace->OnEvent({now_, v, ActionKind::kListen, 0, ctx.last_reception});
+        }
       }
     }
   }
   node_rounds_ += actors_.size();
   last_awake_round_ = now_;
   any_awake_round_ = true;
+  if (rounds_executed_ != nullptr) rounds_executed_->Inc();
 
   // Phase 3: resume actors so they submit their next action (for now_ + 1).
+  const obs::ScopedTimer timing(resume_timer_);
   next_actors_.clear();
   for (NodeId v : actors_) {
     contexts_[v].now = now_ + 1;
@@ -108,18 +127,24 @@ RunStats Scheduler::RunUntil(Round limit) {
         // protocol that never finishes after its last action lands here.)
         break;
       }
-      now_ = std::max(now_, wake_heap_.top().round);
+      const Round jump_to = std::max(now_, wake_heap_.top().round);
+      if (rounds_skipped_ != nullptr) rounds_skipped_->Inc(jump_to - now_);
+      now_ = jump_to;
     }
     if (now_ >= limit) break;
 
     // Wake sleepers due now; they may join this round's actors.
-    while (!wake_heap_.empty() && wake_heap_.top().round <= now_) {
-      const NodeId v = wake_heap_.top().node;
-      wake_heap_.pop();
-      EMIS_ASSERT(wake_heap_.empty() || wake_heap_.top().round >= now_,
-                  "missed a wake event");
-      contexts_[v].now = now_;
-      ResumeAndFile(v, actors_);
+    if (!wake_heap_.empty() && wake_heap_.top().round <= now_) {
+      const obs::ScopedTimer timing(wake_timer_);
+      do {
+        const NodeId v = wake_heap_.top().node;
+        wake_heap_.pop();
+        EMIS_ASSERT(wake_heap_.empty() || wake_heap_.top().round >= now_,
+                    "missed a wake event");
+        contexts_[v].now = now_;
+        if (wake_events_ != nullptr) wake_events_->Inc();
+        ResumeAndFile(v, actors_);
+      } while (!wake_heap_.empty() && wake_heap_.top().round <= now_);
     }
     if (actors_.empty()) continue;  // woken nodes all went back to sleep
 
@@ -132,6 +157,11 @@ RunStats Scheduler::RunUntil(Round limit) {
   stats.node_rounds = node_rounds_;
   stats.nodes_finished = finished_;
   stats.hit_round_limit = !AllFinished() && now_ >= config_.max_rounds;
+  // The run is over (not merely paused at `limit`): close the trailing phase
+  // span so per-phase deltas cover the whole run.
+  if (config_.timeline != nullptr && (AllFinished() || stats.hit_round_limit)) {
+    config_.timeline->Close(stats.rounds_used);
+  }
   return stats;
 }
 

@@ -12,6 +12,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
 #include "radio/graph.hpp"
@@ -31,6 +33,16 @@ struct SchedulerConfig {
   /// Per-link per-round signal erasure probability (fading). 0 = the
   /// paper's reliable channel. See Channel::SetLoss.
   double link_loss = 0.0;
+  /// Optional metrics registry (owned by the caller). When set, the
+  /// scheduler feeds hot-path timers ("sched.execute_round", "sched.resume",
+  /// "sched.wake_heap") and counters ("sched.rounds_executed",
+  /// "sched.rounds_skipped", "sched.wake_events") — cheap enough to keep on
+  /// in perf runs (see bench_simulator's *Instrumented variants).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional phase timeline (owned by the caller). The scheduler binds it
+  /// to its energy meter, protocols annotate via NodeApi::Phase, and the
+  /// timeline closes when the run finishes.
+  obs::PhaseTimeline* timeline = nullptr;
 };
 
 struct RunStats {
@@ -108,6 +120,15 @@ class Scheduler {
   std::uint64_t node_rounds_ = 0;
   NodeId finished_ = 0;
   bool spawned_ = false;
+
+  // Metric handles resolved once in the constructor; null when metrics are
+  // off, so the hot path pays a branch, not a map lookup.
+  obs::Timer* execute_timer_ = nullptr;
+  obs::Timer* resume_timer_ = nullptr;
+  obs::Timer* wake_timer_ = nullptr;
+  obs::Counter* rounds_executed_ = nullptr;
+  obs::Counter* rounds_skipped_ = nullptr;
+  obs::Counter* wake_events_ = nullptr;
 };
 
 }  // namespace emis

@@ -9,6 +9,10 @@ CsvTrace::CsvTrace(std::ostream& out) : out_(out) {
   out_ << "round,node,action,payload,reception,recv_payload\n";
 }
 
+CsvTrace::~CsvTrace() { Flush(); }
+
+void CsvTrace::Flush() { out_.flush(); }
+
 void CsvTrace::OnEvent(const TraceEvent& event) {
   out_ << event.round << ',' << event.node << ',' << ToString(event.action) << ',';
   if (event.action == ActionKind::kTransmit) out_ << event.payload;

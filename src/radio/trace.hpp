@@ -45,6 +45,8 @@ class RingTrace final : public TraceSink {
 
   const std::deque<TraceEvent>& Events() const noexcept { return events_; }
   std::uint64_t TotalSeen() const noexcept { return total_seen_; }
+  /// Events evicted because the ring was full. TotalSeen() - Events().size().
+  std::uint64_t DroppedCount() const noexcept { return total_seen_ - events_.size(); }
   void Clear() noexcept {
     events_.clear();
     total_seen_ = 0;
@@ -56,12 +58,17 @@ class RingTrace final : public TraceSink {
   std::uint64_t total_seen_ = 0;
 };
 
-/// Streams events as CSV rows (round,node,action,payload,reception).
+/// Streams events as CSV rows (round,node,action,payload,reception). All
+/// fields are numeric or fixed enum words, so no quoting is ever needed; the
+/// sink flushes on destruction (and on demand), making the file complete the
+/// moment the sink goes out of scope even when the process aborts later.
 class CsvTrace final : public TraceSink {
  public:
   /// The stream must outlive this sink. Writes a header immediately.
   explicit CsvTrace(std::ostream& out);
+  ~CsvTrace() override;
   void OnEvent(const TraceEvent& event) override;
+  void Flush();
 
  private:
   std::ostream& out_;

@@ -1,0 +1,18 @@
+# CTest script: `emis_cli run --report-out` must produce a document that
+# `emis_cli validate-report` accepts, for a CD and a no-CD algorithm.
+foreach(alg cd nocd)
+  set(report "${WORK_DIR}/report_${alg}.json")
+  execute_process(
+    COMMAND ${EMIS_CLI} run --graph er:n=96,p=0.06 --alg ${alg} --seed 2
+            --report-out ${report} --quiet
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "emis_cli run --alg ${alg} failed (rc=${run_rc})")
+  endif()
+  execute_process(
+    COMMAND ${EMIS_CLI} validate-report ${report}
+    RESULT_VARIABLE validate_rc)
+  if(NOT validate_rc EQUAL 0)
+    message(FATAL_ERROR "validate-report rejected ${report} (rc=${validate_rc})")
+  endif()
+endforeach()

@@ -59,6 +59,51 @@ TEST(EnergyMeter, EmptyMeter) {
   EXPECT_EQ(m.MaxAwake(), 0u);
   EXPECT_EQ(m.AverageAwake(), 0.0);
   EXPECT_EQ(m.PercentileAwake(50), 0u);
+  EXPECT_EQ(m.PercentileAwake(0), 0u);
+  EXPECT_EQ(m.PercentileAwake(100), 0u);
+  EXPECT_EQ(m.TotalAwake(), 0u);
+}
+
+TEST(EnergyMeter, PercentileSingleNode) {
+  EnergyMeter m(1);
+  for (int i = 0; i < 7; ++i) m.ChargeListen(0);
+  // Every percentile of a one-node meter is that node's awake count.
+  EXPECT_EQ(m.PercentileAwake(0), 7u);
+  EXPECT_EQ(m.PercentileAwake(50), 7u);
+  EXPECT_EQ(m.PercentileAwake(100), 7u);
+}
+
+TEST(EnergyMeter, PercentileBoundaryQuantiles) {
+  EnergyMeter m(3);
+  // Awake counts: 0, 5, 10.
+  for (int i = 0; i < 5; ++i) m.ChargeTransmit(1);
+  for (int i = 0; i < 10; ++i) m.ChargeListen(2);
+  EXPECT_EQ(m.PercentileAwake(0), 0u);
+  EXPECT_EQ(m.PercentileAwake(100), 10u);
+  // q just inside the range must not throw or index past the end.
+  EXPECT_EQ(m.PercentileAwake(99.999), 10u);
+  EXPECT_EQ(m.PercentileAwake(0.001), 0u);
+}
+
+TEST(EnergyMeter, TotalsStayConsistentWithPerNode) {
+  EnergyMeter m(8);
+  std::uint64_t expected_tx = 0, expected_ls = 0;
+  for (NodeId v = 0; v < 8; ++v) {
+    for (NodeId i = 0; i <= v; ++i) {
+      if (i % 2 == 0) {
+        m.ChargeTransmit(v);
+        ++expected_tx;
+      } else {
+        m.ChargeListen(v);
+        ++expected_ls;
+      }
+    }
+  }
+  EXPECT_EQ(m.TotalTransmit(), expected_tx);
+  EXPECT_EQ(m.TotalListen(), expected_ls);
+  std::uint64_t per_node_sum = 0;
+  for (NodeId v = 0; v < 8; ++v) per_node_sum += m.Of(v).Awake();
+  EXPECT_EQ(m.TotalAwake(), per_node_sum);
 }
 
 }  // namespace

@@ -33,6 +33,29 @@ TEST(RingTrace, ClearResets) {
   trace.Clear();
   EXPECT_TRUE(trace.Events().empty());
   EXPECT_EQ(trace.TotalSeen(), 0u);
+  EXPECT_EQ(trace.DroppedCount(), 0u);
+}
+
+TEST(RingTrace, CountsDroppedEvents) {
+  RingTrace trace(3);
+  EXPECT_EQ(trace.DroppedCount(), 0u);
+  for (Round r = 0; r < 5; ++r) trace.OnEvent(TransmitEvent(r, 0, 1));
+  EXPECT_EQ(trace.DroppedCount(), 2u);
+  EXPECT_EQ(trace.DroppedCount(), trace.TotalSeen() - trace.Events().size());
+}
+
+TEST(CsvTrace, FlushesOnDestruction) {
+  std::ostringstream out;
+  {
+    CsvTrace trace(out);
+    trace.OnEvent(TransmitEvent(1, 2, 3));
+    trace.Flush();  // explicit flush mid-stream is also allowed
+  }
+  // Two complete lines (header + row), each newline-terminated.
+  const std::string csv = out.str();
+  EXPECT_FALSE(csv.empty());
+  EXPECT_EQ(csv.back(), '\n');
+  EXPECT_NE(csv.find("1,2,transmit,3"), std::string::npos);
 }
 
 TEST(CsvTrace, WritesHeaderAndRows) {

@@ -4,11 +4,14 @@
 //   emis_cli gen   <graph-spec> [--seed S] [--out FILE]
 //   emis_cli run   --graph <spec | file:PATH> --alg <name>
 //                  [--seed S] [--preset practical|theory] [--delta-unknown]
-//                  [--trace FILE.csv] [--quiet]
+//                  [--trace FILE.csv] [--trace-jsonl FILE.jsonl]
+//                  [--report-out FILE.json] [--quiet]
 //   emis_cli sweep --alg <name> --family <spec-with-n-omitted? no: family key>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
+//   emis_cli validate-report FILE.json
 //
-// Exit status: 0 on success (and valid MIS for `run`), 1 on invalid MIS,
+// Exit status: 0 on success (and valid MIS for `run`, conforming document
+// for `validate-report`), 1 on invalid MIS / non-conforming document,
 // 2 on usage errors.
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,10 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/jsonl_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timeline.hpp"
+#include "obs/report.hpp"
 #include "radio/graph_io.hpp"
 #include "verify/experiment.hpp"
 
@@ -140,8 +147,49 @@ int CmdRun(const Flags& flags) {
     trace.emplace(trace_file);
     cfg.trace = &*trace;
   }
+  std::ofstream jsonl_file;
+  std::optional<obs::JsonlTraceSink> jsonl_trace;
+  if (flags.Has("trace-jsonl")) {
+    EMIS_REQUIRE(!cfg.trace, "--trace and --trace-jsonl are mutually exclusive");
+    jsonl_file.open(flags.Get("trace-jsonl"));
+    EMIS_REQUIRE(jsonl_file.good(), "cannot write jsonl trace file");
+    jsonl_trace.emplace(jsonl_file);
+    cfg.trace = &*jsonl_trace;
+  }
+
+  // The report wants phase/metrics data, so attach collectors when asked.
+  obs::MetricsRegistry metrics;
+  obs::PhaseTimeline timeline;
+  const bool want_report = flags.Has("report-out");
+  if (want_report) {
+    cfg.metrics = &metrics;
+    cfg.timeline = &timeline;
+  }
 
   const MisRunResult r = RunMis(g, cfg);
+
+  if (want_report) {
+    const std::string report_path = flags.Get("report-out");
+    std::ofstream report_file(report_path);
+    EMIS_REQUIRE(report_file.good(), "cannot write '" + report_path + "'");
+    obs::WriteRunReport(report_file,
+                        {.algorithm = alg_name,
+                         .graph = graph_spec,
+                         .preset = preset,
+                         .seed = seed,
+                         .nodes = g.NumNodes(),
+                         .edges = g.NumEdges(),
+                         .max_degree = g.MaxDegree(),
+                         .valid_mis = r.Valid(),
+                         .mis_size = r.MisSize(),
+                         .stats = &r.stats,
+                         .energy = &r.energy,
+                         .timeline = &timeline,
+                         .metrics = &metrics});
+    if (!flags.Has("quiet")) {
+      std::printf("report:      %s\n", report_path.c_str());
+    }
+  }
   if (!flags.Has("quiet")) {
     std::printf("graph:       %u nodes, %llu edges, max degree %u\n", g.NumNodes(),
                 static_cast<unsigned long long>(g.NumEdges()), g.MaxDegree());
@@ -203,6 +251,25 @@ int CmdSweep(const Flags& flags) {
   return 0;
 }
 
+int CmdValidateReport(const Flags& flags) {
+  EMIS_REQUIRE(flags.positional.size() == 1,
+               "validate-report needs exactly one FILE.json");
+  const std::string& path = flags.positional[0];
+  std::ifstream in(path);
+  EMIS_REQUIRE(in.good(), "cannot open report file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const obs::JsonValue doc = obs::ParseJson(buffer.str());
+  const std::string error = obs::ValidateReport(doc);
+  if (error.empty()) {
+    std::printf("%s: conforms to %s\n", path.c_str(),
+                std::string(doc.Find("schema")->AsString()).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+  return 1;
+}
+
 int Usage() {
   std::printf(
       "usage:\n"
@@ -210,10 +277,12 @@ int Usage() {
       "  emis_cli gen <graph-spec> [--seed S] [--out FILE]\n"
       "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
       "               [--preset practical|theory] [--delta-unknown]\n"
-      "               [--trace FILE.csv] [--quiet]\n"
+      "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
+      "               [--report-out FILE.json] [--quiet]\n"
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
       "               [--delta-unknown]\n"
+      "  emis_cli validate-report FILE.json\n"
       "graph specs: %s\n",
       GraphSpecHelp().c_str());
   return 2;
@@ -228,6 +297,7 @@ int Main(int argc, char** argv) {
     if (cmd == "gen") return CmdGen(flags);
     if (cmd == "run") return CmdRun(flags);
     if (cmd == "sweep") return CmdSweep(flags);
+    if (cmd == "validate-report") return CmdValidateReport(flags);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return Usage();
   } catch (const std::exception& e) {
