@@ -17,11 +17,13 @@ void RunFamily(const std::string& name, GraphFactory factory) {
   cfg.seeds_per_size = 10;
 
   cfg.algorithm = MisAlgorithm::kCd;
-  const auto efficient = RunSweep(cfg);
+  const bench::TimedSweep efficient_sweep = bench::RunTimedSweep(cfg);
   cfg.algorithm = MisAlgorithm::kCdNaive;
-  const auto naive = RunSweep(cfg);
-  bench::RecordSweep(name + " / cd", efficient);
-  bench::RecordSweep(name + " / cd-naive-luby", naive);
+  const bench::TimedSweep naive_sweep = bench::RunTimedSweep(cfg);
+  const auto& efficient = efficient_sweep.points;
+  const auto& naive = naive_sweep.points;
+  bench::RecordSweep(name + " / cd", efficient_sweep);
+  bench::RecordSweep(name + " / cd-naive-luby", naive_sweep);
 
   Table table({"n", "log2 n", "Alg1 energy", "naive energy", "ratio",
                "Alg1 energy/log n", "naive energy/log^2 n", "ok"});

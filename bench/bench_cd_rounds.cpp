@@ -18,7 +18,9 @@ void RunFamily(const std::string& name, GraphFactory factory) {
   cfg.sizes = sizes;
   cfg.seeds_per_size = 10;
   cfg.algorithm = MisAlgorithm::kCd;
-  const auto points = RunSweep(cfg);
+  const bench::TimedSweep sweep = bench::RunTimedSweep(cfg);
+  const auto& points = sweep.points;
+  bench::RecordSweep(name + " / cd", sweep);
 
   Table table({"n", "rounds(avg)", "rounds(max)", "schedule bound", "phases used(avg)",
                "rounds/log^2 n", "ok"});

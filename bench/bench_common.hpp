@@ -22,6 +22,7 @@
 
 #include "obs/report.hpp"
 #include "verify/experiment.hpp"
+#include "verify/parallel.hpp"
 #include "verify/stats.hpp"
 
 namespace emis::bench {
@@ -50,26 +51,43 @@ inline void Verdict(bool ok, const std::string& what) {
   g_verdicts.Push(std::move(entry));
 }
 
+/// Worker count for the benches' trial fan-out: EMIS_BENCH_JOBS when set
+/// (0 or 1 forces the serial path), else every hardware thread. Sweep
+/// statistics are bit-identical at any value — only wall-clock changes.
+inline unsigned Jobs() {
+  const char* env = std::getenv("EMIS_BENCH_JOBS");
+  if (env != nullptr && env[0] != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed < 1 ? 1 : static_cast<unsigned>(parsed);
+  }
+  return par::DefaultJobs();
+}
+
+/// A sweep's points plus how they were computed (jobs, wall-clock).
+struct TimedSweep {
+  std::vector<SweepPoint> points;
+  SweepRunInfo info;
+};
+
+/// Runs the sweep's trials across Jobs() threads. The returned points are
+/// bit-identical to RunSweep(cfg)'s serial output (see experiment.hpp).
+inline TimedSweep RunTimedSweep(const SweepConfig& cfg) {
+  TimedSweep out;
+  out.points = RunSweep(cfg, Jobs(), &out.info);
+  return out;
+}
+
 /// Saves a sweep's aggregate columns for the JSON artifact. Call once per
 /// rendered table; a no-op for the human-readable output.
 inline void RecordSweep(const std::string& title,
                         const std::vector<SweepPoint>& points) {
-  obs::JsonValue sweep = obs::JsonValue::MakeObject();
-  sweep.Set("title", title);
-  obs::JsonValue rows = obs::JsonValue::MakeArray();
-  for (const SweepPoint& p : points) {
-    obs::JsonValue row = obs::JsonValue::MakeObject();
-    row.Set("n", static_cast<std::uint64_t>(p.n));
-    row.Set("runs", static_cast<std::uint64_t>(p.runs));
-    row.Set("failures", static_cast<std::uint64_t>(p.failures));
-    row.Set("max_energy_mean", p.max_energy.mean);
-    row.Set("avg_energy_mean", p.avg_energy.mean);
-    row.Set("rounds_mean", p.rounds.mean);
-    row.Set("mis_size_mean", p.mis_size.mean);
-    rows.Push(std::move(row));
-  }
-  sweep.Set("points", std::move(rows));
-  g_sweeps.Push(std::move(sweep));
+  g_sweeps.Push(BuildSweepJson(title, points));
+}
+
+/// TimedSweep variant: the artifact row additionally carries "jobs" and
+/// "wall_seconds", so BENCH_*.json tracks the speedup trajectory.
+inline void RecordSweep(const std::string& title, const TimedSweep& sweep) {
+  g_sweeps.Push(BuildSweepJson(title, sweep.points, &sweep.info));
 }
 
 inline void Footer() {

@@ -25,11 +25,11 @@ Row RunAll(const GraphFactory& factory, const std::vector<NodeId>& sizes,
 
   Row row;
   cfg.algorithm = MisAlgorithm::kNoCd;
-  row.ours = RunSweep(cfg);
+  row.ours = bench::RunTimedSweep(cfg).points;
   cfg.algorithm = MisAlgorithm::kNoCdDaviesProfile;
-  row.davies = RunSweep(cfg);
+  row.davies = bench::RunTimedSweep(cfg).points;
   cfg.algorithm = MisAlgorithm::kNoCdNaive;
-  row.naive = RunSweep(cfg);
+  row.naive = bench::RunTimedSweep(cfg).points;
   return row;
 }
 

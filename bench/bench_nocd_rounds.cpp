@@ -28,7 +28,9 @@ void RunFamily(const std::string& name, GraphFactory factory, bool delta_unknown
       rc.nocd_params->low_degree_kind = LowDegreeKind::kGhaffari;
     };
   }
-  const auto points = RunSweep(cfg);
+  const bench::TimedSweep sweep = bench::RunTimedSweep(cfg);
+  const auto& points = sweep.points;
+  bench::RecordSweep(name + " / nocd", sweep);
 
   Table table({"n", "rounds(avg)", "rounds(max)", "schedule bound", "phases used(avg)",
                "ok"});

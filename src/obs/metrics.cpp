@@ -32,6 +32,14 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
   return bounds;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  EMIS_REQUIRE(bounds_ == other.bounds_,
+               "merging histograms requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
 double Histogram::UpperBound(std::size_t i) const {
   EMIS_REQUIRE(i < counts_.size(), "bucket index out of range");
   return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
@@ -66,6 +74,21 @@ Timer& MetricsRegistry::GetTimer(std::string_view name) {
   const auto it = timers_.find(name);
   if (it != timers_.end()) return it->second;
   return timers_.emplace(std::string(name), Timer{}).first->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    GetCounter(name).Inc(c.Value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    GetGauge(name).Set(g.Value());
+  }
+  for (const auto& [name, t] : other.timers_) {
+    GetTimer(name).MergeFrom(t);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    GetHistogram(name, h.Bounds()).MergeFrom(h);
+  }
 }
 
 }  // namespace emis::obs

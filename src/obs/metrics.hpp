@@ -7,6 +7,12 @@
 // metrics; references stay valid for the registry's lifetime (node-based
 // containers). Instances are not thread-safe — the simulator is
 // single-threaded per scheduler, and a registry belongs to one run.
+//
+// Concurrency model: shard-and-merge. Parallel trial engines (see
+// verify/parallel.hpp) give every worker thread its own private registry —
+// the hot path stays lock- and atomic-free — and combine the shards after
+// the join with MetricsRegistry::Merge. Merge is associative, so any merge
+// tree over the shards yields the same counters/timers/histograms.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +61,12 @@ class Histogram {
   static std::vector<double> ExponentialBounds(double start, double factor,
                                                std::size_t count);
 
+  /// Adds another histogram's counts into this one. The bucket bounds must
+  /// be identical (same name ⇒ same bounds, per the registry contract).
+  void MergeFrom(const Histogram& other);
+
+  const std::vector<double>& Bounds() const noexcept { return bounds_; }
+
   std::size_t NumBuckets() const noexcept { return counts_.size(); }
   /// Upper bound of bucket i; the final bucket returns +infinity.
   double UpperBound(std::size_t i) const;
@@ -80,6 +92,14 @@ class Timer {
     total_ns_ += ns;
     if (ns > max_ns_) max_ns_ = ns;
   }
+  /// Folds another timer's sections into this one (sum counts/totals, max of
+  /// maxima).
+  void MergeFrom(const Timer& other) noexcept {
+    count_ += other.count_;
+    total_ns_ += other.total_ns_;
+    if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+
   std::uint64_t Count() const noexcept { return count_; }
   std::uint64_t TotalNs() const noexcept { return total_ns_; }
   std::uint64_t MaxNs() const noexcept { return max_ns_; }
@@ -103,6 +123,14 @@ class MetricsRegistry {
   /// first creation win (callers sharing a name must agree on buckets).
   Histogram& GetHistogram(std::string_view name, std::vector<double> upper_bounds);
   Timer& GetTimer(std::string_view name);
+
+  /// Folds `other` into this registry: counters and timers add, histograms
+  /// add bucket-wise (bounds must agree for shared names), gauges take the
+  /// incoming sample (last write wins, as for Gauge::Set). Merge is
+  /// associative — merging shards in any grouping gives identical counters,
+  /// timers and histogram counts — which is what lets the parallel trial
+  /// engine reduce per-worker shards in a fixed order and stay deterministic.
+  void Merge(const MetricsRegistry& other);
 
   const std::map<std::string, Counter, std::less<>>& Counters() const noexcept {
     return counters_;

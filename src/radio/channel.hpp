@@ -43,16 +43,22 @@ class Channel {
   /// Registers node u as transmitting `payload` this round. A node must not
   /// be registered twice in one round.
   void AddTransmitter(NodeId u, std::uint64_t payload) {
-    for (NodeId w : graph_->Neighbors(u)) {
-      if (loss_ > 0.0 && loss_rng_.Bernoulli(loss_)) continue;  // faded link
-      if (epoch_mark_[w] != epoch_) {
-        epoch_mark_[w] = epoch_;
-        hear_count_[w] = 1;
-        hear_payload_[w] = payload;
-      } else {
-        ++hear_count_[w];
+    const auto nbrs = graph_->Neighbors(u);
+    if (loss_ > 0.0) {
+      // Skip-sample the surviving links: each link survives independently
+      // with probability 1 - loss, so the gap to the next survivor is
+      // geometric and one RNG draw jumps straight to it. Cost is O(#delivered)
+      // draws instead of O(deg) Bernoulli draws — the win on lossy channels
+      // with high-degree transmitters.
+      const double survive = 1.0 - loss_;
+      const std::size_t deg = nbrs.size();
+      for (std::size_t i = loss_rng_.GeometricSkip(survive); i < deg;
+           i += 1 + loss_rng_.GeometricSkip(survive)) {
+        Deliver(nbrs[i], payload);
       }
+      return;
     }
+    for (NodeId w : nbrs) Deliver(w, payload);
   }
 
   /// What listener v perceives this round under the channel model.
@@ -83,6 +89,16 @@ class Channel {
   }
 
  private:
+  void Deliver(NodeId w, std::uint64_t payload) noexcept {
+    if (epoch_mark_[w] != epoch_) {
+      epoch_mark_[w] = epoch_;
+      hear_count_[w] = 1;
+      hear_payload_[w] = payload;
+    } else {
+      ++hear_count_[w];
+    }
+  }
+
   const Graph* graph_;
   ChannelModel model_;
   double loss_ = 0.0;

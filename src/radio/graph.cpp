@@ -75,13 +75,17 @@ std::uint32_t Graph::ConnectedComponents(std::vector<std::uint32_t>& component) 
 }
 
 Graph Graph::Square() const {
+  // Two-hop enumeration produces the same pair many times (once per common
+  // neighbor); append them all and let Build() sort+unique once instead of
+  // paying a hash probe per candidate.
   GraphBuilder builder(NumNodes());
+  builder.Reserve(NumEdges() * 2);
   for (NodeId v = 0; v < NumNodes(); ++v) {
     for (NodeId w : Neighbors(v)) {
-      if (v < w) builder.AddEdgeIfAbsent(v, w);
+      if (v < w) builder.AddEdgeDedup(v, w);
       // Two-hop edges: v - w - x.
       for (NodeId x : Neighbors(w)) {
-        if (v < x) builder.AddEdgeIfAbsent(v, x);
+        if (v < x) builder.AddEdgeDedup(v, x);
       }
     }
   }
@@ -120,29 +124,52 @@ GraphBuilder& GraphBuilder::AddEdge(NodeId u, NodeId v) {
   EMIS_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
   EMIS_REQUIRE(u != v, "self-loops are not allowed");
   if (u > v) std::swap(u, v);
-  // Track membership so AddEdgeIfAbsent stays correct when styles are mixed.
-  seen_.insert((static_cast<std::uint64_t>(u) << 32) | v);
+  // Keep the membership set current only once AddEdgeIfAbsent materialized
+  // it; the pure-AddEdge bulk path never hashes.
+  if (tracking_) seen_.insert((static_cast<std::uint64_t>(u) << 32) | v);
   edges_.push_back({u, v});
   return *this;
+}
+
+void GraphBuilder::MaterializeSeen() {
+  tracking_ = true;
+  seen_.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    seen_.insert((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  }
 }
 
 bool GraphBuilder::AddEdgeIfAbsent(NodeId u, NodeId v) {
   EMIS_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
   if (u == v) return false;
   if (u > v) std::swap(u, v);
+  if (!tracking_) MaterializeSeen();
   const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
   if (!seen_.insert(key).second) return false;
   edges_.push_back({u, v});
   return true;
 }
 
+void GraphBuilder::AddEdgeDedup(NodeId u, NodeId v) {
+  EMIS_REQUIRE(u < num_nodes_ && v < num_nodes_, "node out of range");
+  EMIS_REQUIRE(u != v, "self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  dedup_at_build_ = true;
+  edges_.push_back({u, v});
+}
+
 Graph GraphBuilder::Build() && {
-  // Sort and reject duplicates.
+  // Sort; with AddEdgeDedup in play duplicates are collapsed here, otherwise
+  // they are a caller error.
   std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;
   });
-  EMIS_REQUIRE(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
-               "duplicate edge");
+  if (dedup_at_build_) {
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  } else {
+    EMIS_REQUIRE(std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end(),
+                 "duplicate edge");
+  }
 
   Graph g;
   g.offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);

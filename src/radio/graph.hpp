@@ -96,18 +96,38 @@ struct InducedSubgraph {
 };
 
 /// Incremental construction helper used by the generators.
+///
+/// Three edge-insertion styles with different cost profiles:
+///   * AddEdge — append-only; the bulk-generator fast path. No hash-set
+///     work unless AddEdgeIfAbsent has been called on this builder.
+///   * AddEdgeIfAbsent — membership-checked insert (needs the answer *now*,
+///     e.g. to count distinct edges). The membership set is materialized
+///     lazily on first use, so pure-AddEdge builders never pay for it.
+///   * AddEdgeDedup — append now, deduplicate once inside Build() via
+///     sort + unique. Cheapest way to insert a stream with many repeats
+///     when the caller does not need per-insert feedback (e.g. Square()).
 class GraphBuilder {
  public:
   explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
 
+  /// Pre-allocates the pending-edge list for `edges` insertions. Purely an
+  /// allocation hint; generators with a known or expected edge count use it
+  /// to avoid growth reallocations.
+  void Reserve(std::uint64_t edges) { edges_.reserve(edges); }
+
   /// Adds the undirected edge {u, v}. Adding an existing edge or a self-loop
   /// throws PreconditionError (at AddEdge time for self-loops, at Build time
-  /// for duplicates).
+  /// for duplicates — unless AddEdgeDedup armed dedup-at-build).
   GraphBuilder& AddEdge(NodeId u, NodeId v);
 
   /// Adds {u, v} unless it already exists or u == v; returns whether added.
-  /// Deduplication happens at Build time, so this tracks a pending-edge set.
+  /// First use materializes the membership set from the pending edges.
+  /// Edges inserted later via AddEdgeDedup are invisible to this check.
   bool AddEdgeIfAbsent(NodeId u, NodeId v);
+
+  /// Appends {u, v} (u != v required) without any membership check;
+  /// duplicates are silently collapsed by Build(). O(1), no hashing.
+  void AddEdgeDedup(NodeId u, NodeId v);
 
   NodeId num_nodes() const noexcept { return num_nodes_; }
   std::uint64_t num_pending_edges() const noexcept { return edges_.size(); }
@@ -115,10 +135,15 @@ class GraphBuilder {
   Graph Build() &&;
 
  private:
+  void MaterializeSeen();
+
   NodeId num_nodes_;
   std::vector<Edge> edges_;
   // Membership set for AddEdgeIfAbsent; keyed by (u << 32) | v with u < v.
+  // Empty and untouched until the first AddEdgeIfAbsent call (tracking_).
   std::unordered_set<std::uint64_t> seen_;
+  bool tracking_ = false;
+  bool dedup_at_build_ = false;
 };
 
 }  // namespace emis

@@ -62,6 +62,14 @@ void SampleBernoulliPairs(NodeId n, double p, Rng& rng, EmitEdge emit) {
 Graph ErdosRenyi(NodeId n, double p, Rng& rng) {
   EMIS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
   GraphBuilder builder(n);
+  if (n >= 2 && p > 0.0) {
+    // Expected m = p * C(n,2); reserve with ~3 standard deviations of slack
+    // so the pending-edge list almost never reallocates.
+    const double total = 0.5 * static_cast<double>(n) * (n - 1);
+    const double expected = p * total;
+    builder.Reserve(static_cast<std::uint64_t>(
+        expected + 3.0 * std::sqrt(expected * (1.0 - p)) + 16.0));
+  }
   SampleBernoulliPairs(n, p, rng, [&](NodeId u, NodeId v) { builder.AddEdge(u, v); });
   return std::move(builder).Build();
 }
@@ -70,6 +78,7 @@ Graph GnM(NodeId n, std::uint64_t m, Rng& rng) {
   const std::uint64_t total = n < 2 ? 0 : static_cast<std::uint64_t>(n) * (n - 1) / 2;
   EMIS_REQUIRE(m <= total, "too many edges requested");
   GraphBuilder builder(n);
+  builder.Reserve(m);
   std::uint64_t added = 0;
   while (added < m) {
     const NodeId u = static_cast<NodeId>(rng.UniformBelow(n));
@@ -159,6 +168,7 @@ Graph Star(NodeId n) {
 
 Graph Complete(NodeId n) {
   GraphBuilder builder(n);
+  if (n >= 2) builder.Reserve(static_cast<std::uint64_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u)
     for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
   return std::move(builder).Build();
@@ -166,6 +176,7 @@ Graph Complete(NodeId n) {
 
 Graph CompleteBipartite(NodeId left, NodeId right) {
   GraphBuilder builder(left + right);
+  builder.Reserve(static_cast<std::uint64_t>(left) * right);
   for (NodeId u = 0; u < left; ++u)
     for (NodeId v = 0; v < right; ++v) builder.AddEdge(u, left + v);
   return std::move(builder).Build();
@@ -182,6 +193,7 @@ Graph RandomTree(NodeId n, Rng& rng) {
   for (NodeId s : prufer) ++degree[s];
 
   GraphBuilder builder(n);
+  builder.Reserve(n - 1);
   // Min-leaf extraction with a min-heap of current leaves.
   std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> leaves;
   for (NodeId v = 0; v < n; ++v) {
@@ -203,6 +215,7 @@ Graph RandomTree(NodeId n, Rng& rng) {
 Graph NearRegular(NodeId n, std::uint32_t d, Rng& rng) {
   EMIS_REQUIRE(d < n, "degree must be below n");
   GraphBuilder builder(n);
+  builder.Reserve(static_cast<std::uint64_t>(n) * d / 2);
   std::vector<std::uint32_t> degree(n, 0);
   // Repeated random pairing among nodes still short of degree d; bounded
   // retries keep this from spinning on the (rare) final odd remainder.
@@ -233,6 +246,8 @@ Graph BarabasiAlbert(NodeId n, std::uint32_t m, Rng& rng) {
   EMIS_REQUIRE(m >= 1, "attachment count must be >= 1");
   EMIS_REQUIRE(n > m, "need more nodes than attachment edges");
   GraphBuilder builder(n);
+  builder.Reserve(static_cast<std::uint64_t>(m) * (m + 1) / 2 +
+                  static_cast<std::uint64_t>(n - m - 1) * m);
   // Endpoint multiset for preferential attachment: each edge contributes both
   // endpoints, so sampling uniformly from `endpoints` is degree-proportional.
   std::vector<NodeId> endpoints;
@@ -277,6 +292,9 @@ Graph PerfectMatching(NodeId n) {
 
 Graph DisjointCliques(NodeId count, NodeId size) {
   GraphBuilder builder(count * size);
+  if (size >= 2) {
+    builder.Reserve(static_cast<std::uint64_t>(count) * size * (size - 1) / 2);
+  }
   for (NodeId c = 0; c < count; ++c) {
     const NodeId base = c * size;
     for (NodeId u = 0; u < size; ++u)

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 #include "radio/types.hpp"
@@ -143,14 +144,32 @@ class Rng {
     }
   }
 
-  /// Geometric with success probability p and support {1, 2, 3, ...}.
+  /// Number of consecutive Bernoulli(p) failures before the first success —
+  /// Geometric(p) on support {0, 1, 2, ...} — drawn with a single uniform via
+  /// inversion: floor(log(1-U) / log(1-p)). Equivalent in distribution to
+  /// counting `!Bernoulli(p)` in a loop but O(1), which is what makes
+  /// skip-sampling (jump directly to the next success in a long trial
+  /// sequence) affordable on the channel/generator hot paths.
+  /// Requires 0 < p <= 1.
+  std::uint64_t GeometricSkip(double p) noexcept {
+    EMIS_ASSERT(p > 0.0 && p <= 1.0, "GeometricSkip requires p in (0,1]");
+    if (p >= 1.0) return 0;
+    // UniformUnit() is in [0, 1), so 1-u is in (0, 1] and log1p(-u) is finite.
+    const double u = UniformUnit();
+    const double skip = std::floor(std::log1p(-u) / std::log1p(-p));
+    // For tiny p the skip can exceed any practical sequence length; clamp
+    // before the float->int conversion (which would otherwise be UB).
+    constexpr double kMax = 9007199254740992.0;  // 2^53
+    if (!(skip < kMax)) return static_cast<std::uint64_t>(kMax);
+    return static_cast<std::uint64_t>(skip);
+  }
+
+  /// Geometric with success probability p and support {1, 2, 3, ...}:
+  /// the index of the first success in a Bernoulli(p) sequence.
   /// Requires 0 < p <= 1.
   std::uint64_t Geometric(double p) noexcept {
     EMIS_ASSERT(p > 0.0 && p <= 1.0, "Geometric requires p in (0,1]");
-    if (p >= 1.0) return 1;
-    std::uint64_t trials = 1;
-    while (!Bernoulli(p)) ++trials;
-    return trials;
+    return 1 + GeometricSkip(p);
   }
 
   /// A uniformly random word with exactly `bits` random low bits

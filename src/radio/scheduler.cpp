@@ -127,7 +127,12 @@ RunStats Scheduler::RunUntil(Round limit) {
         // protocol that never finishes after its last action lands here.)
         break;
       }
-      const Round jump_to = std::max(now_, wake_heap_.top().round);
+      // Clamp the jump at `limit`: the virtual clock must not overshoot the
+      // run bound, and rounds_skipped_ must count only rounds actually
+      // skipped within this run (the remainder is counted if a later
+      // RunUntil resumes past it).
+      const Round jump_to =
+          std::min(limit, std::max(now_, wake_heap_.top().round));
       if (rounds_skipped_ != nullptr) rounds_skipped_->Inc(jump_to - now_);
       now_ = jump_to;
     }

@@ -1,6 +1,10 @@
 #include "verify/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <memory>
+
+#include "verify/parallel.hpp"
 
 namespace emis {
 
@@ -47,14 +51,46 @@ GraphFactory TreeFamily() {
 
 }  // namespace families
 
+namespace {
+
+/// Everything the ordered reduction needs from one (n, seed) trial. Trials
+/// write only their own slot, so the parallel fan-out shares no state.
+struct TrialOutcome {
+  bool valid = false;
+  double max_energy = 0.0;
+  double avg_energy = 0.0;
+  double rounds = 0.0;
+  double mis_size = 0.0;
+  double max_degree = 0.0;
+  double seconds = 0.0;
+  std::unique_ptr<MisRunResult> full;  ///< retained only for config.observe
+};
+
+}  // namespace
+
 std::vector<SweepPoint> RunSweep(const SweepConfig& config) {
+  return RunSweep(config, 1, nullptr);
+}
+
+std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
+                                 SweepRunInfo* info) {
   EMIS_REQUIRE(config.factory != nullptr, "sweep needs a graph factory");
-  std::vector<SweepPoint> points;
-  points.reserve(config.sizes.size());
-  for (NodeId n : config.sizes) {
-    SweepPoint point;
-    point.n = n;
-    for (std::uint32_t s = 0; s < config.seeds_per_size; ++s) {
+  if (jobs == 0) jobs = par::DefaultJobs();
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point sweep_begin = Clock::now();
+
+  const std::uint64_t per_size = config.seeds_per_size;
+  const std::uint64_t total = config.sizes.size() * per_size;
+  std::vector<TrialOutcome> outcomes(total);
+  // One metrics shard per worker: the scheduler's cached metric handles stay
+  // plain (non-atomic) because no two threads share a registry.
+  std::vector<obs::MetricsRegistry> shards(config.metrics != nullptr ? jobs : 0);
+
+  if (total > 0) {
+    par::ParallelFor(jobs, total, [&](std::uint64_t t, unsigned worker) {
+      const Clock::time_point trial_begin = Clock::now();
+      const NodeId n = config.sizes[t / per_size];
+      const auto s = static_cast<std::uint32_t>(t % per_size);
       const std::uint64_t seed =
           config.seed_base + static_cast<std::uint64_t>(n) * 1'000'003 + s;
       Rng topo_rng(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -63,16 +99,55 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config) {
           .algorithm = config.algorithm, .preset = config.preset, .seed = seed};
       if (config.delta_unknown) run_config.delta_estimate = n;
       if (config.tweak) config.tweak(run_config, graph);
-      const MisRunResult run = RunMis(graph, run_config);
+      if (!shards.empty()) run_config.metrics = &shards[worker];
+      MisRunResult run = RunMis(graph, run_config);
+
+      TrialOutcome& out = outcomes[t];
+      out.valid = run.Valid();
+      out.max_energy = static_cast<double>(run.energy.MaxAwake());
+      out.avg_energy = run.energy.AverageAwake();
+      out.rounds = static_cast<double>(run.stats.rounds_used);
+      out.mis_size = static_cast<double>(run.MisSize());
+      out.max_degree = static_cast<double>(graph.MaxDegree());
+      out.seconds = std::chrono::duration<double>(Clock::now() - trial_begin).count();
+      if (config.observe) out.full = std::make_unique<MisRunResult>(std::move(run));
+    });
+  }
+
+  // Merge shards in worker order, then reduce trials in (size, seed) order —
+  // the exact accumulation sequence of the serial loop, so points (and any
+  // floating-point summary derived from them) are bit-identical at any jobs.
+  if (config.metrics != nullptr) {
+    for (const obs::MetricsRegistry& shard : shards) config.metrics->Merge(shard);
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(config.sizes.size());
+  if (info != nullptr) {
+    info->jobs = jobs;
+    info->point_wall_seconds.assign(config.sizes.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < config.sizes.size(); ++i) {
+    SweepPoint point;
+    point.n = config.sizes[i];
+    for (std::uint64_t s = 0; s < per_size; ++s) {
+      const TrialOutcome& out = outcomes[i * per_size + s];
       ++point.runs;
-      point.failures += run.Valid() ? 0 : 1;
-      point.max_energy.Add(static_cast<double>(run.energy.MaxAwake()));
-      point.avg_energy.Add(run.energy.AverageAwake());
-      point.rounds.Add(static_cast<double>(run.stats.rounds_used));
-      point.mis_size.Add(static_cast<double>(run.MisSize()));
-      point.max_degree.Add(static_cast<double>(graph.MaxDegree()));
+      point.failures += out.valid ? 0 : 1;
+      point.max_energy.Add(out.max_energy);
+      point.avg_energy.Add(out.avg_energy);
+      point.rounds.Add(out.rounds);
+      point.mis_size.Add(out.mis_size);
+      point.max_degree.Add(out.max_degree);
+      if (info != nullptr) info->point_wall_seconds[i] += out.seconds;
+      if (config.observe) {
+        config.observe(point.n, static_cast<std::uint32_t>(s), *out.full);
+      }
     }
     points.push_back(point);
+  }
+  if (info != nullptr) {
+    info->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - sweep_begin).count();
   }
   return points;
 }
@@ -96,6 +171,35 @@ std::vector<double> MeanRounds(const std::vector<SweepPoint>& points) {
   out.reserve(points.size());
   for (const auto& p : points) out.push_back(p.rounds.mean);
   return out;
+}
+
+obs::JsonValue BuildSweepJson(const std::string& title,
+                              const std::vector<SweepPoint>& points,
+                              const SweepRunInfo* info) {
+  obs::JsonValue sweep = obs::JsonValue::MakeObject();
+  sweep.Set("title", title);
+  if (info != nullptr) {
+    sweep.Set("jobs", static_cast<std::uint64_t>(info->jobs));
+    sweep.Set("wall_seconds", info->wall_seconds);
+  }
+  obs::JsonValue rows = obs::JsonValue::MakeArray();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    row.Set("n", static_cast<std::uint64_t>(p.n));
+    row.Set("runs", static_cast<std::uint64_t>(p.runs));
+    row.Set("failures", static_cast<std::uint64_t>(p.failures));
+    row.Set("max_energy_mean", p.max_energy.mean);
+    row.Set("avg_energy_mean", p.avg_energy.mean);
+    row.Set("rounds_mean", p.rounds.mean);
+    row.Set("mis_size_mean", p.mis_size.mean);
+    if (info != nullptr && i < info->point_wall_seconds.size()) {
+      row.Set("wall_seconds", info->point_wall_seconds[i]);
+    }
+    rows.Push(std::move(row));
+  }
+  sweep.Set("points", std::move(rows));
+  return sweep;
 }
 
 std::string RenderSweep(const std::string& title,

@@ -4,6 +4,14 @@
 // generate a fresh topology per seed, run the algorithm, verify the output
 // and aggregate energy/round/size distributions. Benches render the rows
 // with verify/stats.hpp's Table and assert shapes with the polylog fits.
+//
+// Trials are independent by construction — every trial's seed is derived
+// from (seed_base, n, s) alone — so RunSweep can fan them across a thread
+// pool (verify/parallel.hpp). Determinism contract: per-trial results are
+// written into index-addressed slots and reduced on the calling thread in
+// (size, seed) order, so the returned SweepPoints are BIT-IDENTICAL for any
+// jobs count. Wall-clock and job count are reported out of band via
+// SweepRunInfo and never enter the points.
 #pragma once
 
 #include <functional>
@@ -11,6 +19,8 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "radio/graph.hpp"
 #include "radio/graph_generators.hpp"
 #include "verify/stats.hpp"
@@ -56,7 +66,19 @@ struct SweepConfig {
   bool delta_unknown = false;
   /// Optional final tweak of the per-run config (ablations); receives the
   /// generated topology so graph-dependent parameters can be derived.
+  /// Like `factory`, must be safe to invoke concurrently when jobs > 1
+  /// (stateless or const-capturing callables are; all families:: are).
   std::function<void(MisRunConfig&, const Graph&)> tweak;
+  /// Optional metrics sink. Each worker thread feeds a private shard (the
+  /// scheduler hot-path timers/counters stay lock-free); the shards are
+  /// merged into this registry in worker order after the sweep.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional per-trial observer, called on the reducing thread in strict
+  /// (size, seed) order after all trials of the sweep finished — per-trial
+  /// artifacts (reports, timelines rendered from results) never interleave
+  /// even when the trials themselves ran concurrently.
+  std::function<void(NodeId n, std::uint32_t seed_index, const MisRunResult&)>
+      observe;
 };
 
 struct SweepPoint {
@@ -70,8 +92,32 @@ struct SweepPoint {
   Summary max_degree;           ///< topology Δ per run
 };
 
-/// Runs the sweep; one point per size.
+/// Out-of-band facts about how a sweep executed (never part of the points,
+/// which stay bit-identical across job counts).
+struct SweepRunInfo {
+  unsigned jobs = 1;
+  double wall_seconds = 0.0;             ///< whole sweep, including reduction
+  std::vector<double> point_wall_seconds;///< per size: sum of its trial times
+};
+
+/// Runs the sweep; one point per size. Serial (jobs = 1).
 std::vector<SweepPoint> RunSweep(const SweepConfig& config);
+
+/// Runs the sweep's trials on `jobs` threads (0 = par::DefaultJobs(); 1 =
+/// inline serial). Results are reduced in trial order: the returned points
+/// are bit-identical to the serial path. `info`, when non-null, receives the
+/// job count and wall-clock of this execution.
+std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
+                                 SweepRunInfo* info = nullptr);
+
+/// The sweep's aggregate columns as a JSON object {title, points[...]} —
+/// the `sweeps[]` entry of the emis-bench-report/1 schema. Deterministic in
+/// (title, points). When `info` is non-null, adds the execution facts
+/// ("jobs", "wall_seconds", per-point "wall_seconds") so BENCH_*.json
+/// artifacts track the speedup trajectory.
+obs::JsonValue BuildSweepJson(const std::string& title,
+                              const std::vector<SweepPoint>& points,
+                              const SweepRunInfo* info = nullptr);
 
 /// Convenience: extracts (n, mean max energy) columns for fitting.
 std::vector<double> Sizes(const std::vector<SweepPoint>& points);

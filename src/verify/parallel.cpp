@@ -1,0 +1,64 @@
+#include "verify/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "radio/types.hpp"
+
+namespace emis::par {
+
+unsigned DefaultJobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn) {
+  EMIS_REQUIRE(fn != nullptr, "ParallelFor needs a work function");
+  if (jobs == 0) jobs = DefaultJobs();
+  if (count == 0) return;
+
+  if (jobs <= 1 || count <= 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  if (jobs > count) jobs = static_cast<unsigned>(count);
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker_loop = [&](unsigned worker) {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // The caller is worker 0; jobs-1 extra threads join it. Spawning per call
+  // keeps the pool stateless between sweeps — thread creation is microseconds
+  // against trials that each run a full simulation.
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned w = 1; w < jobs; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace emis::par

@@ -1,0 +1,42 @@
+// The parallel trial engine: a small fixed thread pool for embarrassingly
+// parallel work — independent (n, seed) trials of a sweep or bench.
+//
+// Design constraints, in order:
+//   1. Determinism. The pool never touches the work itself: callers give a
+//      pure function of the trial index, each index writes its own result
+//      slot, and reduction happens on the calling thread in index order.
+//      Output is therefore bit-identical for any job count, including 1.
+//   2. No work stealing, no queues. Indices are claimed from a single atomic
+//      cursor; trials are coarse enough (one full simulation run) that the
+//      cursor is never contended.
+//   3. Zero threads when jobs <= 1: the loop runs inline on the caller, so
+//      the serial path stays exactly the serial path.
+//
+// Shared observability state must be sharded per worker (one MetricsRegistry
+// per thread) and merged after the join — see obs::MetricsRegistry::Merge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace emis::par {
+
+/// Worker count used when the caller does not specify one:
+/// std::thread::hardware_concurrency(), clamped to >= 1 (the standard allows
+/// hardware_concurrency() == 0 when unknown).
+unsigned DefaultJobs() noexcept;
+
+/// The index-claiming work function: fn(index, worker) with
+/// index in [0, count) and worker in [0, jobs). A given index runs exactly
+/// once; a given worker runs its indices sequentially, so per-worker state
+/// (an RNG, a metrics shard) needs no locking.
+using IndexFn = std::function<void(std::uint64_t index, unsigned worker)>;
+
+/// Runs fn over [0, count) on `jobs` threads and blocks until every index
+/// completed. jobs == 0 means DefaultJobs(). With jobs <= 1 (or count <= 1)
+/// the loop runs inline — no threads are created. The first exception thrown
+/// by fn is rethrown on the caller after all workers stopped claiming
+/// (remaining indices may be skipped once an exception is pending).
+void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn);
+
+}  // namespace emis::par

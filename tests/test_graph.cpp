@@ -90,6 +90,44 @@ TEST(GraphBuilder, MixedStylesStayConsistent) {
   EXPECT_EQ(g.NumEdges(), 1u);
 }
 
+TEST(GraphBuilder, AddEdgeAfterIfAbsentKeepsMembershipCurrent) {
+  // The membership set materializes lazily on the first AddEdgeIfAbsent;
+  // AddEdge calls after that point must keep feeding it.
+  GraphBuilder b(4);
+  EXPECT_TRUE(b.AddEdgeIfAbsent(0, 1));
+  b.AddEdge(2, 3);
+  EXPECT_FALSE(b.AddEdgeIfAbsent(3, 2));
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilder, AddEdgeDedupCollapsesDuplicatesAtBuild) {
+  GraphBuilder b(4);
+  b.AddEdgeDedup(0, 1);
+  b.AddEdgeDedup(1, 0);  // duplicate, opposite orientation
+  b.AddEdgeDedup(0, 1);  // duplicate again
+  b.AddEdgeDedup(2, 3);
+  EXPECT_EQ(b.num_pending_edges(), 4u);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(GraphBuilder, AddEdgeDedupRejectsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.AddEdgeDedup(1, 1), PreconditionError);
+}
+
+TEST(GraphBuilder, ReserveDoesNotChangeTheResult) {
+  GraphBuilder b(3);
+  b.Reserve(100);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
 TEST(Graph, InducedSubgraph) {
   // Path 0-1-2-3-4; induce {0, 2, 3}: only edge 2-3 survives.
   Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});

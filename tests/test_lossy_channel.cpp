@@ -2,6 +2,8 @@
 // coding that hardens Algorithm 1 against it.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/runner.hpp"
 #include "radio/channel.hpp"
 #include "radio/graph_generators.hpp"
@@ -41,6 +43,28 @@ TEST(LossyChannel, LossRateMatchesProbability) {
     delivered += ch.ResolveListener(1).kind == ReceptionKind::kMessage;
   }
   EXPECT_NEAR(delivered, kTrials * 0.7, 400);
+}
+
+TEST(LossyChannel, SkipSamplingDeliveryRateOnHighDegreeHub) {
+  // The skip-sampling fast path (one geometric draw per delivered link) must
+  // still erase each link independently with probability `loss` — check the
+  // aggregate delivery rate across a 2000-leaf star hub transmission.
+  const NodeId kLeaves = 2000;
+  Graph g = gen::Star(kLeaves + 1);
+  Channel ch(g, ChannelModel::kCd);
+  ch.SetLoss(0.4, 17);
+  std::uint64_t delivered = 0;
+  const int kRounds = 50;
+  for (int i = 0; i < kRounds; ++i) {
+    ch.BeginRound();
+    ch.AddTransmitter(0, 9);
+    for (NodeId v = 1; v <= kLeaves; ++v) {
+      delivered += ch.ResolveListener(v).kind == ReceptionKind::kMessage;
+    }
+  }
+  const double expected = 0.6 * kLeaves * kRounds;  // 60000
+  EXPECT_NEAR(static_cast<double>(delivered), expected,
+              5.0 * std::sqrt(expected * 0.4));
 }
 
 TEST(LossyChannel, LostSignalDoesNotInterfere) {

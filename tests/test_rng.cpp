@@ -161,6 +161,46 @@ TEST(Rng, GeometricGeneralMean) {
   EXPECT_NEAR(sum / kTrials, 4.0, 0.15);
 }
 
+TEST(Rng, GeometricSkipCertainSuccessIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.GeometricSkip(1.0), 0u);
+}
+
+TEST(Rng, GeometricSkipMatchesBernoulliFailureRun) {
+  // GeometricSkip(p) must be distributed as the number of failures before
+  // the first success: mean (1-p)/p, P(X = k) = (1-p)^k p.
+  for (const double p : {0.5, 0.25, 0.05}) {
+    Rng rng(18);
+    const int kTrials = 100000;
+    double sum = 0;
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < kTrials; ++i) {
+      const auto g = rng.GeometricSkip(p);
+      sum += static_cast<double>(g);
+      if (g < counts.size()) ++counts[g];
+    }
+    const double mean = (1.0 - p) / p;
+    const double sd = std::sqrt(1.0 - p) / p;  // per-sample std deviation
+    EXPECT_NEAR(sum / kTrials, mean, 5.0 * sd / std::sqrt(kTrials))
+        << "p = " << p;
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      const double expected = kTrials * std::pow(1.0 - p, k) * p;
+      EXPECT_NEAR(counts[k], expected, 5.0 * std::sqrt(expected) + 5.0)
+          << "p = " << p << ", k = " << k;
+    }
+  }
+}
+
+TEST(Rng, GeometricSkipTinyProbabilityDoesNotOverflow) {
+  Rng rng(19);
+  // With p = 1e-18 skips are astronomically large; the clamp must keep the
+  // float->int conversion defined and the result usable as an index bound.
+  for (int i = 0; i < 100; ++i) {
+    const auto g = rng.GeometricSkip(1e-18);
+    EXPECT_LE(g, 1ULL << 53);
+  }
+}
+
 TEST(Rng, RandomBitsBounded) {
   Rng rng(15);
   for (std::uint32_t bits : {0u, 1u, 5u, 32u, 63u}) {

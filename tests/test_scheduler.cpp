@@ -222,6 +222,43 @@ TEST(Scheduler, RunUntilResumesSeamlessly) {
   EXPECT_EQ(sched.Energy().Of(0).Awake(), 3u);
 }
 
+TEST(Scheduler, RunUntilClampsRoundSkipAtLimit) {
+  // A wake event beyond `limit` must not drag the virtual clock past the
+  // limit, and sched.rounds_skipped must count only the rounds skipped
+  // within this RunUntil call (the remainder belongs to the resume).
+  Graph g = gen::Empty(1);
+  obs::MetricsRegistry metrics;
+  Scheduler sched(g, {.model = ChannelModel::kCd, .metrics = &metrics}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> {
+    return SleepThenTransmit(api, 1000);
+  });
+
+  sched.RunUntil(10);
+  EXPECT_EQ(sched.Now(), 10u);
+  EXPECT_EQ(metrics.GetCounter("sched.rounds_skipped").Value(), 10u);
+  EXPECT_FALSE(sched.AllFinished());
+
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 1001u);
+  EXPECT_EQ(metrics.GetCounter("sched.rounds_skipped").Value(), 1000u);
+  EXPECT_EQ(metrics.GetCounter("sched.rounds_executed").Value(), 1u);
+}
+
+TEST(Scheduler, RunUntilClampedStopStillHitsMaxRounds) {
+  // When limit == max_rounds and the next wake lies beyond it, the clamped
+  // jump must still report hit_round_limit (the clock reached max_rounds).
+  Graph g = gen::Empty(1);
+  Scheduler sched(g, {.model = ChannelModel::kCd, .max_rounds = 50}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> {
+    return SleepThenTransmit(api, 1000);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_FALSE(sched.AllFinished());
+  EXPECT_TRUE(stats.hit_round_limit);
+  EXPECT_EQ(sched.Now(), 50u);
+}
+
 TEST(Scheduler, RunUntilMidSleepThenContinue) {
   Graph g = gen::Path(2);
   Scheduler sched(g, {.model = ChannelModel::kCd}, 1);

@@ -8,6 +8,7 @@
 //                  [--report-out FILE.json] [--quiet]
 //   emis_cli sweep --alg <name> --family <spec-with-n-omitted? no: family key>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
+//                  [--jobs N] [--report-out FILE.json] [--quiet]
 //   emis_cli validate-report FILE.json
 //
 // Exit status: 0 on success (and valid MIS for `run`, conforming document
@@ -30,6 +31,7 @@
 #include "obs/report.hpp"
 #include "radio/graph_io.hpp"
 #include "verify/experiment.hpp"
+#include "verify/parallel.hpp"
 
 namespace emis::cli {
 namespace {
@@ -244,10 +246,39 @@ int CmdSweep(const Flags& flags) {
     throw PreconditionError("unknown sweep family '" + family +
                             "' (er, udg, star, tree, matching, complete)");
   }
-  const auto points = RunSweep(cfg);
+  const unsigned jobs = flags.Has("jobs")
+                            ? static_cast<unsigned>(std::stoul(flags.Get("jobs")))
+                            : par::DefaultJobs();
+  SweepRunInfo info;
+  const auto points = RunSweep(cfg, jobs, &info);
   std::printf("%s", RenderSweep("algorithm " + alg_name + ", family " + family,
                                 points)
                         .c_str());
+  if (!flags.Has("quiet")) {
+    std::printf("jobs: %u, wall: %.3fs\n", info.jobs, info.wall_seconds);
+  }
+
+  if (flags.Has("report-out")) {
+    // Same emis-bench-report/1 schema the experiment binaries emit, so
+    // `emis_cli validate-report` and the CI round-trip accept it.
+    std::uint32_t failures = 0;
+    for (const auto& p : points) failures += p.failures;
+    obs::JsonValue doc = obs::JsonValue::MakeObject();
+    doc.Set("schema", obs::kBenchReportSchema);
+    doc.Set("bench", std::string("emis_cli sweep"));
+    doc.Set("claim", "algorithm " + alg_name + ", family " + family);
+    doc.Set("failures", static_cast<std::int64_t>(failures));
+    doc.Set("verdicts", obs::JsonValue::MakeArray());
+    obs::JsonValue sweeps = obs::JsonValue::MakeArray();
+    sweeps.Push(BuildSweepJson("algorithm " + alg_name + ", family " + family,
+                               points, &info));
+    doc.Set("sweeps", std::move(sweeps));
+    const std::string report_path = flags.Get("report-out");
+    std::ofstream report_file(report_path);
+    EMIS_REQUIRE(report_file.good(), "cannot write '" + report_path + "'");
+    report_file << doc.Dump(2) << '\n';
+    if (!flags.Has("quiet")) std::printf("report: %s\n", report_path.c_str());
+  }
   return 0;
 }
 
@@ -281,7 +312,8 @@ int Usage() {
       "               [--report-out FILE.json] [--quiet]\n"
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
-      "               [--delta-unknown]\n"
+      "               [--delta-unknown] [--jobs N] [--report-out FILE.json]\n"
+      "               [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
       "graph specs: %s\n",
       GraphSpecHelp().c_str());
