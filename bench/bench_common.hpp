@@ -63,17 +63,33 @@ inline unsigned Jobs() {
   return par::DefaultJobs();
 }
 
+/// Channel resolution override for the benches' sweeps: the value of
+/// EMIS_BENCH_RESOLUTION (auto|push|pull) when set, else the config's own.
+/// A cost knob only — sweep points are bit-identical in every mode.
+inline ChannelResolution Resolution(ChannelResolution fallback) {
+  const char* env = std::getenv("EMIS_BENCH_RESOLUTION");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const ChannelResolution r = ChannelResolutionFromString(env);
+  EMIS_REQUIRE(r != kInvalidChannelResolution,
+               std::string("EMIS_BENCH_RESOLUTION must be auto, push or pull"
+                           " (got '") + env + "')");
+  return r;
+}
+
 /// A sweep's points plus how they were computed (jobs, wall-clock).
 struct TimedSweep {
   std::vector<SweepPoint> points;
   SweepRunInfo info;
 };
 
-/// Runs the sweep's trials across Jobs() threads. The returned points are
-/// bit-identical to RunSweep(cfg)'s serial output (see experiment.hpp).
+/// Runs the sweep's trials across Jobs() threads, honouring the
+/// EMIS_BENCH_RESOLUTION override. The returned points are bit-identical to
+/// RunSweep(cfg)'s serial output (see experiment.hpp).
 inline TimedSweep RunTimedSweep(const SweepConfig& cfg) {
   TimedSweep out;
-  out.points = RunSweep(cfg, Jobs(), &out.info);
+  SweepConfig directed = cfg;
+  directed.resolution = Resolution(cfg.resolution);
+  out.points = RunSweep(directed, Jobs(), &out.info);
   return out;
 }
 
@@ -105,6 +121,9 @@ inline void Footer() {
     doc.Set("failures", static_cast<std::int64_t>(g_failures));
     doc.Set("verdicts", std::move(g_verdicts));
     doc.Set("sweeps", std::move(g_sweeps));
+    obs::JsonValue alloc = obs::JsonValue::MakeObject();
+    alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
+    doc.Set("alloc", std::move(alloc));
     std::ofstream out(json_path);
     if (out.good()) {
       out << doc.Dump(2) << '\n';

@@ -88,7 +88,8 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
       graph,
       {.model = ModelFor(config.algorithm), .max_rounds = config.max_rounds,
        .trace = config.trace, .link_loss = config.link_loss,
-       .metrics = config.metrics, .timeline = config.timeline},
+       .resolution = config.resolution, .metrics = config.metrics,
+       .timeline = config.timeline},
       config.seed);
 
   if (config.timeline != nullptr) {
@@ -144,6 +145,7 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
     config.timeline->SetResidualProbe(nullptr);
   }
   result.energy = scheduler.Energy();
+  result.arena = scheduler.ArenaStats();
   result.report = CheckMis(graph, result.status);
   return result;
 }

@@ -90,6 +90,9 @@ struct MisRunConfig {
   /// assumes a reliable channel). Combine with CdParams::repetitions to
   /// harden Algorithm 1 against it.
   double link_loss = 0.0;
+  /// Channel resolution direction (cost knob only — receptions and the MIS
+  /// are identical in every mode). See SchedulerConfig::resolution.
+  ChannelResolution resolution = ChannelResolution::kAuto;
 
   /// Optional observability (src/obs/): a metrics registry fed by the
   /// scheduler's hot-path timers/counters, and a phase timeline fed by the
@@ -106,6 +109,8 @@ struct MisRunResult {
   RunStats stats;
   EnergyMeter energy;
   MisReport report;
+  /// Coroutine-frame arena footprint of the run's scheduler.
+  FrameArena::Stats arena;
 
   bool Valid() const noexcept { return report.IsValidMis(); }
   std::uint64_t MisSize() const noexcept;

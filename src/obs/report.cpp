@@ -1,7 +1,9 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 namespace emis::obs {
 namespace {
@@ -192,6 +194,13 @@ JsonValue BuildRunReport(const RunReportInputs& inputs) {
   doc.Set("energy", EnergyJson(*inputs.energy));
   doc.Set("phases", inputs.timeline != nullptr ? PhasesJson(*inputs.timeline)
                                                : JsonValue::MakeArray());
+
+  JsonValue alloc = JsonValue::MakeObject();
+  alloc.Set("arena_reserved_bytes", JsonValue(inputs.arena_reserved_bytes));
+  alloc.Set("arena_used_bytes", JsonValue(inputs.arena_used_bytes));
+  alloc.Set("peak_rss_bytes", JsonValue(inputs.peak_rss_bytes));
+  doc.Set("alloc", std::move(alloc));
+
   doc.Set("metrics", inputs.metrics != nullptr ? BuildMetricsJson(*inputs.metrics)
                                                : BuildMetricsJson(MetricsRegistry{}));
   return doc;
@@ -277,6 +286,16 @@ std::string ValidateRunReport(const JsonValue& doc) {
     }
   }
 
+  const JsonValue* alloc =
+      Need(doc, "alloc", JsonValue::Kind::kObject, "report", &err);
+  if (alloc != nullptr) {
+    NeedKeys(*alloc, "alloc",
+             {{"arena_reserved_bytes", JsonValue::Kind::kNumber},
+              {"arena_used_bytes", JsonValue::Kind::kNumber},
+              {"peak_rss_bytes", JsonValue::Kind::kNumber}},
+             &err);
+  }
+
   const JsonValue* metrics =
       Need(doc, "metrics", JsonValue::Kind::kObject, "report", &err);
   if (metrics != nullptr) {
@@ -344,7 +363,13 @@ std::string ValidateBenchReport(const JsonValue& doc) {
     }
     ++i;
   }
-  return "";
+  const JsonValue* alloc =
+      Need(doc, "alloc", JsonValue::Kind::kObject, "report", &err);
+  if (alloc != nullptr) {
+    NeedKeys(*alloc, "alloc", {{"peak_rss_bytes", JsonValue::Kind::kNumber}},
+             &err);
+  }
+  return err;
 }
 
 std::string ValidateReport(const JsonValue& doc) {
@@ -356,6 +381,22 @@ std::string ValidateReport(const JsonValue& doc) {
   if (schema->AsString() == kRunReportSchema) return ValidateRunReport(doc);
   if (schema->AsString() == kBenchReportSchema) return ValidateBenchReport(doc);
   return "report.schema: unknown schema \"" + schema->AsString() + "\"";
+}
+
+std::uint64_t PeakRssBytes() {
+#ifdef __linux__
+  // VmHWM ("high water mark") is the peak resident set, reported in kB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb * 1024;
+  }
+#endif
+  return 0;
 }
 
 }  // namespace emis::obs

@@ -18,6 +18,7 @@
 //   phases   [{label, level, begin_round, end_round, rounds,
 //              transmit_rounds, listen_rounds, awake_rounds,
 //              residual_edges_begin?, residual_edges_end?}]
+//   alloc    {arena_reserved_bytes, arena_used_bytes, peak_rss_bytes}
 //   metrics  {counters{}, gauges{}, timers{name:{count,total_ns,mean_ns,
 //             max_ns}}, histograms{name:{bounds[], counts[], sum}}}
 //
@@ -29,6 +30,7 @@
 //   verdicts [{what, ok}]
 //   sweeps   [{title, points[{n, runs, failures, max_energy_mean,
 //              avg_energy_mean, rounds_mean, mis_size_mean}]}]
+//   alloc    {peak_rss_bytes}   (process-wide; arenas are per-run)
 #pragma once
 
 #include <iosfwd>
@@ -55,6 +57,11 @@ struct RunReportInputs {
   std::uint32_t max_degree = 0;
   bool valid_mis = false;
   std::uint64_t mis_size = 0;
+  /// Allocation telemetry: the scheduler arena's footprint
+  /// (MisRunResult::arena) and the process peak RSS (PeakRssBytes()).
+  std::uint64_t arena_reserved_bytes = 0;
+  std::uint64_t arena_used_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
   const RunStats* stats = nullptr;         ///< required
   const EnergyMeter* energy = nullptr;     ///< required
   const PhaseTimeline* timeline = nullptr; ///< optional; spans must be closed
@@ -78,5 +85,10 @@ std::string ValidateBenchReport(const JsonValue& doc);
 
 /// Dispatches on the document's "schema" field; unknown schemas are errors.
 std::string ValidateReport(const JsonValue& doc);
+
+/// Peak resident set size of this process in bytes (Linux: VmHWM from
+/// /proc/self/status; 0 on platforms without it). Monotone over the process
+/// lifetime, so report emitters read it at write time.
+std::uint64_t PeakRssBytes();
 
 }  // namespace emis::obs

@@ -1,9 +1,24 @@
-// Per-round collision resolution.
+// Per-round collision resolution, two-sided and direction-optimizing.
 //
-// Usage per round: BeginRound(); AddTransmitter(u, payload) for every
-// transmitting node; ResolveListener(v) for every listening node. Cost is
-// O(Σ deg(transmitter)) per round plus O(1) per listener, with epoch-stamped
-// buffers so BeginRound is O(1).
+// Usage per round: BeginRound(direction); AddTransmitter(u, payload) for
+// every transmitting node; ResolveListener(v) for every listening node.
+// A node must be registered as transmitter at most once per round (checked).
+//
+// Two resolution directions with identical semantics but different cost:
+//   * kPush — AddTransmitter scans the transmitter's CSR neighbor row and
+//     delivers into epoch-stamped per-listener buffers; ResolveListener is
+//     O(1). Round cost O(Σ deg(transmitter)).
+//   * kPull — AddTransmitter is O(1) (epoch-stamps a transmitter bitset +
+//     payload slot); ResolveListener scans the *listener's* CSR neighbor row
+//     against the bitset. Round cost O(Σ deg(listener)).
+// The scheduler picks per round via the degree-sum cost model (borrowing the
+// direction-optimizing idea from BFS engines), so round cost tracks
+// min(transmit-side work, listen-side work). BeginRound is O(1) either way.
+//
+// Fading (SetLoss) is counter-based: link (tx → rx) in round r is erased iff
+// CounterHashUnit(seed, r, tx, rx) < loss — a pure function of the tuple, no
+// stream state. Both directions therefore see byte-identical erasures, and
+// lossy sweeps stay bit-identical across job counts and resolution modes.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +38,9 @@ class Channel {
         model_(model),
         epoch_mark_(graph.NumNodes(), 0),
         hear_count_(graph.NumNodes(), 0),
-        hear_payload_(graph.NumNodes(), 0) {}
+        hear_payload_(graph.NumNodes(), 0),
+        tx_mark_(graph.NumNodes(), 0),
+        tx_payload_(graph.NumNodes(), 0) {}
 
   ChannelModel Model() const noexcept { return model_; }
 
@@ -31,30 +48,46 @@ class Channel {
   /// independently erased with probability `loss` each round. An erased
   /// signal neither delivers nor interferes (it does not contribute to
   /// collisions). loss = 0 restores the paper's reliable channel.
+  ///
+  /// Erasure is drawn from the counter-based per-link hash stream
+  /// LinkErased(round, tx, rx, seed) — a pure function of the link and the
+  /// round counter, not of draw order — so the fade pattern is identical
+  /// under push and pull resolution and across parallel-sweep job counts.
   void SetLoss(double loss, std::uint64_t seed) {
     EMIS_REQUIRE(loss >= 0.0 && loss < 1.0, "loss probability in [0, 1)");
     loss_ = loss;
-    loss_rng_ = Rng(seed);
+    loss_seed_ = seed;
   }
   double Loss() const noexcept { return loss_; }
 
-  void BeginRound() noexcept { ++epoch_; }
+  /// Whether the directed signal tx → rx fades out in `round`. Pure in its
+  /// arguments; exposed so tests can pin the stream against golden values.
+  static bool LinkErased(std::uint64_t round, NodeId tx, NodeId rx,
+                         std::uint64_t seed, double loss) noexcept {
+    return CounterHashUnit(seed, round, tx, rx) < loss;
+  }
 
-  /// Registers node u as transmitting `payload` this round. A node must not
-  /// be registered twice in one round.
+  /// Starts the next round, resolving it in the given direction. O(1).
+  void BeginRound(ChannelDirection direction = ChannelDirection::kPush) noexcept {
+    ++epoch_;
+    direction_ = direction;
+  }
+
+  ChannelDirection Direction() const noexcept { return direction_; }
+
+  /// Registers node u as transmitting `payload` this round. Registering the
+  /// same node twice in one round violates the radio model (one action per
+  /// node per round) and throws InvariantError instead of double-delivering.
   void AddTransmitter(NodeId u, std::uint64_t payload) {
+    EMIS_ASSERT(tx_mark_[u] != epoch_,
+                "node registered as transmitter twice in one round");
+    tx_mark_[u] = epoch_;
+    tx_payload_[u] = payload;
+    if (direction_ == ChannelDirection::kPull) return;  // resolved lazily
     const auto nbrs = graph_->Neighbors(u);
     if (loss_ > 0.0) {
-      // Skip-sample the surviving links: each link survives independently
-      // with probability 1 - loss, so the gap to the next survivor is
-      // geometric and one RNG draw jumps straight to it. Cost is O(#delivered)
-      // draws instead of O(deg) Bernoulli draws — the win on lossy channels
-      // with high-degree transmitters.
-      const double survive = 1.0 - loss_;
-      const std::size_t deg = nbrs.size();
-      for (std::size_t i = loss_rng_.GeometricSkip(survive); i < deg;
-           i += 1 + loss_rng_.GeometricSkip(survive)) {
-        Deliver(nbrs[i], payload);
+      for (NodeId w : nbrs) {
+        if (!LinkErased(epoch_, u, w, loss_seed_, loss_)) Deliver(w, payload);
       }
       return;
     }
@@ -63,16 +96,63 @@ class Channel {
 
   /// What listener v perceives this round under the channel model.
   /// The transmitter set for the round must be fully registered first.
-  Reception ResolveListener(NodeId v) const noexcept {
-    const std::uint32_t count = epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
+  Reception ResolveListener(NodeId v) const {
+    if (direction_ == ChannelDirection::kPull) {
+      const auto [count, payload] = ScanTransmittingNeighbors(v);
+      return Perceive(count, payload);
+    }
+    const bool heard = epoch_mark_[v] == epoch_;
+    return Perceive(heard ? hear_count_[v] : 0, heard ? hear_payload_[v] : 0);
+  }
+
+  /// Number of transmitting neighbors of v whose signal survived fading this
+  /// round (model-independent ground truth; used by tests and
+  /// instrumentation, not by protocols).
+  std::uint32_t TransmittingNeighbors(NodeId v) const {
+    if (direction_ == ChannelDirection::kPull) {
+      return ScanTransmittingNeighbors(v).count;
+    }
+    return epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
+  }
+
+ private:
+  struct Heard {
+    std::uint32_t count = 0;
+    std::uint64_t payload = 0;
+  };
+
+  /// Pull-side resolution: scan v's CSR row against the transmitter bitset.
+  Heard ScanTransmittingNeighbors(NodeId v) const {
+    Heard h;
+    if (loss_ > 0.0) {
+      for (NodeId u : graph_->Neighbors(v)) {
+        if (tx_mark_[u] == epoch_ && !LinkErased(epoch_, u, v, loss_seed_, loss_)) {
+          ++h.count;
+          h.payload = tx_payload_[u];
+        }
+      }
+      return h;
+    }
+    for (NodeId u : graph_->Neighbors(v)) {
+      if (tx_mark_[u] == epoch_) {
+        ++h.count;
+        h.payload = tx_payload_[u];
+      }
+    }
+    return h;
+  }
+
+  /// Maps a surviving-transmitter count to a Reception under the model.
+  /// Shared by both directions, so they cannot drift apart.
+  Reception Perceive(std::uint32_t count, std::uint64_t payload) const noexcept {
     switch (model_) {
       case ChannelModel::kCd:
         if (count == 0) return {ReceptionKind::kSilence, 0};
-        if (count == 1) return {ReceptionKind::kMessage, hear_payload_[v]};
+        if (count == 1) return {ReceptionKind::kMessage, payload};
         return {ReceptionKind::kCollision, 0};
       case ChannelModel::kNoCd:
         // A collision is indistinguishable from silence.
-        if (count == 1) return {ReceptionKind::kMessage, hear_payload_[v]};
+        if (count == 1) return {ReceptionKind::kMessage, payload};
         return {ReceptionKind::kSilence, 0};
       case ChannelModel::kBeeping:
         // Any number of beeping neighbors is a single contentless beep.
@@ -82,13 +162,6 @@ class Channel {
     return {ReceptionKind::kSilence, 0};
   }
 
-  /// Number of transmitting neighbors of v this round (model-independent
-  /// ground truth; used by tests and instrumentation, not by protocols).
-  std::uint32_t TransmittingNeighbors(NodeId v) const noexcept {
-    return epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
-  }
-
- private:
   void Deliver(NodeId w, std::uint64_t payload) noexcept {
     if (epoch_mark_[w] != epoch_) {
       epoch_mark_[w] = epoch_;
@@ -101,12 +174,20 @@ class Channel {
 
   const Graph* graph_;
   ChannelModel model_;
+  ChannelDirection direction_ = ChannelDirection::kPush;
   double loss_ = 0.0;
-  Rng loss_rng_{0};
+  std::uint64_t loss_seed_ = 0;
   std::uint64_t epoch_ = 0;
+  // Push-side buffers: per-listener delivery state, epoch-stamped so
+  // BeginRound stays O(1).
   std::vector<std::uint64_t> epoch_mark_;
   std::vector<std::uint32_t> hear_count_;
   std::vector<std::uint64_t> hear_payload_;
+  // Pull-side buffers: the epoch-stamped transmitter set + payloads.
+  // Maintained in push rounds too (O(1) per transmitter) so the
+  // double-registration check and direction changes are always valid.
+  std::vector<std::uint64_t> tx_mark_;
+  std::vector<std::uint64_t> tx_payload_;
 };
 
 }  // namespace emis

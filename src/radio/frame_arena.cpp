@@ -1,0 +1,108 @@
+#include "radio/frame_arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "radio/types.hpp"
+
+namespace emis {
+namespace {
+
+thread_local FrameArena* tls_current_arena = nullptr;
+
+constexpr std::size_t kHeaderBytes = alignof(std::max_align_t);
+
+/// Prefix of every frame_alloc block. Sized to max_align so the frame that
+/// follows keeps the alignment ::operator new would have given it.
+struct alignas(std::max_align_t) FrameHeader {
+  FrameArena* arena;      // null = heap allocation
+  std::size_t total_bytes;// header + frame, as requested from the backend
+};
+static_assert(sizeof(FrameHeader) <= kHeaderBytes);
+
+}  // namespace
+
+FrameArena::~FrameArena() {
+  for (void* slab : slabs_) ::operator delete(slab);
+}
+
+void* FrameArena::Allocate(std::size_t bytes) {
+  bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+  ++stats_.frame_allocations;
+  ++stats_.live_frames;
+  for (SizeClass& pool : pools_) {
+    if (pool.bytes == bytes && pool.head != nullptr) {
+      FreeNode* node = pool.head;
+      pool.head = node->next;
+      ++stats_.pool_reuses;
+      return node;
+    }
+  }
+  if (bump_remaining_ < bytes) {
+    // A frame larger than the growth cap gets a dedicated slab; the current
+    // bump slab (if any) keeps serving smaller frames next time it fits.
+    const std::size_t slab_bytes = std::max(next_slab_bytes_, bytes);
+    auto* slab = static_cast<std::byte*>(::operator new(slab_bytes));
+    slabs_.push_back(slab);
+    stats_.reserved_bytes += slab_bytes;
+    next_slab_bytes_ = std::min(next_slab_bytes_ * 2, kMaxSlabBytes);
+    bump_ = slab;
+    bump_remaining_ = slab_bytes;
+  }
+  void* p = bump_;
+  bump_ += bytes;
+  bump_remaining_ -= bytes;
+  stats_.used_bytes += bytes;
+  return p;
+}
+
+void FrameArena::Recycle(void* p, std::size_t bytes) noexcept {
+  bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+  EMIS_ASSERT(stats_.live_frames > 0, "recycle without a live frame");
+  --stats_.live_frames;
+  auto* node = static_cast<FreeNode*>(p);
+  for (SizeClass& pool : pools_) {
+    if (pool.bytes == bytes) {
+      node->next = pool.head;
+      pool.head = node;
+      return;
+    }
+  }
+  pools_.push_back({bytes, node});
+  node->next = nullptr;
+}
+
+FrameArenaScope::FrameArenaScope(FrameArena* arena) noexcept
+    : prev_(tls_current_arena) {
+  tls_current_arena = arena;
+}
+
+FrameArenaScope::~FrameArenaScope() { tls_current_arena = prev_; }
+
+FrameArena* FrameArenaScope::Current() noexcept { return tls_current_arena; }
+
+namespace frame_alloc {
+
+void* Allocate(std::size_t size) {
+  const std::size_t total = kHeaderBytes + size;
+  FrameArena* arena = FrameArenaScope::Current();
+  void* block = arena != nullptr ? arena->Allocate(total) : ::operator new(total);
+  auto* header = static_cast<FrameHeader*>(block);
+  header->arena = arena;
+  header->total_bytes = total;
+  return static_cast<std::byte*>(block) + kHeaderBytes;
+}
+
+void Deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  void* block = static_cast<std::byte*>(p) - kHeaderBytes;
+  const FrameHeader header = *static_cast<FrameHeader*>(block);
+  if (header.arena != nullptr) {
+    header.arena->Recycle(block, header.total_bytes);
+  } else {
+    ::operator delete(block);
+  }
+}
+
+}  // namespace frame_alloc
+}  // namespace emis

@@ -1,0 +1,113 @@
+// Pooled allocation for coroutine frames.
+//
+// Every protocol instance is a C++20 coroutine whose frame would otherwise
+// be an individual heap allocation — n root frames at Spawn plus one frame
+// per sub-protocol invocation (backoffs, competitions) for the whole run,
+// heap-scattered across node state that the scheduler hot loop walks every
+// round. FrameArena replaces that with a per-scheduler slab allocator:
+//
+//   * slabs are monotonic — carved by pointer bump, never returned until the
+//     arena dies, so frames allocated together sit contiguously;
+//   * frees are pooled — a recycled frame goes onto a per-size free list
+//     inside the arena and the next same-size frame reuses it, so the
+//     sub-protocol churn of a long run reaches a small steady-state
+//     footprint instead of growing monotonically;
+//   * teardown is wholesale — destroying the arena releases the slabs; by
+//     then every frame has been destroyed (the scheduler owns both).
+//
+// Routing: proc::Task's promise operator new calls frame_alloc::Allocate,
+// which targets the arena a FrameArenaScope installed on the current thread
+// (the scheduler installs its own around Spawn and every resume), falling
+// back to the global heap when none is active (tasks driven outside a
+// scheduler, e.g. unit tests). Each allocation carries a header naming its
+// owning arena, so deallocation is routed correctly no matter which scope —
+// if any — is active when the frame dies.
+//
+// Thread model: an arena belongs to one scheduler and one thread, exactly
+// like the scheduler itself; the scope pointer is thread-local, so parallel
+// sweeps (one scheduler per worker) never share an arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace emis {
+
+class FrameArena {
+ public:
+  struct Stats {
+    std::uint64_t reserved_bytes = 0;   ///< slab bytes held by the arena
+    std::uint64_t used_bytes = 0;       ///< high-water bump allocation total
+    std::uint64_t live_frames = 0;      ///< frames allocated and not recycled
+    std::uint64_t frame_allocations = 0;///< total frames handed out
+    std::uint64_t pool_reuses = 0;      ///< allocations served from free lists
+  };
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena();
+
+  /// Returns `bytes` of max_align-aligned storage, reusing a recycled block
+  /// of the same size class when one is pooled, else bump-allocating.
+  void* Allocate(std::size_t bytes);
+
+  /// Returns a block obtained from Allocate to the arena's pool. The storage
+  /// stays reserved (reused by the next same-size Allocate) until teardown.
+  void Recycle(void* p, std::size_t bytes) noexcept;
+
+  const Stats& GetStats() const noexcept { return stats_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  struct SizeClass {
+    std::size_t bytes;
+    FreeNode* head;
+  };
+
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static constexpr std::size_t kFirstSlabBytes = 16 * 1024;
+  static constexpr std::size_t kMaxSlabBytes = 1024 * 1024;
+
+  std::vector<void*> slabs_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_remaining_ = 0;
+  std::size_t next_slab_bytes_ = kFirstSlabBytes;
+  // Coroutine frame sizes are one per coroutine *function*, so this stays a
+  // handful of entries; linear scan beats hashing at that cardinality.
+  std::vector<SizeClass> pools_;
+  Stats stats_;
+};
+
+/// RAII installation of the arena that receives coroutine-frame allocations
+/// on this thread. Scopes nest; each restores its predecessor.
+class FrameArenaScope {
+ public:
+  explicit FrameArenaScope(FrameArena* arena) noexcept;
+  FrameArenaScope(const FrameArenaScope&) = delete;
+  FrameArenaScope& operator=(const FrameArenaScope&) = delete;
+  ~FrameArenaScope();
+
+  /// The innermost active arena on this thread, or null (heap fallback).
+  static FrameArena* Current() noexcept;
+
+ private:
+  FrameArena* prev_;
+};
+
+namespace frame_alloc {
+
+/// Allocates a coroutine frame from FrameArenaScope::Current() (or the heap
+/// when no scope is active), tagging it with its origin.
+void* Allocate(std::size_t size);
+
+/// Frees a frame from Allocate, routing to the owning arena's pool or the
+/// heap according to the tag — correct regardless of the active scope.
+void Deallocate(void* p) noexcept;
+
+}  // namespace frame_alloc
+
+}  // namespace emis

@@ -27,6 +27,7 @@
 
 #include "obs/phase_timeline.hpp"
 #include "radio/energy.hpp"
+#include "radio/frame_arena.hpp"
 #include "radio/model.hpp"
 #include "radio/rng.hpp"
 #include "radio/types.hpp"
@@ -79,6 +80,14 @@ class [[nodiscard]] Task;
 namespace detail {
 
 struct PromiseBase {
+  /// Coroutine frames allocate through the pooled frame arena the driving
+  /// scheduler installs via FrameArenaScope (heap fallback outside one), so
+  /// per-node protocol state is slab-contiguous instead of heap-scattered.
+  /// The frame is tagged with its origin, so deallocation routes correctly
+  /// even when a different (or no) scope is active at destruction.
+  static void* operator new(std::size_t size) { return frame_alloc::Allocate(size); }
+  static void operator delete(void* p) noexcept { frame_alloc::Deallocate(p); }
+
   std::coroutine_handle<> continuation;  // resumed when this task finishes
   std::exception_ptr exception;
 

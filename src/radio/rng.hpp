@@ -33,6 +33,36 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// SplitMix64's finalizer as a stateless mixing step: a bijective avalanche
+/// over one word. Building block for the counter-based hashes below.
+constexpr std::uint64_t MixU64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based hash of (seed, a, b, c): a pure function — no stream state,
+/// no draw order — so independent consumers evaluating the same tuple agree
+/// exactly. This is what makes the channel's per-link fading identical under
+/// push and pull resolution and across job counts: each (round, tx, rx) link
+/// draw is addressed, never sequenced. Words are absorbed with distinct
+/// golden-ratio offsets so permuted tuples hash independently.
+constexpr std::uint64_t CounterHash(std::uint64_t seed, std::uint64_t a,
+                                    std::uint64_t b, std::uint64_t c) noexcept {
+  std::uint64_t z = seed;
+  z = MixU64(z + 0x9e3779b97f4a7c15ULL + a);
+  z = MixU64(z + 0x3c6ef372fe94f82aULL + b);
+  z = MixU64(z + 0xdaa66d2c7ddf743fULL + c);
+  return z;
+}
+
+/// The hash word as a uniform double in [0, 1) (53 bits), for counter-based
+/// Bernoulli decisions: CounterHashUnit(...) < p.
+constexpr double CounterHashUnit(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b, std::uint64_t c) noexcept {
+  return static_cast<double>(CounterHash(seed, a, b, c) >> 11) * 0x1.0p-53;
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
 class Xoshiro256StarStar {
  public:

@@ -22,6 +22,11 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
     rounds_executed_ = &config_.metrics->GetCounter("sched.rounds_executed");
     rounds_skipped_ = &config_.metrics->GetCounter("sched.rounds_skipped");
     wake_events_ = &config_.metrics->GetCounter("sched.wake_events");
+    push_rounds_ = &config_.metrics->GetCounter("chan.push_rounds");
+    pull_rounds_ = &config_.metrics->GetCounter("chan.pull_rounds");
+    edges_scanned_ = &config_.metrics->GetCounter("chan.edges_scanned");
+    arena_reserved_ = &config_.metrics->GetGauge("arena.bytes_reserved");
+    arena_used_ = &config_.metrics->GetGauge("arena.bytes_used");
   }
   const Rng root(seed);
   contexts_.resize(graph.NumNodes());
@@ -36,6 +41,9 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
 void Scheduler::Spawn(const ProtocolFactory& factory) {
   EMIS_REQUIRE(!spawned_, "Spawn must be called exactly once");
   spawned_ = true;
+  // Root frames (and any coroutines the factory itself creates) come from
+  // this scheduler's pooled arena; see radio/frame_arena.hpp.
+  const FrameArenaScope frames(&arena_);
   tasks_.reserve(graph_->NumNodes());
   for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
     tasks_.push_back(factory(NodeApi(&contexts_[v])));
@@ -52,6 +60,9 @@ void Scheduler::Spawn(const ProtocolFactory& factory) {
 
 void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
   NodeContext& ctx = contexts_[v];
+  // Sub-protocol frames spawned while the coroutine runs allocate from (and
+  // completed ones recycle into) this scheduler's arena.
+  const FrameArenaScope frames(&arena_);
   ctx.resume_point.resume();
   if (tasks_[v].Done()) {
     tasks_[v].RethrowIfFailed();
@@ -71,14 +82,45 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
   }
 }
 
+ChannelDirection Scheduler::ChooseDirection() {
+  std::uint64_t tx_edges = 0;
+  std::uint64_t listen_edges = 0;
+  for (NodeId v : actors_) {
+    const NodeContext& ctx = contexts_[v];
+    EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
+    if (ctx.pending == ActionKind::kTransmit) {
+      tx_edges += graph_->Degree(v);
+    } else {
+      listen_edges += graph_->Degree(v);
+    }
+  }
+  ChannelDirection dir = ChannelDirection::kPush;
+  switch (config_.resolution) {
+    case ChannelResolution::kPush:
+      break;
+    case ChannelResolution::kPull:
+      dir = ChannelDirection::kPull;
+      break;
+    case ChannelResolution::kAuto:
+      // Resolve on the cheaper side; ties go to push, whose per-edge work
+      // (stamped delivery) is slightly lighter than the pull-side scan.
+      if (listen_edges < tx_edges) dir = ChannelDirection::kPull;
+      break;
+  }
+  if (edges_scanned_ != nullptr) {
+    (dir == ChannelDirection::kPush ? push_rounds_ : pull_rounds_)->Inc();
+    edges_scanned_->Inc(dir == ChannelDirection::kPush ? tx_edges : listen_edges);
+  }
+  return dir;
+}
+
 void Scheduler::ExecuteRound() {
   {
     const obs::ScopedTimer timing(execute_timer_);
-    channel_.BeginRound();
+    channel_.BeginRound(ChooseDirection());
     // Phase 1: register all transmissions.
     for (NodeId v : actors_) {
       NodeContext& ctx = contexts_[v];
-      EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
       if (ctx.pending == ActionKind::kTransmit) {
         channel_.AddTransmitter(v, ctx.out_payload);
         energy_.ChargeTransmit(v);
@@ -155,6 +197,12 @@ RunStats Scheduler::RunUntil(Round limit) {
 
     ExecuteRound();
     ++now_;
+  }
+
+  if (arena_reserved_ != nullptr) {
+    const FrameArena::Stats& arena = arena_.GetStats();
+    arena_reserved_->Set(static_cast<double>(arena.reserved_bytes));
+    arena_used_->Set(static_cast<double>(arena.used_bytes));
   }
 
   RunStats stats;

@@ -16,6 +16,7 @@
 #include "obs/phase_timeline.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
+#include "radio/frame_arena.hpp"
 #include "radio/graph.hpp"
 #include "radio/model.hpp"
 #include "radio/process.hpp"
@@ -33,10 +34,17 @@ struct SchedulerConfig {
   /// Per-link per-round signal erasure probability (fading). 0 = the
   /// paper's reliable channel. See Channel::SetLoss.
   double link_loss = 0.0;
+  /// How the channel resolves receptions each round. kAuto picks per round
+  /// by the degree-sum cost model (Σ deg(transmitter) vs Σ deg(listener),
+  /// ties to push); kPush/kPull force one direction. Receptions are
+  /// identical in all three modes — this is purely a cost knob.
+  ChannelResolution resolution = ChannelResolution::kAuto;
   /// Optional metrics registry (owned by the caller). When set, the
   /// scheduler feeds hot-path timers ("sched.execute_round", "sched.resume",
-  /// "sched.wake_heap") and counters ("sched.rounds_executed",
-  /// "sched.rounds_skipped", "sched.wake_events") — cheap enough to keep on
+  /// "sched.wake_heap"), counters ("sched.rounds_executed",
+  /// "sched.rounds_skipped", "sched.wake_events", "chan.push_rounds",
+  /// "chan.pull_rounds", "chan.edges_scanned"), and arena gauges
+  /// ("arena.bytes_reserved", "arena.bytes_used") — cheap enough to keep on
   /// in perf runs (see bench_simulator's *Instrumented variants).
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional phase timeline (owned by the caller). The scheduler binds it
@@ -83,6 +91,9 @@ class Scheduler {
   const EnergyMeter& Energy() const noexcept { return energy_; }
   const Graph& Topology() const noexcept { return *graph_; }
 
+  /// Allocation footprint of this scheduler's coroutine-frame arena.
+  const FrameArena::Stats& ArenaStats() const noexcept { return arena_.GetStats(); }
+
  private:
   /// Resumes node v's coroutine (which runs until its next await) and files
   /// the submitted action: into `actors` if it acts in the round ctx.now,
@@ -93,10 +104,20 @@ class Scheduler {
   /// then resumes the actors to collect their next actions.
   void ExecuteRound();
 
+  /// Degree-sum cost model: the direction this round resolves in, given the
+  /// pending actions of `actors_`. Also validates actor rounds and feeds the
+  /// chan.* counters.
+  ChannelDirection ChooseDirection();
+
   const Graph* graph_;
   SchedulerConfig config_;
   Channel channel_;
   EnergyMeter energy_;
+
+  // Declared before tasks_: destroying a task recycles its coroutine frames
+  // into the arena, so the arena must be destroyed after (i.e. declared
+  // before) the tasks that feed it.
+  FrameArena arena_;
 
   std::vector<NodeContext> contexts_;
   std::vector<proc::Task<void>> tasks_;
@@ -129,6 +150,11 @@ class Scheduler {
   obs::Counter* rounds_executed_ = nullptr;
   obs::Counter* rounds_skipped_ = nullptr;
   obs::Counter* wake_events_ = nullptr;
+  obs::Counter* push_rounds_ = nullptr;
+  obs::Counter* pull_rounds_ = nullptr;
+  obs::Counter* edges_scanned_ = nullptr;
+  obs::Gauge* arena_reserved_ = nullptr;
+  obs::Gauge* arena_used_ = nullptr;
 };
 
 }  // namespace emis

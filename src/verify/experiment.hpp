@@ -64,6 +64,9 @@ struct SweepConfig {
   /// backoff window is derived from Δ = n. This is where the commit
   /// mechanism's log log n listen windows beat the baselines' log Δ = log n.
   bool delta_unknown = false;
+  /// Channel resolution direction for every trial (cost knob only; points
+  /// are bit-identical across modes). `tweak` runs later and may override.
+  ChannelResolution resolution = ChannelResolution::kAuto;
   /// Optional final tweak of the per-run config (ablations); receives the
   /// generated topology so graph-dependent parameters can be derived.
   /// Like `factory`, must be safe to invoke concurrently when jobs > 1

@@ -392,6 +392,9 @@ TEST(BenchReport, SchemaValidates) {
   sweep.Set("points", std::move(points));
   sweeps.Push(std::move(sweep));
   doc.Set("sweeps", std::move(sweeps));
+  JsonValue alloc = JsonValue::MakeObject();
+  alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
+  doc.Set("alloc", std::move(alloc));
 
   EXPECT_EQ(obs::ValidateBenchReport(doc), "");
   EXPECT_EQ(obs::ValidateReport(doc), "");
@@ -399,6 +402,44 @@ TEST(BenchReport, SchemaValidates) {
   JsonValue missing = JsonValue::MakeObject();
   missing.Set("schema", obs::kBenchReportSchema);
   EXPECT_NE(obs::ValidateBenchReport(missing), "");
+}
+
+TEST(RunReport, AllocSectionCarriesArenaAndRss) {
+  Rng rng(3);
+  Graph g = gen::ErdosRenyi(48, 0.1, rng);
+  const MisRunResult r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 9});
+  ASSERT_TRUE(r.Valid());
+  EXPECT_GT(r.arena.reserved_bytes, 0u);   // root frames came from the arena
+  EXPECT_GT(r.arena.frame_allocations, 0u);
+  // Stats are read while the scheduler (hence every root task) is still
+  // alive: the live frames are exactly the n root coroutines. Sub-protocol
+  // frames were recycled as their awaits completed.
+  EXPECT_EQ(r.arena.live_frames, g.NumNodes());
+  EXPECT_GE(r.arena.reserved_bytes, r.arena.used_bytes);
+
+  const JsonValue doc =
+      obs::BuildRunReport({.algorithm = "cd",
+                           .graph = "er-test",
+                           .preset = "practical",
+                           .seed = 9,
+                           .nodes = g.NumNodes(),
+                           .edges = g.NumEdges(),
+                           .max_degree = g.MaxDegree(),
+                           .valid_mis = r.Valid(),
+                           .mis_size = r.MisSize(),
+                           .arena_reserved_bytes = r.arena.reserved_bytes,
+                           .arena_used_bytes = r.arena.used_bytes,
+                           .peak_rss_bytes = obs::PeakRssBytes(),
+                           .stats = &r.stats,
+                           .energy = &r.energy});
+  EXPECT_EQ(obs::ValidateRunReport(doc), "");
+  const JsonValue* alloc = doc.Find("alloc");
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_DOUBLE_EQ(alloc->Find("arena_reserved_bytes")->AsNumber(),
+                   static_cast<double>(r.arena.reserved_bytes));
+#ifdef __linux__
+  EXPECT_GT(alloc->Find("peak_rss_bytes")->AsNumber(), 0.0);
+#endif
 }
 
 }  // namespace

@@ -4,10 +4,12 @@
 //   emis_cli gen   <graph-spec> [--seed S] [--out FILE]
 //   emis_cli run   --graph <spec | file:PATH> --alg <name>
 //                  [--seed S] [--preset practical|theory] [--delta-unknown]
+//                  [--resolution auto|push|pull]
 //                  [--trace FILE.csv] [--trace-jsonl FILE.jsonl]
 //                  [--report-out FILE.json] [--quiet]
 //   emis_cli sweep --alg <name> --family <spec-with-n-omitted? no: family key>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
+//                  [--resolution auto|push|pull]
 //                  [--jobs N] [--report-out FILE.json] [--quiet]
 //   emis_cli validate-report FILE.json
 //
@@ -81,6 +83,14 @@ Flags Parse(int argc, char** argv, int first) {
   return flags;
 }
 
+ChannelResolution ResolutionFlag(const Flags& flags) {
+  const std::string text = flags.Get("resolution", "auto");
+  const ChannelResolution r = ChannelResolutionFromString(text);
+  EMIS_REQUIRE(r != kInvalidChannelResolution,
+               "--resolution must be auto, push or pull (got '" + text + "')");
+  return r;
+}
+
 Graph LoadGraph(const std::string& source, std::uint64_t seed) {
   if (source.rfind("file:", 0) == 0) {
     const std::string path = source.substr(5);
@@ -139,6 +149,7 @@ int CmdRun(const Flags& flags) {
   EMIS_REQUIRE(preset == "practical" || preset == "theory",
                "--preset must be practical or theory");
   cfg.preset = preset == "theory" ? ParamPreset::kTheory : ParamPreset::kPractical;
+  cfg.resolution = ResolutionFlag(flags);
   if (flags.Has("delta-unknown")) cfg.delta_estimate = g.NumNodes();
 
   std::ofstream trace_file;
@@ -184,6 +195,9 @@ int CmdRun(const Flags& flags) {
                          .max_degree = g.MaxDegree(),
                          .valid_mis = r.Valid(),
                          .mis_size = r.MisSize(),
+                         .arena_reserved_bytes = r.arena.reserved_bytes,
+                         .arena_used_bytes = r.arena.used_bytes,
+                         .peak_rss_bytes = obs::PeakRssBytes(),
                          .stats = &r.stats,
                          .energy = &r.energy,
                          .timeline = &timeline,
@@ -225,6 +239,7 @@ int CmdSweep(const Flags& flags) {
   cfg.algorithm = alg_it->second;
   cfg.seeds_per_size = static_cast<std::uint32_t>(std::stoul(flags.Get("seeds", "5")));
   cfg.delta_unknown = flags.Has("delta-unknown");
+  cfg.resolution = ResolutionFlag(flags);
   std::istringstream ss(sizes_csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
@@ -273,6 +288,9 @@ int CmdSweep(const Flags& flags) {
     sweeps.Push(BuildSweepJson("algorithm " + alg_name + ", family " + family,
                                points, &info));
     doc.Set("sweeps", std::move(sweeps));
+    obs::JsonValue alloc = obs::JsonValue::MakeObject();
+    alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
+    doc.Set("alloc", std::move(alloc));
     const std::string report_path = flags.Get("report-out");
     std::ofstream report_file(report_path);
     EMIS_REQUIRE(report_file.good(), "cannot write '" + report_path + "'");
@@ -308,12 +326,13 @@ int Usage() {
       "  emis_cli gen <graph-spec> [--seed S] [--out FILE]\n"
       "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
       "               [--preset practical|theory] [--delta-unknown]\n"
+      "               [--resolution auto|push|pull]\n"
       "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
       "               [--report-out FILE.json] [--quiet]\n"
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
-      "               [--delta-unknown] [--jobs N] [--report-out FILE.json]\n"
-      "               [--quiet]\n"
+      "               [--delta-unknown] [--resolution auto|push|pull]\n"
+      "               [--jobs N] [--report-out FILE.json] [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
       "graph specs: %s\n",
       GraphSpecHelp().c_str());
