@@ -1,0 +1,108 @@
+#include "core/contracts.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace emis::contracts {
+namespace {
+
+constexpr std::uint8_t kUninitialized = 0xff;
+
+std::atomic<std::uint8_t> g_mode{kUninitialized};
+std::atomic<std::uint64_t> g_audit_firings{0};
+
+// Audit logging is capped so a contract violated on a per-round hot path
+// reports its first occurrences instead of flooding stderr; the firing
+// counter keeps the exact total either way.
+constexpr std::uint64_t kMaxAuditLogLines = 20;
+
+const char* KindName(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kExpects: return "precondition";
+    case Kind::kEnsures: return "postcondition";
+    case Kind::kInvariant: return "invariant";
+  }
+  return "contract";
+}
+
+std::string Describe(const char* what, const char* expr, const char* file,
+                     int line, const char* msg) {
+  std::string out(what);
+  out += " failed: ";
+  out += expr;
+  out += " at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  if (msg != nullptr && msg[0] != '\0') {
+    out += " — ";
+    out += msg;
+  }
+  return out;
+}
+
+/// Counts the firing and emits the capped audit log line.
+void RecordAuditFiring(const std::string& text) {
+  const std::uint64_t prior =
+      g_audit_firings.fetch_add(1, std::memory_order_relaxed);
+  if (prior < kMaxAuditLogLines) {
+    std::fprintf(stderr, "emis-contracts[audit] %s\n", text.c_str());  // emis-lint: allow(io-in-library)
+  } else if (prior == kMaxAuditLogLines) {
+    std::fprintf(stderr, "emis-contracts[audit] further firings suppressed (see AuditFiringCount)\n");  // emis-lint: allow(io-in-library)
+  }
+}
+
+}  // namespace
+
+ContractMode ParseMode(const char* text) noexcept {
+  if (text == nullptr) return ContractMode::kAbort;
+  if (std::strcmp(text, "off") == 0) return ContractMode::kOff;
+  if (std::strcmp(text, "audit") == 0) return ContractMode::kAudit;
+  return ContractMode::kAbort;
+}
+
+ContractMode CurrentMode() noexcept {
+  std::uint8_t mode = g_mode.load(std::memory_order_relaxed);
+  if (mode == kUninitialized) {
+    // Racy first read is fine: ParseMode is pure, every thread computes the
+    // same value from the same environment.
+    mode = static_cast<std::uint8_t>(ParseMode(std::getenv("EMIS_CONTRACTS")));
+    g_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<ContractMode>(mode);
+}
+
+void SetMode(ContractMode mode) noexcept {
+  g_mode.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+}
+
+std::uint64_t AuditFiringCount() noexcept {
+  return g_audit_firings.load(std::memory_order_relaxed);
+}
+
+void ResetAuditFiringCount() noexcept {
+  g_audit_firings.store(0, std::memory_order_relaxed);
+}
+
+void Fail(Kind kind, const char* expr, const char* file, int line,
+          const char* msg) {
+  const std::string text = Describe(KindName(kind), expr, file, line, msg);
+  if (CurrentMode() == ContractMode::kAudit) {
+    RecordAuditFiring(text);
+    return;
+  }
+  if (kind == Kind::kExpects) throw PreconditionError(text);
+  throw InvariantError(text);
+}
+
+void Unreachable(const char* file, int line, const char* msg) {
+  const std::string text =
+      Describe("unreachable code", "reached", file, line, msg);
+  if (CurrentMode() == ContractMode::kAudit) RecordAuditFiring(text);
+  throw InvariantError(text);
+}
+
+}  // namespace emis::contracts

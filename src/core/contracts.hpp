@@ -1,0 +1,102 @@
+// Leveled contracts: the repo's internal pre/post/invariant checks.
+//
+// The determinism guarantee (bit-identical trials at any --jobs count,
+// golden-pinned LinkErased streams) and the protocol invariants (MIS
+// independence/maximality, energy-budget accounting, channel epoch
+// consistency) are enforced at runtime through these macros instead of raw
+// assert():
+//
+//   EMIS_EXPECTS(cond, msg)    — precondition at a function entry
+//   EMIS_ENSURES(cond, msg)    — postcondition before a function returns
+//   EMIS_INVARIANT(cond, msg)  — internal consistency mid-computation
+//   EMIS_UNREACHABLE(msg)      — control flow that must never be reached
+//
+// The enforcement level is picked at process start from the EMIS_CONTRACTS
+// environment variable (and can be overridden programmatically):
+//
+//   EMIS_CONTRACTS=off    checks are skipped (conditions are not evaluated);
+//                         violations become undefined behaviour, like NDEBUG.
+//   EMIS_CONTRACTS=audit  a failed check logs one line to stderr and bumps
+//                         the audit-firing counter, then execution continues.
+//                         CI runs the sanitizer matrix in this mode so a
+//                         violated contract surfaces every downstream effect
+//                         instead of stopping at the first throw.
+//   EMIS_CONTRACTS=abort  (default) a failed EMIS_EXPECTS throws
+//                         PreconditionError; the other three throw
+//                         InvariantError — fail-fast, and what the unit
+//                         tests pin with EXPECT_THROW.
+//
+// EMIS_UNREACHABLE is the exception to the leveling: there is no valid
+// continuation after reaching it, so it throws in audit mode too (after
+// logging and counting) and stays a hard stop even when checks are off.
+//
+// Scope note: EMIS_REQUIRE (radio/types.hpp) remains the *always-on* guard
+// for user input on public entry points (JSON parsing, graph construction,
+// CLI surfaces) — malformed input must fail loudly at every level. The
+// contracts here cover conditions that are supposed to be unviolable given
+// correct library code, which is why they may be compiled down or audited.
+#pragma once
+
+#include <cstdint>
+
+#include "radio/types.hpp"
+
+namespace emis {
+
+enum class ContractMode : std::uint8_t { kOff, kAudit, kAbort };
+
+namespace contracts {
+
+/// Parses an EMIS_CONTRACTS value: "off" | "audit" | "abort". Anything else
+/// (including empty) maps to kAbort — the fail-safe default.
+ContractMode ParseMode(const char* text) noexcept;
+
+/// The process-wide enforcement level. First use reads EMIS_CONTRACTS from
+/// the environment; SetMode overrides it afterwards (used by tests and by
+/// embedders that configure levels programmatically).
+ContractMode CurrentMode() noexcept;
+void SetMode(ContractMode mode) noexcept;
+
+/// Number of contract checks that fired in audit mode since process start or
+/// the last reset. Atomic — parallel sweep workers may fire concurrently.
+std::uint64_t AuditFiringCount() noexcept;
+void ResetAuditFiringCount() noexcept;
+
+enum class Kind : std::uint8_t { kExpects, kEnsures, kInvariant };
+
+/// Reacts to a failed check according to CurrentMode(): audit logs and
+/// counts; abort throws PreconditionError (kExpects) or InvariantError.
+void Fail(Kind kind, const char* expr, const char* file, int line,
+          const char* msg);
+
+/// EMIS_UNREACHABLE's handler: logs/counts in audit mode, then always throws
+/// InvariantError — reached code that must not execute has no continuation.
+[[noreturn]] void Unreachable(const char* file, int line, const char* msg);
+
+}  // namespace contracts
+
+#define EMIS_CONTRACTS_CHECK_(kind, expr, msg)                               \
+  do {                                                                       \
+    if (::emis::contracts::CurrentMode() != ::emis::ContractMode::kOff &&    \
+        !(expr)) {                                                           \
+      ::emis::contracts::Fail(kind, #expr, __FILE__, __LINE__, msg);         \
+    }                                                                        \
+  } while (false)
+
+/// Precondition: what the caller owes this function.
+#define EMIS_EXPECTS(expr, msg) \
+  EMIS_CONTRACTS_CHECK_(::emis::contracts::Kind::kExpects, expr, msg)
+
+/// Postcondition: what this function owes its caller.
+#define EMIS_ENSURES(expr, msg) \
+  EMIS_CONTRACTS_CHECK_(::emis::contracts::Kind::kEnsures, expr, msg)
+
+/// Internal consistency that must hold mid-computation.
+#define EMIS_INVARIANT(expr, msg) \
+  EMIS_CONTRACTS_CHECK_(::emis::contracts::Kind::kInvariant, expr, msg)
+
+/// Marks control flow that must never execute (e.g. after a covered switch).
+#define EMIS_UNREACHABLE(msg) \
+  ::emis::contracts::Unreachable(__FILE__, __LINE__, msg)
+
+}  // namespace emis

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/backoff.hpp"
+#include "core/contracts.hpp"
 
 namespace emis {
 namespace {
@@ -116,7 +117,7 @@ proc::Task<void> Standalone(NodeApi api, GhaffariParams params,
 }  // namespace
 
 ProtocolFactory GhaffariMisProtocol(GhaffariParams params, std::vector<MisStatus>* out) {
-  EMIS_REQUIRE(out != nullptr, "output vector required");
+  EMIS_EXPECTS(out != nullptr, "output vector required");
   return [params, out](NodeApi api) { return Standalone(api, params, out); };
 }
 

@@ -1,5 +1,7 @@
 #include "core/mis_cd.hpp"
 
+#include "core/contracts.hpp"
+
 namespace emis {
 namespace {
 
@@ -130,7 +132,7 @@ proc::Task<void> MisCdEpoch(NodeApi api, CdParams params, MisStatus* out_status)
 }
 
 ProtocolFactory MisCdProtocol(CdParams params, std::vector<MisStatus>* out) {
-  EMIS_REQUIRE(out != nullptr, "output vector required");
+  EMIS_EXPECTS(out != nullptr, "output vector required");
   return [params, out](NodeApi api) { return MisCdNode(api, params, out); };
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/backoff.hpp"
 #include "core/competition.hpp"
+#include "core/contracts.hpp"
 #include "core/ghaffari_mis.hpp"
 #include "core/simulated_cd_mis.hpp"
 
@@ -127,7 +128,7 @@ proc::Task<void> MisNoCdNode(NodeApi api, NoCdParams params, std::vector<MisStat
 }
 
 ProtocolFactory MisNoCdProtocol(NoCdParams params, std::vector<MisStatus>* out) {
-  EMIS_REQUIRE(out != nullptr, "output vector required");
+  EMIS_EXPECTS(out != nullptr, "output vector required");
   return [params, out](NodeApi api) { return MisNoCdNode(api, params, out); };
 }
 

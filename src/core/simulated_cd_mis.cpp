@@ -1,5 +1,7 @@
 #include "core/simulated_cd_mis.hpp"
 
+#include "core/contracts.hpp"
+
 namespace emis {
 
 proc::Task<MisStatus> SimulatedCdMisRun(NodeApi api, SimCdParams params) {
@@ -51,7 +53,7 @@ proc::Task<void> Standalone(NodeApi api, SimCdParams params,
 }  // namespace
 
 ProtocolFactory SimulatedCdMisProtocol(SimCdParams params, std::vector<MisStatus>* out) {
-  EMIS_REQUIRE(out != nullptr, "output vector required");
+  EMIS_EXPECTS(out != nullptr, "output vector required");
   return [params, out](NodeApi api) { return Standalone(api, params, out); };
 }
 

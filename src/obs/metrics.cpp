@@ -37,7 +37,10 @@ void Histogram::MergeFrom(const Histogram& other) {
                "merging histograms requires identical bucket bounds");
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_count_ += other.total_count_;
-  sum_ += other.sum_;
+  // Floating-point accumulation in a merge path is only deterministic when
+  // the merge order is fixed; RunSweep merges shards in worker order (see
+  // verify/experiment.cpp), which pins this sum bit-for-bit at any --jobs.
+  sum_ += other.sum_;  // emis-lint: allow(float-accumulate-in-reduce)
 }
 
 double Histogram::UpperBound(std::size_t i) const {

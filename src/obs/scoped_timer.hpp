@@ -14,6 +14,18 @@
 
 namespace emis::obs {
 
+/// Monotonic wall-clock read in seconds, for elapsed-time measurement
+/// (sweep wall clock, trial timings). This is the sanctioned clock access
+/// point: library code outside src/obs/ must not read std::chrono clocks
+/// directly (enforced by emis_lint's banned-clock rule), which keeps
+/// nondeterministic time sources out of simulation results by construction —
+/// wall-clock readings may only flow into observability fields.
+inline double MonotonicSeconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 class ScopedTimer {
  public:
   using Clock = std::chrono::steady_clock;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "radio/graph.hpp"
 #include "radio/model.hpp"
 #include "radio/rng.hpp"
@@ -54,7 +55,7 @@ class Channel {
   /// round counter, not of draw order — so the fade pattern is identical
   /// under push and pull resolution and across parallel-sweep job counts.
   void SetLoss(double loss, std::uint64_t seed) {
-    EMIS_REQUIRE(loss >= 0.0 && loss < 1.0, "loss probability in [0, 1)");
+    EMIS_EXPECTS(loss >= 0.0 && loss < 1.0, "loss probability in [0, 1)");
     loss_ = loss;
     loss_seed_ = seed;
   }
@@ -79,8 +80,8 @@ class Channel {
   /// same node twice in one round violates the radio model (one action per
   /// node per round) and throws InvariantError instead of double-delivering.
   void AddTransmitter(NodeId u, std::uint64_t payload) {
-    EMIS_ASSERT(tx_mark_[u] != epoch_,
-                "node registered as transmitter twice in one round");
+    EMIS_INVARIANT(tx_mark_[u] != epoch_,
+                   "node registered as transmitter twice in one round");
     tx_mark_[u] = epoch_;
     tx_payload_[u] = payload;
     if (direction_ == ChannelDirection::kPull) return;  // resolved lazily
@@ -97,6 +98,12 @@ class Channel {
   /// What listener v perceives this round under the channel model.
   /// The transmitter set for the round must be fully registered first.
   Reception ResolveListener(NodeId v) const {
+    // Epoch consistency: per-listener and per-transmitter stamps are only
+    // ever written with the current epoch, so a stamp from the future means
+    // the epoch counter ran backwards (or state was corrupted) — receptions
+    // computed from it would silently mix rounds.
+    EMIS_INVARIANT(epoch_mark_[v] <= epoch_ && tx_mark_[v] <= epoch_,
+                   "channel epoch consistency violated: stamp from a future round");
     if (direction_ == ChannelDirection::kPull) {
       const auto [count, payload] = ScanTransmittingNeighbors(v);
       return Perceive(count, payload);
@@ -114,6 +121,11 @@ class Channel {
     }
     return epoch_mark_[v] == epoch_ ? hear_count_[v] : 0;
   }
+
+  /// Test-only: forces the epoch counter to an arbitrary value, bypassing
+  /// BeginRound. Used to demonstrate that the epoch-consistency invariant
+  /// trips (see test_contracts.cpp); never called by library code.
+  void CorruptEpochForTesting(std::uint64_t epoch) noexcept { epoch_ = epoch; }
 
  private:
   struct Heard {
@@ -144,7 +156,7 @@ class Channel {
 
   /// Maps a surviving-transmitter count to a Reception under the model.
   /// Shared by both directions, so they cannot drift apart.
-  Reception Perceive(std::uint32_t count, std::uint64_t payload) const noexcept {
+  Reception Perceive(std::uint32_t count, std::uint64_t payload) const {
     switch (model_) {
       case ChannelModel::kCd:
         if (count == 0) return {ReceptionKind::kSilence, 0};
@@ -159,7 +171,7 @@ class Channel {
         if (count >= 1) return {ReceptionKind::kBeep, 0};
         return {ReceptionKind::kSilence, 0};
     }
-    return {ReceptionKind::kSilence, 0};
+    EMIS_UNREACHABLE("unhandled channel model");
   }
 
   void Deliver(NodeId w, std::uint64_t payload) noexcept {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <new>
 
-#include "radio/types.hpp"
+#include "core/contracts.hpp"
 
 namespace emis {
 namespace {
@@ -53,12 +53,15 @@ void* FrameArena::Allocate(std::size_t bytes) {
   bump_ += bytes;
   bump_remaining_ -= bytes;
   stats_.used_bytes += bytes;
+  EMIS_ENSURES(reinterpret_cast<std::uintptr_t>(p) % kAlign == 0,
+               "arena block must keep max_align_t alignment");
   return p;
 }
 
 void FrameArena::Recycle(void* p, std::size_t bytes) noexcept {
   bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
-  EMIS_ASSERT(stats_.live_frames > 0, "recycle without a live frame");
+  EMIS_EXPECTS(p != nullptr, "cannot recycle a null frame");
+  EMIS_INVARIANT(stats_.live_frames > 0, "recycle without a live frame");
   --stats_.live_frames;
   auto* node = static_cast<FreeNode*>(p);
   for (SizeClass& pool : pools_) {

@@ -1,5 +1,6 @@
 #include "radio/scheduler.hpp"
 
+#include "core/contracts.hpp"
 #include "obs/scoped_timer.hpp"
 
 namespace emis {
@@ -39,7 +40,7 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
 }
 
 void Scheduler::Spawn(const ProtocolFactory& factory) {
-  EMIS_REQUIRE(!spawned_, "Spawn must be called exactly once");
+  EMIS_EXPECTS(!spawned_, "Spawn must be called exactly once");
   spawned_ = true;
   // Root frames (and any coroutines the factory itself creates) come from
   // this scheduler's pooled arena; see radio/frame_arena.hpp.
@@ -47,7 +48,7 @@ void Scheduler::Spawn(const ProtocolFactory& factory) {
   tasks_.reserve(graph_->NumNodes());
   for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
     tasks_.push_back(factory(NodeApi(&contexts_[v])));
-    EMIS_REQUIRE(tasks_.back().Valid(), "protocol factory returned an empty task");
+    EMIS_EXPECTS(tasks_.back().Valid(), "protocol factory returned an empty task");
   }
   // Start every protocol: run it to its first suspension (or completion) so
   // it submits its action for round 0.
@@ -76,9 +77,11 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
       actors.push_back(v);
       break;
     case ActionKind::kSleep:
-      EMIS_ASSERT(ctx.wake_round > ctx.now, "sleep must advance time");
+      EMIS_INVARIANT(ctx.wake_round > ctx.now, "sleep must advance time");
       wake_heap_.push({ctx.wake_round, v});
       break;
+    default:
+      EMIS_UNREACHABLE("unhandled pending action kind");
   }
 }
 
@@ -87,7 +90,7 @@ ChannelDirection Scheduler::ChooseDirection() {
   std::uint64_t listen_edges = 0;
   for (NodeId v : actors_) {
     const NodeContext& ctx = contexts_[v];
-    EMIS_ASSERT(ctx.now == now_, "actor scheduled for wrong round");
+    EMIS_INVARIANT(ctx.now == now_, "actor scheduled for wrong round");
     if (ctx.pending == ActionKind::kTransmit) {
       tx_edges += graph_->Degree(v);
     } else {
@@ -157,7 +160,7 @@ void Scheduler::ExecuteRound() {
 }
 
 RunStats Scheduler::RunUntil(Round limit) {
-  EMIS_REQUIRE(spawned_, "call Spawn before running");
+  EMIS_EXPECTS(spawned_, "call Spawn before running");
   limit = std::min(limit, config_.max_rounds);
 
   while (!AllFinished()) {
@@ -186,8 +189,8 @@ RunStats Scheduler::RunUntil(Round limit) {
       do {
         const NodeId v = wake_heap_.top().node;
         wake_heap_.pop();
-        EMIS_ASSERT(wake_heap_.empty() || wake_heap_.top().round >= now_,
-                    "missed a wake event");
+        EMIS_INVARIANT(wake_heap_.empty() || wake_heap_.top().round >= now_,
+                     "missed a wake event");
         contexts_[v].now = now_;
         if (wake_events_ != nullptr) wake_events_->Inc();
         ResumeAndFile(v, actors_);
@@ -210,6 +213,10 @@ RunStats Scheduler::RunUntil(Round limit) {
   stats.node_rounds = node_rounds_;
   stats.nodes_finished = finished_;
   stats.hit_round_limit = !AllFinished() && now_ >= config_.max_rounds;
+  EMIS_ENSURES(stats.nodes_finished <= graph_->NumNodes(),
+               "more protocols finished than nodes exist");
+  EMIS_ENSURES(stats.rounds_used <= config_.max_rounds,
+               "round complexity exceeds the configured hard stop");
   // The run is over (not merely paused at `limit`): close the trailing phase
   // span so per-phase deltas cover the whole run.
   if (config_.timeline != nullptr && (AllFinished() || stats.hit_round_limit)) {

@@ -1,9 +1,9 @@
 #include "verify/experiment.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <memory>
 
+#include "obs/scoped_timer.hpp"
 #include "verify/parallel.hpp"
 
 namespace emis {
@@ -76,8 +76,7 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
                                  SweepRunInfo* info) {
   EMIS_REQUIRE(config.factory != nullptr, "sweep needs a graph factory");
   if (jobs == 0) jobs = par::DefaultJobs();
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point sweep_begin = Clock::now();
+  const double sweep_begin = obs::MonotonicSeconds();
 
   const std::uint64_t per_size = config.seeds_per_size;
   const std::uint64_t total = config.sizes.size() * per_size;
@@ -88,7 +87,7 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
 
   if (total > 0) {
     par::ParallelFor(jobs, total, [&](std::uint64_t t, unsigned worker) {
-      const Clock::time_point trial_begin = Clock::now();
+      const double trial_begin = obs::MonotonicSeconds();
       const NodeId n = config.sizes[t / per_size];
       const auto s = static_cast<std::uint32_t>(t % per_size);
       const std::uint64_t seed =
@@ -110,7 +109,7 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
       out.rounds = static_cast<double>(run.stats.rounds_used);
       out.mis_size = static_cast<double>(run.MisSize());
       out.max_degree = static_cast<double>(graph.MaxDegree());
-      out.seconds = std::chrono::duration<double>(Clock::now() - trial_begin).count();
+      out.seconds = obs::MonotonicSeconds() - trial_begin;
       if (config.observe) out.full = std::make_unique<MisRunResult>(std::move(run));
     });
   }
@@ -147,8 +146,7 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
     points.push_back(point);
   }
   if (info != nullptr) {
-    info->wall_seconds =
-        std::chrono::duration<double>(Clock::now() - sweep_begin).count();
+    info->wall_seconds = obs::MonotonicSeconds() - sweep_begin;
   }
   return points;
 }

@@ -6,7 +6,7 @@
 #include <thread>
 #include <vector>
 
-#include "radio/types.hpp"
+#include "core/contracts.hpp"
 
 namespace emis::par {
 
@@ -16,7 +16,7 @@ unsigned DefaultJobs() noexcept {
 }
 
 void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn) {
-  EMIS_REQUIRE(fn != nullptr, "ParallelFor needs a work function");
+  EMIS_EXPECTS(fn != nullptr, "ParallelFor needs a work function");
   if (jobs == 0) jobs = DefaultJobs();
   if (count == 0) return;
 
@@ -58,6 +58,9 @@ void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn) {
   worker_loop(0);
   for (std::thread& t : threads) t.join();
 
+  EMIS_ENSURES(failed.load(std::memory_order_relaxed) ||
+                   cursor.load(std::memory_order_relaxed) >= count,
+               "workers exited before the index range drained");
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 

@@ -24,7 +24,9 @@ struct Summary {
   double max = 0.0;
 
   void Add(double x) noexcept;
-  double Variance() const noexcept { return count > 1 ? m2 / (count - 1) : 0.0; }
+  double Variance() const noexcept {
+    return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+  }
   double Stddev() const noexcept;
 };
 

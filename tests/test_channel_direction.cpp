@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "core/runner.hpp"
 #include "obs/metrics.hpp"
 #include "radio/channel.hpp"
@@ -95,6 +96,9 @@ TEST(ChannelDirection, PullBasicSemantics) {
 }
 
 TEST(ChannelDirection, DoubleRegistrationThrows) {
+  // Pin abort mode: the env (e.g. CI's EMIS_CONTRACTS=audit) must not turn
+  // the expected throw into a logged continuation.
+  contracts::SetMode(ContractMode::kAbort);
   const Graph star = gen::Star(4);
   for (ChannelDirection dir :
        {ChannelDirection::kPush, ChannelDirection::kPull}) {
@@ -166,7 +170,9 @@ TEST(ResolutionEquivalence, IdenticalMisAcrossModes) {
       // *identically* in every resolution mode, which is what the EQ checks
       // above pin. Validity itself is only guaranteed on the reliable
       // channel.
-      if (loss == 0.0) EXPECT_TRUE(push.Valid());
+      if (loss == 0.0) {
+        EXPECT_TRUE(push.Valid());
+      }
     }
   }
 }

@@ -1,0 +1,403 @@
+// Fixture tests for the emis_lint rule engine: every rule has a positive
+// fixture (violating source → finding), a negative fixture (idiomatic source
+// → clean), and a suppression fixture (violation + waiver → suppressed, not
+// reported). The suite ends with the acceptance gate: the real tree must lint
+// clean.
+#include "tools/emis_lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace {
+
+using emis_lint::Finding;
+using emis_lint::LintSource;
+using emis_lint::Report;
+
+bool HasRule(const Report& r, std::string_view rule) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// banned-random
+
+TEST(BannedRandom, FlagsRandCallAndMt19937) {
+  const Report r = LintSource("src/core/bad.cpp",
+                              "int f() { return rand() % 7; }\n"
+                              "std::mt19937 gen(42);\n");
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_TRUE(HasRule(r, "banned-random"));
+}
+
+TEST(BannedRandom, FlagsRandomDeviceSeed) {
+  const Report r = LintSource("bench/bad.cpp",
+                              "std::random_device rd;\n"
+                              "auto seed = rd();\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-random");
+  EXPECT_EQ(r.findings[0].line, 1);
+}
+
+TEST(BannedRandom, CleanOnEmisRngAndObsScope) {
+  // Idiomatic: seed-addressed Rng. Also: src/obs/ is exempt.
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "emis::Rng rng(seed);\n"
+                         "auto child = rng.Split(3);\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("src/obs/ok.cpp", "std::random_device rd;\n")
+                  .findings.empty());
+}
+
+TEST(BannedRandom, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "// rand() is banned here\n"
+                         "const char* msg = \"no rand() allowed\";\n"
+                         "/* std::mt19937 would be wrong */\n")
+                  .findings.empty());
+}
+
+TEST(BannedRandom, SuppressedByAllowComment) {
+  const Report r = LintSource(
+      "src/core/waived.cpp",
+      "int f() { return rand(); }  // emis-lint: allow(banned-random)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// banned-clock
+
+TEST(BannedClock, FlagsSteadyClockOutsideObs) {
+  const Report r = LintSource(
+      "src/verify/bad.cpp",
+      "double now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-clock");
+}
+
+TEST(BannedClock, FlagsPosixClockInTools) {
+  const Report r = LintSource("tools/bad.cpp",
+                              "void f(timespec* t) { clock_gettime(0, t); }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-clock");
+}
+
+TEST(BannedClock, ObsAndBenchAreSanctioned) {
+  // src/obs/ is the sanctioned clock layer; benches time themselves freely.
+  EXPECT_TRUE(LintSource("src/obs/timer.hpp",
+                         "auto t = std::chrono::steady_clock::now();\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("bench/bench_x.cpp",
+                         "auto t = std::chrono::steady_clock::now();\n")
+                  .findings.empty());
+}
+
+TEST(BannedClock, IncludeLineDoesNotTrigger) {
+  EXPECT_TRUE(
+      LintSource("src/core/ok.cpp", "#include <chrono>\nint x = 0;\n")
+          .findings.empty());
+}
+
+TEST(BannedClock, LineAboveWaiverSuppresses) {
+  const Report r = LintSource("src/core/waived.cpp",
+                              "// emis-lint: allow(banned-clock)\n"
+                              "auto t = std::chrono::system_clock::now();\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+TEST(UnorderedIteration, FlagsAccumulatingRangeFor) {
+  const Report r = LintSource(
+      "src/core/bad.cpp",
+      "std::unordered_map<int, double> m;\n"
+      "double total = 0;\n"
+      "void f(std::vector<int>* out) {\n"
+      "  for (const auto& [k, v] : m) { total += v; out->push_back(k); }\n"
+      "}\n");
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(r.findings[0].line, 4);
+}
+
+TEST(UnorderedIteration, FlagsThroughTypeAlias) {
+  const Report r = LintSource(
+      "src/core/bad.cpp",
+      "using NodeSet = std::unordered_set<int>;\n"
+      "void f(NodeSet s, std::vector<int>* out) {\n"
+      "  for (int v : s) out->push_back(v);\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(r, "unordered-iteration"));
+}
+
+TEST(UnorderedIteration, ReadOnlyBodyAndOrderedMapAreClean) {
+  // Pure reads over unordered containers are order-insensitive; ordered maps
+  // may accumulate freely.
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "std::unordered_set<int> s;\n"
+                         "bool f(int x) {\n"
+                         "  bool found = false;\n"
+                         "  for (int v : s) if (v == x) found = true;\n"
+                         "  return found;\n"
+                         "}\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "std::map<int, int> m;\n"
+                         "void f(std::vector<int>* out) {\n"
+                         "  for (const auto& [k, v] : m) out->push_back(k);\n"
+                         "}\n")
+                  .findings.empty());
+}
+
+TEST(UnorderedIteration, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "src/core/waived.cpp",
+      "std::unordered_set<int> s;\n"
+      "void f(std::vector<int>* out) {\n"
+      "  // commutative dedup: emitted order is re-sorted by the caller\n"
+      "  // emis-lint: allow(unordered-iteration)\n"
+      "  for (int v : s) out->push_back(v);\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// raw-assert
+
+TEST(RawAssert, FlagsAssertCall) {
+  const Report r =
+      LintSource("src/core/bad.cpp", "void f(int x) { assert(x > 0); }\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "raw-assert");
+}
+
+TEST(RawAssert, ContractMacrosAndStaticAssertAreClean) {
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "void f(int x) {\n"
+                         "  EMIS_EXPECTS(x > 0, \"x positive\");\n"
+                         "  static_assert(sizeof(int) >= 4);\n"
+                         "}\n")
+                  .findings.empty());
+}
+
+TEST(RawAssert, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "tools/waived.cpp",
+      "void f(int x) { assert(x); }  // emis-lint: allow(raw-assert)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// io-in-library
+
+TEST(IoInLibrary, FlagsCoutAndPrintf) {
+  const Report r = LintSource("src/core/bad.cpp",
+                              "void f() {\n"
+                              "  std::cout << \"hi\";\n"
+                              "  printf(\"%d\", 3);\n"
+                              "}\n");
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_TRUE(HasRule(r, "io-in-library"));
+}
+
+TEST(IoInLibrary, ObsToolsAndBenchAreExempt) {
+  EXPECT_TRUE(LintSource("src/obs/sink.cpp", "std::cout << x;\n").findings.empty());
+  EXPECT_TRUE(LintSource("tools/cli.cpp", "printf(\"ok\\n\");\n").findings.empty());
+  EXPECT_TRUE(LintSource("bench/b.cpp", "std::cout << x;\n").findings.empty());
+}
+
+TEST(IoInLibrary, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "src/core/waived.cpp",
+      "std::cerr << \"x\";  // emis-lint: allow(io-in-library)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// float-accumulate-in-reduce
+
+TEST(FloatAccumulateInReduce, FlagsFloatPlusEqualsInMerge) {
+  const Report r = LintSource("src/obs/bad.cpp",
+                              "struct H {\n"
+                              "  double sum_ = 0;\n"
+                              "  void MergeFrom(const H& o) { sum_ += o.sum_; }\n"
+                              "};\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "float-accumulate-in-reduce");
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(FloatAccumulateInReduce, SeesSiblingHeaderDeclaration) {
+  // The member's type lives in the .hpp; the += lives in the .cpp. The
+  // corpus-level symbol pool must connect them through the shared path stem.
+  emis_lint::Corpus corpus;
+  corpus.files.push_back(emis_lint::Lex("src/obs/thing.hpp",
+                                        "struct Thing {\n"
+                                        "  double total_ = 0;\n"
+                                        "  void Merge(const Thing& o);\n"
+                                        "};\n"));
+  corpus.files.push_back(emis_lint::Lex(
+      "src/obs/thing.cpp",
+      "void Thing::Merge(const Thing& o) { total_ += o.total_; }\n"));
+  const Report r = emis_lint::Lint(corpus);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "float-accumulate-in-reduce");
+  EXPECT_EQ(r.findings[0].file, "src/obs/thing.cpp");
+}
+
+TEST(FloatAccumulateInReduce, IntegerAccumulationAndNonReduceAreClean) {
+  // Integral += in a merge is exact; float += outside reduce paths is fine.
+  EXPECT_TRUE(LintSource("src/obs/ok.cpp",
+                         "struct H {\n"
+                         "  std::uint64_t n_ = 0;\n"
+                         "  void MergeFrom(const H& o) { n_ += o.n_; }\n"
+                         "};\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("src/obs/ok.cpp",
+                         "struct H {\n"
+                         "  double sum_ = 0;\n"
+                         "  void Observe(double x) { sum_ += x; }\n"
+                         "};\n")
+                  .findings.empty());
+}
+
+TEST(FloatAccumulateInReduce, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "src/obs/waived.cpp",
+      "struct H {\n"
+      "  double sum_ = 0;\n"
+      "  void MergeFrom(const H& o) {\n"
+      "    sum_ += o.sum_;  // emis-lint: allow(float-accumulate-in-reduce)\n"
+      "  }\n"
+      "};\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// rng-seed-from-draw
+
+TEST(RngSeedFromDraw, FlagsConstructionFromDraw) {
+  const Report r = LintSource("src/core/bad.cpp",
+                              "void f(emis::Rng& parent) {\n"
+                              "  Rng child(parent.NextU64());\n"
+                              "}\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "rng-seed-from-draw");
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(RngSeedFromDraw, FlagsBraceInitFromDraw) {
+  const Report r = LintSource("src/core/bad.cpp",
+                              "Rng MakeChild(Rng& p) { return Rng{p.UniformBelow(99)}; }\n");
+  EXPECT_TRUE(HasRule(r, "rng-seed-from-draw"));
+}
+
+TEST(RngSeedFromDraw, SplitAndNamedSeedsAreClean) {
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "void f(emis::Rng& parent, std::uint64_t seed) {\n"
+                         "  Rng direct(seed);\n"
+                         "  Rng child = parent.Split(7);\n"
+                         "  Rng hashed(CounterHash(seed, 12));\n"
+                         "}\n")
+                  .findings.empty());
+}
+
+TEST(RngSeedFromDraw, ClassDefinitionDoesNotTrigger) {
+  // `class Rng { ... NextU64 ... }` is the type defining its own draw
+  // methods, not a stream seeded from a draw.
+  EXPECT_TRUE(LintSource("src/radio/ok.hpp",
+                         "class Rng {\n"
+                         " public:\n"
+                         "  std::uint64_t NextU64() noexcept { return gen_(); }\n"
+                         "};\n")
+                  .findings.empty());
+}
+
+TEST(RngSeedFromDraw, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "src/core/waived.cpp",
+      "Rng child(parent.NextU64());  // emis-lint: allow(rng-seed-from-draw)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics
+
+TEST(Engine, FileWideWaiverSuppressesAllInstances) {
+  const Report r = LintSource("src/core/waived.cpp",
+                              "// emis-lint: allow-file(banned-random)\n"
+                              "int a = rand();\n"
+                              "int b = rand();\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
+TEST(Engine, WaiverForOtherRuleDoesNotSuppress) {
+  const Report r = LintSource(
+      "src/core/bad.cpp",
+      "int a = rand();  // emis-lint: allow(banned-clock)\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-random");
+}
+
+TEST(Engine, RawStringContentIsOpaque) {
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "const char* doc = R\"(call rand() and\n"
+                         "std::chrono::steady_clock freely in prose)\";\n")
+                  .findings.empty());
+}
+
+TEST(Engine, FindingsAreSortedByFileLineRule) {
+  emis_lint::Corpus corpus;
+  corpus.files.push_back(emis_lint::Lex("src/z.cpp", "int a = rand();\n"));
+  corpus.files.push_back(
+      emis_lint::Lex("src/a.cpp", "int b = rand();\nint c = rand();\n"));
+  const Report r = emis_lint::Lint(corpus);
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].file, "src/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_EQ(r.findings[1].line, 2);
+  EXPECT_EQ(r.findings[2].file, "src/z.cpp");
+}
+
+TEST(Engine, JsonReportCarriesSchemaAndFindings) {
+  const Report r = LintSource("src/core/bad.cpp", "int a = rand();\n");
+  const std::string json = emis_lint::ToJson(r, "/repo");
+  EXPECT_NE(json.find("\"schema\": \"emis-lint-report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"banned-random\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+}
+
+TEST(Engine, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(emis_lint::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance gate: the real tree lints clean.
+
+#ifdef EMIS_SOURCE_ROOT
+TEST(FullTree, RepositoryLintsClean) {
+  const emis_lint::Corpus corpus = emis_lint::LoadCorpus(EMIS_SOURCE_ROOT);
+  ASSERT_GT(corpus.files.size(), 50u) << "corpus load found too few files; "
+                                         "EMIS_SOURCE_ROOT miswired?";
+  const Report r = emis_lint::Lint(corpus);
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_TRUE(r.findings.empty());
+}
+#endif
+
+}  // namespace

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/contracts.hpp"
 #include "core/runner.hpp"
 #include "radio/channel.hpp"
 #include "radio/graph_generators.hpp"
@@ -12,6 +13,9 @@ namespace emis {
 namespace {
 
 TEST(LossyChannel, RejectsBadProbability) {
+  // Pin abort mode: the env (e.g. CI's EMIS_CONTRACTS=audit) must not turn
+  // the expected throw into a logged continuation.
+  contracts::SetMode(ContractMode::kAbort);
   Graph g = gen::Path(2);
   Channel ch(g, ChannelModel::kCd);
   EXPECT_THROW(ch.SetLoss(-0.1, 1), PreconditionError);

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "radio/graph_generators.hpp"
 
 namespace emis {
@@ -312,6 +313,9 @@ TEST(Scheduler, SubTaskExceptionsReachParent) {
 }
 
 TEST(Scheduler, SpawnTwiceIsRejected) {
+  // Pin abort mode: the env (e.g. CI's EMIS_CONTRACTS=audit) must not turn
+  // the expected throw into a logged continuation.
+  contracts::SetMode(ContractMode::kAbort);
   Graph g = gen::Empty(1);
   Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
   auto factory = [](NodeApi api) -> proc::Task<void> { return TransmitOnce(api); };
@@ -320,6 +324,7 @@ TEST(Scheduler, SpawnTwiceIsRejected) {
 }
 
 TEST(Scheduler, RunBeforeSpawnIsRejected) {
+  contracts::SetMode(ContractMode::kAbort);
   Graph g = gen::Empty(1);
   Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
   EXPECT_THROW(sched.Run(), PreconditionError);

@@ -1,0 +1,90 @@
+// emis_lint CLI — runs the determinism & invariant rules over a repo tree.
+//
+// Usage:
+//   emis_lint [--root <dir>] [--report-out <file>] [--list-rules] [--quiet]
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+// This is a developer tool, not library code: console I/O and filesystem
+// access are its job.
+#include "tools/emis_lint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace {
+
+void PrintRules() {
+  std::printf("emis_lint rules:\n");
+  for (const emis_lint::RuleInfo& r : emis_lint::Rules()) {
+    std::printf("  %-28.*s [%.*s]\n      %.*s\n",
+                static_cast<int>(r.id.size()), r.id.data(),
+                static_cast<int>(r.scope.size()), r.scope.data(),
+                static_cast<int>(r.summary.size()), r.summary.data());
+  }
+  std::printf(
+      "\nsuppress one line:  // emis-lint: allow(<rule>)   (same line or line above)\n"
+      "suppress a file:    // emis-lint: allow-file(<rule>)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list-rules") == 0) {
+      PrintRules();
+      return 0;
+    }
+    if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(arg, "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: emis_lint [--root <dir>] [--report-out <file>] "
+          "[--list-rules] [--quiet]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "emis_lint: unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  if (!std::filesystem::exists(root)) {
+    std::fprintf(stderr, "emis_lint: root '%s' does not exist\n", root.c_str());
+    return 2;
+  }
+
+  const emis_lint::Corpus corpus = emis_lint::LoadCorpus(root);
+  const emis_lint::Report report = emis_lint::Lint(corpus);
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "emis_lint: cannot write report to '%s'\n",
+                   report_out.c_str());
+      return 2;
+    }
+    out << emis_lint::ToJson(report, root);
+  }
+
+  if (!quiet) {
+    for (const emis_lint::Finding& f : report.findings) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    std::printf("emis_lint: %zu file(s) scanned, %zu finding(s), %llu waiver(s)\n",
+                report.files_scanned, report.findings.size(),
+                static_cast<unsigned long long>(report.suppressed));
+  }
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,844 @@
+// emis_lint — the repo's determinism & invariant linter.
+//
+// A dependency-free static-analysis pass (tokenizer + token-stream rule
+// engine, deliberately not regex-over-lines) that walks src/, bench/ and
+// tools/ and enforces the repo-specific rules the determinism contract
+// depends on: no draw-order RNG or wall-clock reads in library code, no
+// unordered-container iteration feeding results, no raw assert() outside
+// tests, no console I/O in library code, no floating-point accumulation in
+// merge/reduce paths, and no RNG streams seeded from another stream's draws.
+//
+// Rules operate on a lexed token stream: comments, string literals (plain
+// and raw), char literals and #include lines never produce identifier
+// tokens, so a rule table mentioning banned names in strings (like the ones
+// below) or prose mentioning rand() in a comment cannot self-trigger.
+//
+// Suppression: any finding can be waived with a comment on the same line or
+// the line above —
+//     // emis-lint: allow(rule-id)          one line
+//     // emis-lint: allow-file(rule-id)     whole file
+// Waivers are counted and reported, never silent.
+//
+// Report schema: emis-lint-report/1 (see ToJson).
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace emis_lint {
+
+// ---------------------------------------------------------------------------
+// Tokens and lexing
+
+struct Token {
+  enum class Kind : std::uint8_t { kIdent, kPunct, kNumber, kString, kChar };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct SourceFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::vector<Token> tokens;
+  /// (line, rule-id) pairs from `emis-lint: allow(...)` comments. A waiver
+  /// on line L covers findings on lines L and L+1 (trailing or line-above).
+  std::set<std::pair<int, std::string>> allows;
+  /// rule-ids from `emis-lint: allow-file(...)` comments.
+  std::set<std::string> file_allows;
+};
+
+namespace detail {
+
+inline bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Extracts `emis-lint:` directives from one comment's text.
+inline void ParseLintComment(std::string_view text, int line, SourceFile* out) {
+  const std::string_view marker = "emis-lint:";
+  const std::size_t at = text.find(marker);
+  if (at == std::string_view::npos) return;
+  std::size_t i = at + marker.size();
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  bool whole_file = false;
+  const std::string_view allow_file = "allow-file";
+  const std::string_view allow = "allow";
+  if (text.compare(i, allow_file.size(), allow_file) == 0) {
+    whole_file = true;
+    i += allow_file.size();
+  } else if (text.compare(i, allow.size(), allow) == 0) {
+    i += allow.size();
+  } else {
+    return;
+  }
+  while (i < text.size() && text[i] != '(') ++i;
+  if (i >= text.size()) return;
+  ++i;
+  std::string rule;
+  for (; i < text.size() && text[i] != ')'; ++i) {
+    const char c = text[i];
+    if (c == ',' ) {
+      if (!rule.empty()) {
+        if (whole_file) out->file_allows.insert(rule);
+        else out->allows.insert({line, rule});
+      }
+      rule.clear();
+    } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      rule += c;
+    }
+  }
+  if (!rule.empty()) {
+    if (whole_file) out->file_allows.insert(rule);
+    else out->allows.insert({line, rule});
+  }
+}
+
+/// Multi-character punctuators the rules care about, longest first.
+inline const std::vector<std::string>& Punctuators() {
+  static const std::vector<std::string> kPuncts = {
+      "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+      "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+      "%=", "&=", "|=", "^=",
+  };
+  return kPuncts;
+}
+
+}  // namespace detail
+
+/// Lexes one translation unit into tokens + suppression directives.
+inline SourceFile Lex(std::string path, std::string_view src) {
+  SourceFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_newline = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      advance_newline(c);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      detail::ParseLintComment(src.substr(start, i - start), line, &out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        advance_newline(src[i]);
+        ++i;
+      }
+      detail::ParseLintComment(src.substr(start, i - start), start_line, &out);
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Preprocessor: #include's header-name would otherwise lex as idents
+    // (<chrono> → 'chrono'), so the rest of the directive line is skipped.
+    if (c == '#' && line_start) {
+      std::size_t j = i + 1;
+      while (j < n && std::isspace(static_cast<unsigned char>(src[j])) != 0 &&
+             src[j] != '\n') {
+        ++j;
+      }
+      std::size_t word_end = j;
+      while (word_end < n && detail::IsIdentChar(src[word_end])) ++word_end;
+      const std::string_view directive = src.substr(j, word_end - j);
+      if (directive == "include" || directive == "pragma" || directive == "error") {
+        while (i < n && src[i] != '\n') ++i;
+        continue;
+      }
+      line_start = false;
+      ++i;  // '#' itself carries no rule meaning; tokenize the rest normally
+      continue;
+    }
+    line_start = false;
+    // Identifier (possibly a string-literal prefix).
+    if (detail::IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && detail::IsIdentChar(src[j])) ++j;
+      const std::string_view word = src.substr(i, j - i);
+      // String prefixes: u8R"(...)", R"(...)", L"...", u"...", etc.
+      if (j < n && src[j] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR" || word == "u8" || word == "u" || word == "U" ||
+           word == "L")) {
+        if (word.back() == 'R') {
+          // Raw string: R"delim( ... )delim"
+          std::size_t k = j + 1;
+          std::string delim;
+          while (k < n && src[k] != '(') delim += src[k++];
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t end = src.find(closer, k);
+          const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+          for (std::size_t p = j; p < stop; ++p) advance_newline(src[p]);
+          out.tokens.push_back({Token::Kind::kString, "<raw-string>", line});
+          i = stop;
+          continue;
+        }
+        // Prefixed ordinary string: fall through to the string scanner below.
+        i = j;
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kIdent, std::string(word), line});
+      i = j;
+      continue;
+    }
+    // String and char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        advance_newline(src[j]);
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? Token::Kind::kString : Token::Kind::kChar,
+                            "<literal>", line});
+      i = std::min(n, j + 1);
+      continue;
+    }
+    // Numbers (incl. hex/float; pp-number is close enough for linting).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::size_t j = i;
+      while (j < n && (detail::IsIdentChar(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > 0 &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Token::Kind::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const std::string& p : detail::Punctuators()) {
+      if (src.compare(i, p.size(), p) == 0) {
+        out.tokens.push_back({Token::Kind::kPunct, p, line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Findings, rules, reports
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::uint64_t suppressed = 0;
+  std::size_t files_scanned = 0;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view scope;
+  std::string_view summary;
+};
+
+/// The rule table (documented in DESIGN.md §10).
+inline const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"banned-random", "src (excl. src/obs), bench, tools",
+       "no rand()/srand()/std::random_device/std::mt19937-family generators; "
+       "randomness flows from emis::Rng / CounterHash (seed, counter) streams"},
+      {"banned-clock", "src (excl. src/obs), tools",
+       "no std::chrono clock reads or OS time calls; wall-clock access goes "
+       "through src/obs (obs::MonotonicSeconds, ScopedTimer)"},
+      {"unordered-iteration", "src, bench, tools",
+       "no iteration over unordered containers whose body writes into "
+       "results/metrics/accumulators — iteration order is unspecified and "
+       "breaks bit-identical reduction"},
+      {"raw-assert", "src, bench, tools",
+       "no raw assert(); use EMIS_EXPECTS/EMIS_ENSURES/EMIS_INVARIANT/"
+       "EMIS_UNREACHABLE from core/contracts.hpp"},
+      {"io-in-library", "src (excl. src/obs)",
+       "no std::cout/std::cerr/printf-family console I/O in library code; "
+       "emit data through obs/ sinks or return it"},
+      {"float-accumulate-in-reduce", "src",
+       "no floating-point += accumulation inside Merge/Reduce-named reduce "
+       "paths (MetricsRegistry::Merge-reachable); sums there must be "
+       "integral, compensated, or explicitly waived with a fixed-order proof"},
+      {"rng-seed-from-draw", "src, bench, tools",
+       "no Rng constructed from another stream's draw (NextU64() etc.); "
+       "derive children with Rng::Split(stream_id) or counter hashes"},
+  };
+  return kRules;
+}
+
+namespace detail {
+
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+inline bool InSrc(std::string_view p) { return StartsWith(p, "src/"); }
+inline bool InObs(std::string_view p) { return StartsWith(p, "src/obs/"); }
+inline bool InBench(std::string_view p) { return StartsWith(p, "bench/"); }
+inline bool InTools(std::string_view p) { return StartsWith(p, "tools/"); }
+
+inline bool IsIdentTok(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+inline bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+/// Index of the matching closer for the opener at `open`, or tokens.size().
+inline std::size_t MatchForward(const std::vector<Token>& toks, std::size_t open,
+                                std::string_view opener, std::string_view closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], opener)) ++depth;
+    else if (IsPunct(toks[i], closer)) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Skips a balanced template-argument list starting at `open` (a '<').
+/// Returns the index just past the closing '>'. Understands '>>' closing two
+/// levels. Returns open if the construct does not look balanced.
+inline std::size_t SkipTemplateArgs(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "<")) ++depth;
+    else if (IsPunct(t, ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (IsPunct(t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (IsPunct(t, ";") || IsPunct(t, "{")) {
+      return open;  // gave up: this '<' was a comparison
+    }
+  }
+  return open;
+}
+
+/// The identifier owning the assignment target that ends at token `i`
+/// (exclusive): handles `x +=`, `x[i] +=`, `p->x +=`, `a.b +=`.
+inline const Token* LhsIdent(const std::vector<Token>& toks, std::size_t op) {
+  if (op == 0) return nullptr;
+  std::size_t j = op - 1;
+  if (IsPunct(toks[j], "]")) {
+    int depth = 0;
+    while (true) {
+      if (IsPunct(toks[j], "]")) ++depth;
+      else if (IsPunct(toks[j], "[")) {
+        if (--depth == 0) break;
+      }
+      if (j == 0) return nullptr;
+      --j;
+    }
+    if (j == 0) return nullptr;
+    --j;
+  }
+  return toks[j].kind == Token::Kind::kIdent ? &toks[j] : nullptr;
+}
+
+inline const std::set<std::string, std::less<>>& UnorderedTypeNames() {
+  static const std::set<std::string, std::less<>> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+  return kNames;
+}
+
+/// Names of containers/aliases/variables of unordered type declared in this
+/// file, collected with a two-pass heuristic (aliases, then declarations).
+inline std::set<std::string, std::less<>> CollectUnorderedNames(const SourceFile& f) {
+  std::set<std::string, std::less<>> names(UnorderedTypeNames());
+  const auto& toks = f.tokens;
+  // Pass 1: using Alias = ... unordered_xxx<...> ...;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i], "using") || toks[i + 1].kind != Token::Kind::kIdent ||
+        !IsPunct(toks[i + 2], "=")) {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < toks.size() && !IsPunct(toks[j], ";"); ++j) {
+      if (toks[j].kind == Token::Kind::kIdent &&
+          UnorderedTypeNames().count(toks[j].text) > 0) {
+        names.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+  // Pass 2: <unordered-type> <template-args>? <ident> → a declared variable.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || names.count(toks[i].text) == 0) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && IsPunct(toks[j], "<")) {
+      const std::size_t past = SkipTemplateArgs(toks, j);
+      if (past == j) continue;
+      j = past;
+    }
+    while (j < toks.size() && (IsPunct(toks[j], "&") || IsPunct(toks[j], "*"))) ++j;
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent &&
+        toks[j].text != "const" && names.count(toks[j].text) == 0) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+/// Identifiers declared with a floating-point type in this file (members,
+/// locals, parameters): `double x`, `float a = 0, b = 0;`, `double* p`.
+inline void CollectFloatIdents(const SourceFile& f,
+                               std::set<std::string, std::less<>>* out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i], "double") && !IsIdentTok(toks[i], "float")) continue;
+    std::size_t j = i + 1;
+    while (true) {
+      while (j < toks.size() &&
+             (IsPunct(toks[j], "*") || IsPunct(toks[j], "&") ||
+              IsIdentTok(toks[j], "const"))) {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].kind != Token::Kind::kIdent) break;
+      out->insert(toks[j].text);
+      ++j;
+      // `= <expr>` up to the next top-level ',' or ';' continues the list.
+      int depth = 0;
+      while (j < toks.size()) {
+        const Token& t = toks[j];
+        if (IsPunct(t, "(") || IsPunct(t, "[") || IsPunct(t, "{")) ++depth;
+        else if (IsPunct(t, ")") || IsPunct(t, "]") || IsPunct(t, "}")) --depth;
+        if (depth < 0) { j = toks.size(); break; }
+        if (depth == 0 && (IsPunct(t, ",") || IsPunct(t, ";"))) break;
+        ++j;
+      }
+      if (j >= toks.size() || !IsPunct(toks[j], ",")) break;
+      ++j;
+    }
+  }
+}
+
+struct RawFinding {
+  std::string_view rule;
+  int line;
+  std::string message;
+};
+
+// --- rule: banned-random ---------------------------------------------------
+
+inline void RuleBannedRandom(const SourceFile& f, std::vector<RawFinding>* out) {
+  if (InObs(f.path)) return;
+  static const std::set<std::string, std::less<>> kTypes = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+      "default_random_engine", "ranlux24", "ranlux48", "ranlux24_base",
+      "ranlux48_base", "knuth_b", "random_shuffle"};
+  static const std::set<std::string, std::less<>> kCalls = {"rand", "srand",
+                                                            "drand48", "lrand48"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const bool is_type = kTypes.count(toks[i].text) > 0;
+    const bool is_call = kCalls.count(toks[i].text) > 0 && i + 1 < toks.size() &&
+                         IsPunct(toks[i + 1], "(");
+    if (is_type || is_call) {
+      out->push_back({"banned-random", toks[i].line,
+                      "draw-order RNG source '" + toks[i].text +
+                          "' — use emis::Rng streams or CounterHash (seed, "
+                          "counter) addressing"});
+    }
+  }
+}
+
+// --- rule: banned-clock ----------------------------------------------------
+
+inline void RuleBannedClock(const SourceFile& f, std::vector<RawFinding>* out) {
+  const bool scoped = (InSrc(f.path) && !InObs(f.path)) || InTools(f.path);
+  if (!scoped) return;
+  static const std::set<std::string, std::less<>> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock", "clock_gettime",
+      "gettimeofday", "timespec_get", "ftime"};
+  for (const Token& t : f.tokens) {
+    if (t.kind == Token::Kind::kIdent && kClocks.count(t.text) > 0) {
+      out->push_back({"banned-clock", t.line,
+                      "wall-clock source '" + t.text +
+                          "' outside src/obs — route timing through "
+                          "obs::MonotonicSeconds or obs::ScopedTimer"});
+    }
+  }
+}
+
+// --- rule: unordered-iteration ---------------------------------------------
+
+inline void RuleUnorderedIteration(const SourceFile& f, std::vector<RawFinding>* out) {
+  const auto& toks = f.tokens;
+  const auto unordered = CollectUnorderedNames(f);
+  static const std::set<std::string, std::less<>> kMutators = {
+      "push_back", "emplace_back", "emplace", "insert", "Add", "Observe",
+      "Inc", "Set", "Merge", "MergeFrom", "Push", "Record", "Append", "append"};
+  static const std::set<std::string, std::less<>> kMutatorPuncts = {
+      "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i], "for") || !IsPunct(toks[i + 1], "(")) continue;
+    const std::size_t close = MatchForward(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // Range-based for: a ':' at paren depth 1 (tokenizer keeps '::' whole).
+    std::size_t colon = toks.size();
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (IsPunct(toks[j], "(")) ++depth;
+      else if (IsPunct(toks[j], ")")) --depth;
+      else if (depth == 1 && IsPunct(toks[j], ":")) { colon = j; break; }
+    }
+    if (colon >= toks.size()) continue;
+    bool over_unordered = false;
+    std::string range_name;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == Token::Kind::kIdent && unordered.count(toks[j].text) > 0) {
+        over_unordered = true;
+        range_name = toks[j].text;
+        break;
+      }
+    }
+    if (!over_unordered) continue;
+    // Body: a braced block or a single statement.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && IsPunct(toks[body_begin], "{")) {
+      body_end = MatchForward(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && !IsPunct(toks[body_end], ";")) ++body_end;
+    }
+    for (std::size_t j = body_begin; j < body_end && j < toks.size(); ++j) {
+      const Token& t = toks[j];
+      const bool mutator_call = t.kind == Token::Kind::kIdent &&
+                                kMutators.count(t.text) > 0 &&
+                                j + 1 < toks.size() && IsPunct(toks[j + 1], "(");
+      const bool mutator_op =
+          t.kind == Token::Kind::kPunct && kMutatorPuncts.count(t.text) > 0;
+      if (mutator_call || mutator_op) {
+        out->push_back(
+            {"unordered-iteration", toks[i].line,
+             "iteration over unordered container '" + range_name +
+                 "' accumulates into results ('" + t.text +
+                 "' in the loop body) — unordered iteration order is "
+                 "unspecified; iterate a sorted copy or keyed order"});
+        break;
+      }
+    }
+  }
+}
+
+// --- rule: raw-assert ------------------------------------------------------
+
+inline void RuleRawAssert(const SourceFile& f, std::vector<RawFinding>* out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (IsIdentTok(toks[i], "assert") && IsPunct(toks[i + 1], "(")) {
+      out->push_back({"raw-assert", toks[i].line,
+                      "raw assert() — use the leveled contracts layer "
+                      "(EMIS_EXPECTS/EMIS_ENSURES/EMIS_INVARIANT/"
+                      "EMIS_UNREACHABLE from core/contracts.hpp)"});
+    }
+  }
+}
+
+// --- rule: io-in-library ---------------------------------------------------
+
+inline void RuleIoInLibrary(const SourceFile& f, std::vector<RawFinding>* out) {
+  if (!InSrc(f.path) || InObs(f.path)) return;
+  static const std::set<std::string, std::less<>> kStreams = {"cout", "cerr", "clog"};
+  static const std::set<std::string, std::less<>> kCalls = {
+      "printf", "fprintf", "puts", "fputs", "putchar", "vprintf", "vfprintf"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const bool stream = kStreams.count(toks[i].text) > 0;
+    const bool call = kCalls.count(toks[i].text) > 0 && i + 1 < toks.size() &&
+                      IsPunct(toks[i + 1], "(");
+    if (stream || call) {
+      out->push_back({"io-in-library", toks[i].line,
+                      "console I/O '" + toks[i].text +
+                          "' in library code — emit through obs/ sinks "
+                          "(trace, report) or return data to the caller"});
+    }
+  }
+}
+
+// --- rule: float-accumulate-in-reduce --------------------------------------
+
+inline void RuleFloatAccumulateInReduce(
+    const SourceFile& f, const std::set<std::string, std::less<>>& float_idents,
+    std::vector<RawFinding>* out) {
+  if (!InSrc(f.path)) return;
+  static const std::set<std::string, std::less<>> kReduceNames = {
+      "Merge", "MergeFrom", "Reduce", "Combine", "Accumulate"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || kReduceNames.count(toks[i].text) == 0 ||
+        !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    const std::size_t params_end = MatchForward(toks, i + 1, "(", ")");
+    if (params_end >= toks.size()) continue;
+    // Definition? Skip const/noexcept/override/trailing-return up to '{';
+    // a ';' (declaration) or anything else (a call) ends the attempt.
+    std::size_t j = params_end + 1;
+    bool is_definition = false;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (IsPunct(t, "{")) { is_definition = true; break; }
+      if (IsIdentTok(t, "const") || IsIdentTok(t, "noexcept") ||
+          IsIdentTok(t, "override") || IsIdentTok(t, "final") ||
+          IsPunct(t, "->") || IsPunct(t, "::") || t.kind == Token::Kind::kIdent) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!is_definition) continue;
+    const std::size_t body_end = MatchForward(toks, j, "{", "}");
+    for (std::size_t k = j; k < body_end && k < toks.size(); ++k) {
+      if (!IsPunct(toks[k], "+=") && !IsPunct(toks[k], "-=")) continue;
+      const Token* lhs = LhsIdent(toks, k);
+      if (lhs != nullptr && float_idents.count(lhs->text) > 0) {
+        out->push_back(
+            {"float-accumulate-in-reduce", toks[k].line,
+             "floating-point accumulation '" + lhs->text + " " + toks[k].text +
+                 "' inside reduce path '" + toks[i].text +
+                 "' — float reduction is order-sensitive; use integral "
+                 "units, or waive with a fixed-merge-order justification"});
+      }
+    }
+  }
+}
+
+// --- rule: rng-seed-from-draw ----------------------------------------------
+
+inline void RuleRngSeedFromDraw(const SourceFile& f, std::vector<RawFinding>* out) {
+  static const std::set<std::string, std::less<>> kDraws = {
+      "NextU64", "UniformBelow", "UniformInRange", "UniformUnit", "Bernoulli",
+      "Bit", "GeometricHalf", "GeometricSkip", "Geometric", "RandomBits"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i], "Rng")) continue;
+    // `class Rng {` / `struct Rng {` is the type's own definition, not a
+    // construction — scanning its body would flag the draw methods themselves.
+    if (i > 0 && (IsIdentTok(toks[i - 1], "class") || IsIdentTok(toks[i - 1], "struct") ||
+                  IsIdentTok(toks[i - 1], "enum"))) {
+      continue;
+    }
+    std::size_t open = i + 1;
+    if (open < toks.size() && toks[open].kind == Token::Kind::kIdent) ++open;
+    if (open >= toks.size()) continue;
+    const bool paren = IsPunct(toks[open], "(");
+    const bool brace = IsPunct(toks[open], "{");
+    if (!paren && !brace) continue;
+    const std::size_t close = paren ? MatchForward(toks, open, "(", ")")
+                                    : MatchForward(toks, open, "{", "}");
+    for (std::size_t j = open + 1; j < close && j < toks.size(); ++j) {
+      if (toks[j].kind == Token::Kind::kIdent && kDraws.count(toks[j].text) > 0) {
+        out->push_back(
+            {"rng-seed-from-draw", toks[i].line,
+             "Rng stream seeded from another stream's draw ('" + toks[j].text +
+                 "') — seeds become draw-order-dependent; derive children "
+                 "with Rng::Split(stream_id) or CounterHash named streams"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Corpus + engine
+
+struct Corpus {
+  std::vector<SourceFile> files;
+};
+
+/// Path stem for sibling pairing: "src/obs/metrics.cpp" → "src/obs/metrics".
+/// Declarations in metrics.hpp inform rules run over metrics.cpp and back.
+inline std::string Stem(std::string_view path) {
+  const std::size_t dot = path.rfind('.');
+  return std::string(dot == std::string_view::npos ? path : path.substr(0, dot));
+}
+
+/// Runs every rule over the corpus, applies suppressions, sorts findings.
+inline Report Lint(const Corpus& corpus) {
+  // Floating-point declarations are pooled per stem so a .cpp sees the
+  // members its header declares (the two-file symbol table).
+  std::map<std::string, std::set<std::string, std::less<>>> floats_by_stem;
+  for (const SourceFile& f : corpus.files) {
+    detail::CollectFloatIdents(f, &floats_by_stem[Stem(f.path)]);
+  }
+
+  Report report;
+  report.files_scanned = corpus.files.size();
+  for (const SourceFile& f : corpus.files) {
+    std::vector<detail::RawFinding> raw;
+    detail::RuleBannedRandom(f, &raw);
+    detail::RuleBannedClock(f, &raw);
+    detail::RuleUnorderedIteration(f, &raw);
+    detail::RuleRawAssert(f, &raw);
+    detail::RuleIoInLibrary(f, &raw);
+    detail::RuleFloatAccumulateInReduce(f, floats_by_stem[Stem(f.path)], &raw);
+    detail::RuleRngSeedFromDraw(f, &raw);
+
+    for (const detail::RawFinding& r : raw) {
+      const std::string rule(r.rule);
+      const bool waived =
+          f.file_allows.count(rule) > 0 || f.file_allows.count("*") > 0 ||
+          f.allows.count({r.line, rule}) > 0 || f.allows.count({r.line, "*"}) > 0 ||
+          f.allows.count({r.line - 1, rule}) > 0 ||
+          f.allows.count({r.line - 1, "*"}) > 0;
+      if (waived) {
+        ++report.suppressed;
+      } else {
+        report.findings.push_back({rule, f.path, r.line, r.message});
+      }
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end());
+  return report;
+}
+
+/// Lints a single in-memory source (fixture tests); `path` picks the scopes.
+inline Report LintSource(std::string path, std::string_view content) {
+  Corpus corpus;
+  corpus.files.push_back(Lex(std::move(path), content));
+  return Lint(corpus);
+}
+
+/// Loads .cpp/.hpp/.h/.cc files under root/{dirs} into a corpus, sorted by
+/// repo-relative path so runs are reproducible byte-for-byte.
+inline Corpus LoadCorpus(const std::filesystem::path& root,
+                         const std::vector<std::string>& dirs = {"src", "bench",
+                                                                 "tools"}) {
+  Corpus corpus;
+  std::vector<std::filesystem::path> paths;
+  for (const std::string& dir : dirs) {
+    const std::filesystem::path base = root / dir;
+    if (!std::filesystem::exists(base)) continue;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::filesystem::path>> rel;
+  rel.reserve(paths.size());
+  for (const auto& p : paths) {
+    rel.emplace_back(std::filesystem::relative(p, root).generic_string(), p);
+  }
+  std::sort(rel.begin(), rel.end());
+  for (const auto& [relpath, abspath] : rel) {
+    std::ifstream in(abspath, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.files.push_back(Lex(relpath, buf.str()));
+  }
+  return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// emis-lint-report/1 JSON
+
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string ToJson(const Report& report, std::string_view root) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"emis-lint-report/1\",\n";
+  out << "  \"root\": \"" << JsonEscape(root) << "\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"suppressed_count\": " << report.suppressed << ",\n";
+  out << "  \"rules\": [";
+  for (std::size_t i = 0; i < Rules().size(); ++i) {
+    out << (i == 0 ? "" : ", ") << '"' << Rules()[i].id << '"';
+  }
+  out << "],\n  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"rule\": \"" << JsonEscape(f.rule) << "\", \"file\": \""
+        << JsonEscape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << JsonEscape(f.message) << "\"}";
+  }
+  out << (report.findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return out.str();
+}
+
+}  // namespace emis_lint
