@@ -33,6 +33,16 @@ inline std::string g_bench_claim;
 inline obs::JsonValue g_verdicts = obs::JsonValue::MakeArray();
 inline obs::JsonValue g_sweeps = obs::JsonValue::MakeArray();
 
+/// Bench-wide metrics: RunTimedSweep merges every sweep's worker shards into
+/// this registry (unless the config routes them elsewhere), and Footer()
+/// serializes it as the bench report's required "metrics" sub-document —
+/// chan.live_edges / graph.compactions and the rest of the scheduler's
+/// telemetry accumulate across the whole binary.
+inline obs::MetricsRegistry& Metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
 inline void Banner(const std::string& id, const std::string& claim) {
   g_bench_id = id;
   g_bench_claim = claim;
@@ -76,6 +86,18 @@ inline ChannelResolution Resolution(ChannelResolution fallback) {
   return r;
 }
 
+/// Residual-compaction override for the benches' sweeps: the value of
+/// EMIS_BENCH_COMPACTION (on|off) when set, else the config's own. A cost
+/// knob only — sweep points are bit-identical on or off.
+inline bool Compaction(bool fallback) {
+  const char* env = std::getenv("EMIS_BENCH_COMPACTION");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const std::string text(env);
+  EMIS_REQUIRE(text == "on" || text == "off",
+               "EMIS_BENCH_COMPACTION must be on or off (got '" + text + "')");
+  return text == "on";
+}
+
 /// A sweep's points plus how they were computed (jobs, wall-clock).
 struct TimedSweep {
   std::vector<SweepPoint> points;
@@ -89,6 +111,8 @@ inline TimedSweep RunTimedSweep(const SweepConfig& cfg) {
   TimedSweep out;
   SweepConfig directed = cfg;
   directed.resolution = Resolution(cfg.resolution);
+  directed.compaction = Compaction(cfg.compaction);
+  if (directed.metrics == nullptr) directed.metrics = &Metrics();
   out.points = RunSweep(directed, Jobs(), &out.info);
   return out;
 }
@@ -121,6 +145,7 @@ inline void Footer() {
     doc.Set("failures", static_cast<std::int64_t>(g_failures));
     doc.Set("verdicts", std::move(g_verdicts));
     doc.Set("sweeps", std::move(g_sweeps));
+    doc.Set("metrics", obs::BuildMetricsJson(Metrics()));
     obs::JsonValue alloc = obs::JsonValue::MakeObject();
     alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
     doc.Set("alloc", std::move(alloc));

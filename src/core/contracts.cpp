@@ -9,9 +9,6 @@
 namespace emis::contracts {
 namespace {
 
-constexpr std::uint8_t kUninitialized = 0xff;
-
-std::atomic<std::uint8_t> g_mode{kUninitialized};
 std::atomic<std::uint64_t> g_audit_firings{0};
 
 // Audit logging is capped so a contract violated on a per-round hot path
@@ -64,19 +61,18 @@ ContractMode ParseMode(const char* text) noexcept {
   return ContractMode::kAbort;
 }
 
-ContractMode CurrentMode() noexcept {
-  std::uint8_t mode = g_mode.load(std::memory_order_relaxed);
-  if (mode == kUninitialized) {
-    // Racy first read is fine: ParseMode is pure, every thread computes the
-    // same value from the same environment.
-    mode = static_cast<std::uint8_t>(ParseMode(std::getenv("EMIS_CONTRACTS")));
-    g_mode.store(mode, std::memory_order_relaxed);
-  }
+ContractMode detail::InitMode() noexcept {
+  // Racy first read is fine: ParseMode is pure, every thread computes the
+  // same value from the same environment.
+  const auto mode =
+      static_cast<std::uint8_t>(ParseMode(std::getenv("EMIS_CONTRACTS")));
+  detail::g_mode.store(mode, std::memory_order_relaxed);
   return static_cast<ContractMode>(mode);
 }
 
 void SetMode(ContractMode mode) noexcept {
-  g_mode.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+  detail::g_mode.store(static_cast<std::uint8_t>(mode),
+                       std::memory_order_relaxed);
 }
 
 std::uint64_t AuditFiringCount() noexcept {

@@ -37,6 +37,7 @@
 // correct library code, which is why they may be compiled down or audited.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "radio/types.hpp"
@@ -51,10 +52,28 @@ namespace contracts {
 /// (including empty) maps to kAbort — the fail-safe default.
 ContractMode ParseMode(const char* text) noexcept;
 
+namespace detail {
+inline constexpr std::uint8_t kModeUninitialized = 0xff;
+/// Process-wide enforcement level; 0xff until the first CurrentMode() call
+/// resolves EMIS_CONTRACTS. Lives in the header so the fast path below
+/// inlines into every check site — contracts sit on per-resume scheduler
+/// paths, where an out-of-line call per check is measurable.
+inline std::atomic<std::uint8_t> g_mode{kModeUninitialized};
+/// Slow path: reads EMIS_CONTRACTS, caches and returns the result.
+ContractMode InitMode() noexcept;
+}  // namespace detail
+
 /// The process-wide enforcement level. First use reads EMIS_CONTRACTS from
 /// the environment; SetMode overrides it afterwards (used by tests and by
-/// embedders that configure levels programmatically).
-ContractMode CurrentMode() noexcept;
+/// embedders that configure levels programmatically). Hot-path friendly:
+/// one relaxed byte load once initialised.
+inline ContractMode CurrentMode() noexcept {
+  const std::uint8_t mode = detail::g_mode.load(std::memory_order_relaxed);
+  if (mode != detail::kModeUninitialized) [[likely]] {
+    return static_cast<ContractMode>(mode);
+  }
+  return detail::InitMode();
+}
 void SetMode(ContractMode mode) noexcept;
 
 /// Number of contract checks that fired in audit mode since process start or

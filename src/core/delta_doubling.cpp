@@ -86,6 +86,10 @@ proc::Task<void> DeltaDoublingMisNode(NodeApi api, DeltaDoublingParams params,
     epoch_start = verify_end + epoch_rounds;
     co_await api.SleepUntil(epoch_start);
   }
+  // Only now is the decision terminal: earlier epochs may demote an MIS node
+  // during verification and send everyone back to undecided, so no node may
+  // leave the residual graph before the last guess completes.
+  api.Retire();
 }
 
 ProtocolFactory DeltaDoublingMisProtocol(DeltaDoublingParams params,

@@ -112,6 +112,9 @@ proc::Task<void> Standalone(NodeApi api, GhaffariParams params,
   params.annotate_phases = true;
   (*out)[api.Id()] = MisStatus::kUndecided;
   (*out)[api.Id()] = co_await GhaffariMisRun(api, params);
+  // Standalone terminal decision; the composable run above is also used as
+  // the LowDegreeMIS subroutine, where the caller keeps acting afterwards.
+  api.Retire();
 }
 
 }  // namespace

@@ -45,6 +45,10 @@ proc::Task<bool> ListenLogical(NodeApi api, std::uint32_t reps, Budget* budget,
 proc::Task<void> MisCdNode(NodeApi api, CdParams params, std::vector<MisStatus>* out) {
   (*out)[api.Id()] = MisStatus::kUndecided;
   co_await MisCdEpoch(api, params, &(*out)[api.Id()]);
+  // Terminal decision (or phases exhausted): report it so the scheduler
+  // drops this node from the residual graph. The composable epoch above must
+  // NOT retire — callers like the coloring/backbone apps keep acting after.
+  api.Retire();
 }
 
 proc::Task<void> MisCdEpoch(NodeApi api, CdParams params, MisStatus* out_status) {

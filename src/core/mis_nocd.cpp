@@ -125,6 +125,10 @@ proc::Task<void> MisNoCdNode(NodeApi api, NoCdParams params, std::vector<MisStat
   status = MisStatus::kUndecided;
   bool in_mis = false;
   co_await MisNoCdEpoch(api, params, 0, &in_mis, &status);
+  // Terminal: in-MIS nodes have announced through their last phase, killed
+  // nodes returned early — either way this node never acts again. The epoch
+  // itself must not retire (Δ-doubling re-enters it every guess).
+  api.Retire();
 }
 
 ProtocolFactory MisNoCdProtocol(NoCdParams params, std::vector<MisStatus>* out) {

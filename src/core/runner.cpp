@@ -88,8 +88,8 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
       graph,
       {.model = ModelFor(config.algorithm), .max_rounds = config.max_rounds,
        .trace = config.trace, .link_loss = config.link_loss,
-       .resolution = config.resolution, .metrics = config.metrics,
-       .timeline = config.timeline},
+       .resolution = config.resolution, .compaction = config.compaction,
+       .metrics = config.metrics, .timeline = config.timeline},
       config.seed);
 
   if (config.timeline != nullptr) {

@@ -93,6 +93,9 @@ struct MisRunConfig {
   /// Channel resolution direction (cost knob only — receptions and the MIS
   /// are identical in every mode). See SchedulerConfig::resolution.
   ChannelResolution resolution = ChannelResolution::kAuto;
+  /// Residual-graph compaction (cost/memory knob only — receptions and the
+  /// MIS are identical either way). See SchedulerConfig::compaction.
+  bool compaction = true;
 
   /// Optional observability (src/obs/): a metrics registry fed by the
   /// scheduler's hot-path timers/counters, and a phase timeline fed by the

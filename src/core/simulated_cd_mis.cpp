@@ -48,6 +48,9 @@ proc::Task<void> Standalone(NodeApi api, SimCdParams params,
   params.annotate_phases = true;
   (*out)[api.Id()] = MisStatus::kUndecided;
   (*out)[api.Id()] = co_await SimulatedCdMisRun(api, params);
+  // Standalone terminal decision; the composable run above is also used as
+  // the LowDegreeMIS subroutine, where the caller keeps acting afterwards.
+  api.Retire();
 }
 
 }  // namespace

@@ -326,6 +326,17 @@ std::string ValidateBenchReport(const JsonValue& doc) {
             {"sweeps", JsonValue::Kind::kArray}},
            &err);
   if (!err.empty()) return err;
+  const JsonValue* metrics =
+      Need(doc, "metrics", JsonValue::Kind::kObject, "report", &err);
+  if (metrics != nullptr) {
+    NeedKeys(*metrics, "metrics",
+             {{"counters", JsonValue::Kind::kObject},
+              {"gauges", JsonValue::Kind::kObject},
+              {"timers", JsonValue::Kind::kObject},
+              {"histograms", JsonValue::Kind::kObject}},
+             &err);
+  }
+  if (!err.empty()) return err;
   std::size_t i = 0;
   for (const JsonValue& v : doc.Find("verdicts")->Items()) {
     const std::string path = "verdicts[" + std::to_string(i) + "]";

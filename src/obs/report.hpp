@@ -21,6 +21,9 @@
 //   alloc    {arena_reserved_bytes, arena_used_bytes, peak_rss_bytes}
 //   metrics  {counters{}, gauges{}, timers{name:{count,total_ns,mean_ns,
 //             max_ns}}, histograms{name:{bounds[], counts[], sum}}}
+//            Scheduler-fed names include the residual-compaction telemetry:
+//            counters graph.compactions / graph.edges_reclaimed and the
+//            gauge chan.live_edges (see SchedulerConfig::metrics).
 //
 // Schema emis-bench-report/1:
 //   schema   "emis-bench-report/1"
@@ -30,6 +33,9 @@
 //   verdicts [{what, ok}]
 //   sweeps   [{title, points[{n, runs, failures, max_energy_mean,
 //              avg_energy_mean, rounds_mean, mis_size_mean}]}]
+//   metrics  same shape as the run report's metrics sub-document; sweeps
+//            merge their per-worker shards into it, so scheduler counters
+//            (chan.*, graph.*, sched.*) accumulate across the whole bench
 //   alloc    {peak_rss_bytes}   (process-wide; arenas are per-run)
 #pragma once
 

@@ -19,9 +19,29 @@
 // CounterHashUnit(seed, r, tx, rx) < loss — a pure function of the tuple, no
 // stream state. Both directions therefore see byte-identical erasures, and
 // lossy sweeps stay bit-identical across job counts and resolution modes.
+//
+// Residual compaction (AttachResidual): when a ResidualGraph overlay is
+// attached, both directions scan its live row prefixes instead of full CSR
+// rows, so per-round cost tracks live edges. Correctness relies on the
+// retirement contract (a retired node never transmits or listens again):
+//   * push — a live listener adjacent to transmitter u has a live edge to u,
+//     so it appears in u's prefix; deliveries to dead prefix entries write
+//     buffers nobody will read.
+//   * pull — a retired prefix entry can never satisfy tx_mark_[u] == epoch_,
+//     because it never transmits again.
+//
+// Payload tie-break (pinned contract, see test_residual_compaction.cpp):
+// when a listener hears ≥ 2 surviving transmitters, the pull scan keeps the
+// LAST transmitting neighbor in row order while the push path keeps the
+// FIRST delivered. The divergence is unobservable: Perceive() only surfaces
+// a payload when the surviving count is exactly 1 (CD/no-CD collisions
+// report payload 0 or silence; beeps are contentless). Residual compaction
+// preserves even the internal order — it is a stable partition, so
+// surviving entries keep their relative CSR position.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/contracts.hpp"
@@ -41,9 +61,18 @@ class Channel {
         hear_count_(graph.NumNodes(), 0),
         hear_payload_(graph.NumNodes(), 0),
         tx_mark_(graph.NumNodes(), 0),
-        tx_payload_(graph.NumNodes(), 0) {}
+        tx_payload_(graph.NumNodes(), 0),
+        tx_words_((static_cast<std::size_t>(graph.NumNodes()) + 63) / 64) {}
 
   ChannelModel Model() const noexcept { return model_; }
+
+  /// Attaches a residual overlay (owned by the scheduler, must outlive the
+  /// channel or be detached with nullptr): scans iterate its live row
+  /// prefixes instead of full CSR rows. Receptions are identical with or
+  /// without an overlay — this is purely a cost knob.
+  void AttachResidual(const ResidualGraph* residual) noexcept {
+    residual_ = residual;
+  }
 
   /// Enables per-link fading: every (transmitter, listener) signal is
   /// independently erased with probability `loss` each round. An erased
@@ -84,8 +113,16 @@ class Channel {
                    "node registered as transmitter twice in one round");
     tx_mark_[u] = epoch_;
     tx_payload_[u] = payload;
+    // Mirror into the packed per-word bitset (lazily cleared by epoch stamp)
+    // that the word-parallel pull scan probes.
+    TxWord& word = tx_words_[u >> 6];
+    if (word.epoch != epoch_) {
+      word.epoch = epoch_;
+      word.bits = 0;
+    }
+    word.bits |= 1ULL << (u & 63);
     if (direction_ == ChannelDirection::kPull) return;  // resolved lazily
-    const auto nbrs = graph_->Neighbors(u);
+    const auto nbrs = ScanRow(u);
     if (loss_ > 0.0) {
       for (NodeId w : nbrs) {
         if (!LinkErased(epoch_, u, w, loss_seed_, loss_)) Deliver(w, payload);
@@ -133,11 +170,28 @@ class Channel {
     std::uint64_t payload = 0;
   };
 
-  /// Pull-side resolution: scan v's CSR row against the transmitter bitset.
+  /// The entries a scan must visit for v: the residual live prefix when an
+  /// overlay is attached, else the full CSR row. Sorted ascending either way.
+  std::span<const NodeId> ScanRow(NodeId v) const {
+    return residual_ != nullptr ? residual_->ScanRow(v) : graph_->Neighbors(v);
+  }
+
+  /// Rows at least this long resolve pull-side via the packed word bitset:
+  /// 64 candidate ids per 16-byte probe instead of one 8-byte tx_mark_ load
+  /// per neighbor. Below it the plain scan's simpler loop wins. Receptions
+  /// are identical on both paths (same neighbors, same visit order), so the
+  /// threshold is purely a cost knob.
+  static constexpr std::size_t kWordScanMinRow = 32;
+
+  /// Pull-side resolution: scan v's row against the transmitter set. Keeps
+  /// the LAST transmitting row entry's payload — unobservable unless the
+  /// surviving count is exactly 1 (see the tie-break note atop this file).
   Heard ScanTransmittingNeighbors(NodeId v) const {
+    const std::span<const NodeId> row = ScanRow(v);
+    if (row.size() >= kWordScanMinRow) return ScanRowByWords(v, row);
     Heard h;
     if (loss_ > 0.0) {
-      for (NodeId u : graph_->Neighbors(v)) {
+      for (NodeId u : row) {
         if (tx_mark_[u] == epoch_ && !LinkErased(epoch_, u, v, loss_seed_, loss_)) {
           ++h.count;
           h.payload = tx_payload_[u];
@@ -145,11 +199,35 @@ class Channel {
       }
       return h;
     }
-    for (NodeId u : graph_->Neighbors(v)) {
+    for (NodeId u : row) {
       if (tx_mark_[u] == epoch_) {
         ++h.count;
         h.payload = tx_payload_[u];
       }
+    }
+    return h;
+  }
+
+  /// Word-parallel pull scan for high-degree rows. Rows are sorted, so runs
+  /// of neighbors sharing a 64-id block reuse one cached bitset word, and a
+  /// block with no transmitters is dismissed with a single test. Same visit
+  /// order and per-link loss draws as the plain scan — results are
+  /// byte-identical.
+  Heard ScanRowByWords(NodeId v, std::span<const NodeId> row) const {
+    Heard h;
+    std::size_t cached_index = ~std::size_t{0};
+    std::uint64_t cached_bits = 0;
+    for (NodeId u : row) {
+      const std::size_t index = u >> 6;
+      if (index != cached_index) {
+        cached_index = index;
+        const TxWord& word = tx_words_[index];
+        cached_bits = word.epoch == epoch_ ? word.bits : 0;
+      }
+      if (((cached_bits >> (u & 63)) & 1u) == 0) continue;
+      if (loss_ > 0.0 && LinkErased(epoch_, u, v, loss_seed_, loss_)) continue;
+      ++h.count;
+      h.payload = tx_payload_[u];
     }
     return h;
   }
@@ -174,6 +252,9 @@ class Channel {
     EMIS_UNREACHABLE("unhandled channel model");
   }
 
+  /// Push-side delivery; the FIRST delivered payload sticks (see the
+  /// tie-break note atop this file — only count == 1 payloads are ever
+  /// observable, so push/pull cannot drift apart).
   void Deliver(NodeId w, std::uint64_t payload) noexcept {
     if (epoch_mark_[w] != epoch_) {
       epoch_mark_[w] = epoch_;
@@ -185,6 +266,7 @@ class Channel {
   }
 
   const Graph* graph_;
+  const ResidualGraph* residual_ = nullptr;
   ChannelModel model_;
   ChannelDirection direction_ = ChannelDirection::kPush;
   double loss_ = 0.0;
@@ -200,6 +282,14 @@ class Channel {
   // double-registration check and direction changes are always valid.
   std::vector<std::uint64_t> tx_mark_;
   std::vector<std::uint64_t> tx_payload_;
+  // Packed transmitter bitset for the word-parallel pull scan: one 16-byte
+  // (epoch, bits) pair per 64 nodes, lazily invalidated by epoch stamp so
+  // BeginRound stays O(1).
+  struct TxWord {
+    std::uint64_t epoch = 0;
+    std::uint64_t bits = 0;
+  };
+  std::vector<TxWord> tx_words_;
 };
 
 }  // namespace emis

@@ -10,6 +10,60 @@ Graph Graph::FromEdges(NodeId num_nodes, std::span<const Edge> edges) {
   return std::move(builder).Build();
 }
 
+ResidualGraph::ResidualGraph(const Graph& graph)
+    : row_begin_(graph.NumNodes()),
+      scan_len_(graph.NumNodes()),
+      live_degree_(graph.NumNodes()),
+      active_((static_cast<std::size_t>(graph.NumNodes()) + 63) / 64, 0),
+      live_edges_(graph.NumEdges()),
+      active_count_(graph.NumNodes()) {
+  adjacency_.reserve(2 * graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    row_begin_[v] = adjacency_.size();
+    scan_len_[v] = static_cast<std::uint32_t>(nbrs.size());
+    live_degree_[v] = scan_len_[v];
+    adjacency_.insert(adjacency_.end(), nbrs.begin(), nbrs.end());
+    active_[v >> 6] |= 1ULL << (v & 63);
+  }
+}
+
+void ResidualGraph::Retire(NodeId v) {
+  EMIS_REQUIRE(v < NumNodes(), "node out of range");
+  EMIS_REQUIRE(Active(v), "node retired twice");
+  active_[v >> 6] &= ~(1ULL << (v & 63));
+  --active_count_;
+  live_edges_ -= live_degree_[v];
+  const std::uint64_t begin = row_begin_[v];
+  const std::uint32_t len = scan_len_[v];
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const NodeId w = adjacency_[begin + i];
+    if (!Active(w)) continue;  // dead prefix entry, already accounted
+    --live_degree_[w];
+    // Dead fraction crossed ½ (v is in w's prefix and just died, so the row
+    // strictly shrinks): stable-compact survivors to the prefix.
+    if (live_degree_[w] * 2ULL <= scan_len_[w]) CompactRow(w);
+  }
+  // v's own row leaves the scan set entirely.
+  edges_reclaimed_ += len;
+  scan_len_[v] = 0;
+  live_degree_[v] = 0;
+}
+
+void ResidualGraph::CompactRow(NodeId w) {
+  const std::uint64_t begin = row_begin_[w];
+  const std::uint32_t len = scan_len_[w];
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const NodeId u = adjacency_[begin + i];
+    if (Active(u)) adjacency_[begin + out++] = u;
+  }
+  EMIS_ASSERT(out == live_degree_[w], "live-degree counter out of sync with row");
+  edges_reclaimed_ += len - out;
+  scan_len_[w] = out;
+  ++compactions_;
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   EMIS_REQUIRE(u < NumNodes() && v < NumNodes(), "node out of range");
   if (u == v) return false;

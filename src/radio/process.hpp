@@ -60,6 +60,15 @@ struct NodeContext {
   /// Set when the node's root coroutine finishes.
   bool done = false;
 
+  /// One-shot request raised by NodeApi::Retire(); the scheduler consumes it
+  /// after the current resume slice and retires the node from its residual
+  /// graph.
+  bool retire_requested = false;
+
+  /// Set once the scheduler has retired the node: it must never transmit or
+  /// listen again (sleeping until a sync round and finishing are fine).
+  bool retired = false;
+
   /// This node's energy counters (owned by the scheduler's meter). Protocols
   /// read them to implement the paper's deterministic energy thresholds.
   const NodeEnergy* energy = nullptr;
@@ -299,6 +308,15 @@ class NodeApi {
   detail_await::SleepAwait SleepUntil(Round round) const noexcept {
     return {{ctx_}, round};
   }
+
+  /// Reports a terminal decision (joined the MIS, killed by a neighbor, or
+  /// otherwise terminated): this node will never transmit or listen again —
+  /// it may still sleep and then finish. After the current resume slice the
+  /// scheduler drops the node from its residual graph, shrinking every
+  /// neighbor's live scan row (see Scheduler::Retire). Idempotent, and
+  /// implied anyway by the protocol coroutine finishing; root MIS protocols
+  /// call it explicitly so retirement does not depend on wrapper structure.
+  void Retire() const noexcept { ctx_->retire_requested = true; }
 
  private:
   NodeContext* ctx_ = nullptr;

@@ -1,5 +1,7 @@
 #include "radio/scheduler.hpp"
 
+#include <algorithm>
+
 #include "core/contracts.hpp"
 #include "obs/scoped_timer.hpp"
 
@@ -12,6 +14,10 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
       energy_(graph.NumNodes()) {
   if (config.link_loss > 0.0) {
     channel_.SetLoss(config.link_loss, seed ^ 0x10ad10ad10ad10adULL);
+  }
+  if (config_.compaction) {
+    residual_.emplace(graph);
+    channel_.AttachResidual(&*residual_);
   }
   if (config_.timeline != nullptr) {
     config_.timeline->BindEnergy(&energy_);
@@ -26,6 +32,9 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
     push_rounds_ = &config_.metrics->GetCounter("chan.push_rounds");
     pull_rounds_ = &config_.metrics->GetCounter("chan.pull_rounds");
     edges_scanned_ = &config_.metrics->GetCounter("chan.edges_scanned");
+    compactions_metric_ = &config_.metrics->GetCounter("graph.compactions");
+    edges_reclaimed_metric_ = &config_.metrics->GetCounter("graph.edges_reclaimed");
+    live_edges_metric_ = &config_.metrics->GetGauge("chan.live_edges");
     arena_reserved_ = &config_.metrics->GetGauge("arena.bytes_reserved");
     arena_used_ = &config_.metrics->GetGauge("arena.bytes_used");
   }
@@ -59,6 +68,15 @@ void Scheduler::Spawn(const ProtocolFactory& factory) {
   }
 }
 
+void Scheduler::Retire(NodeId v) {
+  EMIS_EXPECTS(v < graph_->NumNodes(), "node out of range");
+  NodeContext& ctx = contexts_[v];
+  if (ctx.retired) return;  // idempotent: finishing also implies retirement
+  ctx.retired = true;
+  ctx.retire_requested = false;
+  if (residual_.has_value()) residual_->Retire(v);
+}
+
 void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
   NodeContext& ctx = contexts_[v];
   // Sub-protocol frames spawned while the coroutine runs allocate from (and
@@ -69,47 +87,104 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
     tasks_[v].RethrowIfFailed();
     ctx.done = true;
     ++finished_;
+    // A finished protocol never acts again: drop the node from every
+    // neighbor's live scan row.
+    Retire(v);
     return;
   }
+  if (ctx.retire_requested) Retire(v);
   switch (ctx.pending) {
     case ActionKind::kTransmit:
     case ActionKind::kListen:
+      EMIS_INVARIANT(!ctx.retired, "retired node submitted a radio action");
       actors.push_back(v);
       break;
     case ActionKind::kSleep:
       EMIS_INVARIANT(ctx.wake_round > ctx.now, "sleep must advance time");
-      wake_heap_.push({ctx.wake_round, v});
+      PushWake(ctx.wake_round, v);
       break;
     default:
       EMIS_UNREACHABLE("unhandled pending action kind");
   }
 }
 
+void Scheduler::PrefetchResume(const std::vector<NodeId>& nodes,
+                               std::size_t i) noexcept {
+  if (i + 8 < nodes.size()) {
+    __builtin_prefetch(&contexts_[nodes[i + 8]], /*rw=*/1, /*locality=*/1);
+  }
+  if (i + 4 < nodes.size()) {
+    // The context line was prefetched four resumes ago, so this dereference
+    // is cheap by now; the frame header is what resume() loads first.
+    __builtin_prefetch(contexts_[nodes[i + 4]].resume_point.address(), 1, 1);
+  }
+}
+
+void Scheduler::PushWake(Round round, NodeId node) {
+  // Wheel entries satisfy now < round <= now + W: the bucket for `round` was
+  // last drained at or before the current round, so it next drains exactly
+  // at `round` (the clock visits every pending wake round).
+  if (round - now_ <= kWheelSize) {
+    wake_wheel_[round & (kWheelSize - 1)].push_back(node);
+    ++wheel_count_;
+  } else {
+    wake_overflow_.push_back({round, node});
+    overflow_min_ = std::min(overflow_min_, round);
+  }
+}
+
+Round Scheduler::NextWakeRound() const noexcept {
+  if (wheel_count_ > 0) {
+    // Walk forward from `now`; total walk length across a run is bounded by
+    // the rounds the clock advances, so this is O(1) amortized per jump.
+    // Slot aliasing is benign: at distance d the slot can only hold round
+    // now + d (a round now + d + W entry would have been pushed after round
+    // now + d, which has not happened yet).
+    for (Round d = 0; d < kWheelSize; ++d) {
+      const Round round = now_ + d;
+      if (!wake_wheel_[round & (kWheelSize - 1)].empty()) {
+        return std::min(round, overflow_min_);
+      }
+    }
+  }
+  return overflow_min_;
+}
+
+void Scheduler::MigrateOverflow() {
+  std::size_t kept = 0;
+  Round kept_min = kNoWake;
+  for (const WakeEntry& entry : wake_overflow_) {
+    if (entry.round - now_ <= kWheelSize) {
+      wake_wheel_[entry.round & (kWheelSize - 1)].push_back(entry.node);
+      ++wheel_count_;
+    } else {
+      kept_min = std::min(kept_min, entry.round);
+      wake_overflow_[kept++] = entry;
+    }
+  }
+  wake_overflow_.resize(kept);
+  overflow_min_ = kept_min;
+}
+
 ChannelDirection Scheduler::ChooseDirection() {
+  // Live degrees when the residual overlay is on: as the residual shrinks,
+  // the cost model keeps tracking the work a direction will actually do,
+  // so auto direction choices improve over the run.
   std::uint64_t tx_edges = 0;
   std::uint64_t listen_edges = 0;
   for (NodeId v : actors_) {
     const NodeContext& ctx = contexts_[v];
     EMIS_INVARIANT(ctx.now == now_, "actor scheduled for wrong round");
+    const std::uint64_t cost =
+        residual_.has_value() ? residual_->LiveDegree(v) : graph_->Degree(v);
     if (ctx.pending == ActionKind::kTransmit) {
-      tx_edges += graph_->Degree(v);
+      tx_edges += cost;
     } else {
-      listen_edges += graph_->Degree(v);
+      listen_edges += cost;
     }
   }
-  ChannelDirection dir = ChannelDirection::kPush;
-  switch (config_.resolution) {
-    case ChannelResolution::kPush:
-      break;
-    case ChannelResolution::kPull:
-      dir = ChannelDirection::kPull;
-      break;
-    case ChannelResolution::kAuto:
-      // Resolve on the cheaper side; ties go to push, whose per-edge work
-      // (stamped delivery) is slightly lighter than the pull-side scan.
-      if (listen_edges < tx_edges) dir = ChannelDirection::kPull;
-      break;
-  }
+  const ChannelDirection dir =
+      ResolveDirection(config_.resolution, tx_edges, listen_edges);
   if (edges_scanned_ != nullptr) {
     (dir == ChannelDirection::kPush ? push_rounds_ : pull_rounds_)->Inc();
     edges_scanned_->Inc(dir == ChannelDirection::kPush ? tx_edges : listen_edges);
@@ -152,7 +227,9 @@ void Scheduler::ExecuteRound() {
   // Phase 3: resume actors so they submit their next action (for now_ + 1).
   const obs::ScopedTimer timing(resume_timer_);
   next_actors_.clear();
-  for (NodeId v : actors_) {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    PrefetchResume(actors_, i);
+    const NodeId v = actors_[i];
     contexts_[v].now = now_ + 1;
     ResumeAndFile(v, next_actors_);
   }
@@ -166,7 +243,8 @@ RunStats Scheduler::RunUntil(Round limit) {
   while (!AllFinished()) {
     // If nobody acts this round, jump to the next wake event.
     if (actors_.empty()) {
-      if (wake_heap_.empty()) {
+      const Round next_wake = NextWakeRound();
+      if (next_wake == kNoWake) {
         // Every remaining protocol sleeps forever; nothing further happens.
         // (Cannot occur with SleepFor/SleepUntil, which are finite, but a
         // protocol that never finishes after its last action lands here.)
@@ -176,25 +254,32 @@ RunStats Scheduler::RunUntil(Round limit) {
       // run bound, and rounds_skipped_ must count only rounds actually
       // skipped within this run (the remainder is counted if a later
       // RunUntil resumes past it).
-      const Round jump_to =
-          std::min(limit, std::max(now_, wake_heap_.top().round));
+      const Round jump_to = std::min(limit, std::max(now_, next_wake));
       if (rounds_skipped_ != nullptr) rounds_skipped_->Inc(jump_to - now_);
       now_ = jump_to;
     }
     if (now_ >= limit) break;
 
-    // Wake sleepers due now; they may join this round's actors.
-    if (!wake_heap_.empty() && wake_heap_.top().round <= now_) {
+    // Wake sleepers due now; they may join this round's actors. Swap the
+    // bucket out first: a woken node may sleep again onto the same slot
+    // (round now + W), and those entries must wait for the next lap.
+    if (overflow_min_ <= now_) MigrateOverflow();
+    std::vector<NodeId>& bucket = wake_wheel_[now_ & (kWheelSize - 1)];
+    if (!bucket.empty()) {
       const obs::ScopedTimer timing(wake_timer_);
-      do {
-        const NodeId v = wake_heap_.top().node;
-        wake_heap_.pop();
-        EMIS_INVARIANT(wake_heap_.empty() || wake_heap_.top().round >= now_,
-                     "missed a wake event");
+      wake_scratch_.clear();
+      wake_scratch_.swap(bucket);
+      // Heap-order compatibility: same-round wakes resume in node order.
+      std::sort(wake_scratch_.begin(), wake_scratch_.end());
+      wheel_count_ -= wake_scratch_.size();
+      if (wake_events_ != nullptr) wake_events_->Inc(wake_scratch_.size());
+      for (std::size_t i = 0; i < wake_scratch_.size(); ++i) {
+        PrefetchResume(wake_scratch_, i);
+        const NodeId v = wake_scratch_[i];
+        EMIS_INVARIANT(contexts_[v].wake_round == now_, "missed a wake event");
         contexts_[v].now = now_;
-        if (wake_events_ != nullptr) wake_events_->Inc();
         ResumeAndFile(v, actors_);
-      } while (!wake_heap_.empty() && wake_heap_.top().round <= now_);
+      }
     }
     if (actors_.empty()) continue;  // woken nodes all went back to sleep
 
@@ -206,6 +291,14 @@ RunStats Scheduler::RunUntil(Round limit) {
     const FrameArena::Stats& arena = arena_.GetStats();
     arena_reserved_->Set(static_cast<double>(arena.reserved_bytes));
     arena_used_->Set(static_cast<double>(arena.used_bytes));
+  }
+  if (live_edges_metric_ != nullptr && residual_.has_value()) {
+    live_edges_metric_->Set(static_cast<double>(residual_->LiveEdges()));
+    compactions_metric_->Inc(residual_->Compactions() - compactions_flushed_);
+    compactions_flushed_ = residual_->Compactions();
+    edges_reclaimed_metric_->Inc(residual_->EdgesReclaimed() -
+                                 edges_reclaimed_flushed_);
+    edges_reclaimed_flushed_ = residual_->EdgesReclaimed();
   }
 
   RunStats stats;

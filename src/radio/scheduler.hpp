@@ -5,11 +5,16 @@
 // resolved, matching the synchronous radio model exactly. The engine is
 // event-driven: rounds in which *every* node sleeps are skipped in O(1), so
 // simulation cost is proportional to the total awake node-rounds — i.e. to
-// the energy the paper studies — plus O(log n) heap work per sleep.
+// the energy the paper studies — plus O(1) amortized calendar-wheel work
+// per sleep (a 4096-slot ring over the near future with a compacting
+// overflow list; drained buckets are sorted so the pop order matches the
+// binary heap it replaced). Channel work per round additionally tracks the
+// *residual* graph, not the seed graph: protocols Retire() when decided,
+// and the ResidualGraph overlay compacts their rows away (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -39,19 +44,52 @@ struct SchedulerConfig {
   /// ties to push); kPush/kPull force one direction. Receptions are
   /// identical in all three modes — this is purely a cost knob.
   ChannelResolution resolution = ChannelResolution::kAuto;
+  /// Residual-graph compaction: nodes that reach a terminal decision (via
+  /// NodeApi::Retire / Scheduler::Retire, or simply by finishing their
+  /// protocol) are dropped from channel scan rows, and a CSR row is
+  /// compacted in place once half its entries are dead — per-round channel
+  /// cost then tracks *live* edges instead of seed edges, and the
+  /// ChooseDirection cost model sums live degrees. Receptions are
+  /// bit-identical with compaction on or off (retired nodes never act
+  /// again), so this is purely a cost/memory knob; off skips the adjacency
+  /// copy.
+  bool compaction = true;
   /// Optional metrics registry (owned by the caller). When set, the
   /// scheduler feeds hot-path timers ("sched.execute_round", "sched.resume",
   /// "sched.wake_heap"), counters ("sched.rounds_executed",
   /// "sched.rounds_skipped", "sched.wake_events", "chan.push_rounds",
-  /// "chan.pull_rounds", "chan.edges_scanned"), and arena gauges
-  /// ("arena.bytes_reserved", "arena.bytes_used") — cheap enough to keep on
-  /// in perf runs (see bench_simulator's *Instrumented variants).
+  /// "chan.pull_rounds", "chan.edges_scanned", "graph.compactions",
+  /// "graph.edges_reclaimed"), the residual gauge ("chan.live_edges"), and
+  /// arena gauges ("arena.bytes_reserved", "arena.bytes_used") — cheap
+  /// enough to keep on in perf runs (see bench_simulator's *Instrumented
+  /// variants).
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional phase timeline (owned by the caller). The scheduler binds it
   /// to its energy meter, protocols annotate via NodeApi::Phase, and the
   /// timeline closes when the run finishes.
   obs::PhaseTimeline* timeline = nullptr;
 };
+
+/// The per-round direction decision, factored out of the scheduler so the
+/// cost model is unit-testable in isolation: forced resolutions win
+/// unconditionally; kAuto resolves on the cheaper side with ties to push,
+/// whose per-edge work (stamped delivery) is slightly lighter than the
+/// pull-side scan. The edge sums are live degrees when compaction is on,
+/// static degrees otherwise.
+constexpr ChannelDirection ResolveDirection(ChannelResolution resolution,
+                                            std::uint64_t tx_edges,
+                                            std::uint64_t listen_edges) noexcept {
+  switch (resolution) {
+    case ChannelResolution::kPush:
+      return ChannelDirection::kPush;
+    case ChannelResolution::kPull:
+      return ChannelDirection::kPull;
+    case ChannelResolution::kAuto:
+      break;
+  }
+  return listen_edges < tx_edges ? ChannelDirection::kPull
+                                 : ChannelDirection::kPush;
+}
 
 struct RunStats {
   /// One past the last round in which any node was awake (== the paper's
@@ -86,10 +124,24 @@ class Scheduler {
   /// that inspect state at phase boundaries.
   RunStats RunUntil(Round limit);
 
+  /// Permanently removes node v from the radio: its residual-graph entry is
+  /// reclaimed (neighbors' live scan rows shrink) and it must never transmit
+  /// or listen again — enforced by an invariant on action filing. Idempotent.
+  /// Called automatically when a protocol coroutine finishes and on
+  /// NodeApi::Retire requests; also callable directly by drivers that know a
+  /// node is done. A no-op cost-wise when compaction is off (the flag is
+  /// still set, keeping the acting-after-retirement invariant armed).
+  void Retire(NodeId v);
+
   bool AllFinished() const noexcept { return finished_ == graph_->NumNodes(); }
   Round Now() const noexcept { return now_; }
   const EnergyMeter& Energy() const noexcept { return energy_; }
   const Graph& Topology() const noexcept { return *graph_; }
+
+  /// The residual overlay; null when compaction is off.
+  const ResidualGraph* Residual() const noexcept {
+    return residual_.has_value() ? &*residual_ : nullptr;
+  }
 
   /// Allocation footprint of this scheduler's coroutine-frame arena.
   const FrameArena::Stats& ArenaStats() const noexcept { return arena_.GetStats(); }
@@ -99,6 +151,13 @@ class Scheduler {
   /// the submitted action: into `actors` if it acts in the round ctx.now,
   /// into the wake heap if it sleeps. Detects completion.
   void ResumeAndFile(NodeId v, std::vector<NodeId>& actors);
+
+  /// Issues prefetches for upcoming resumes in a batch: position i + 8 pulls
+  /// the node's context line (contexts_ is ~100 B/node — far beyond cache at
+  /// bench sizes), position i + 4 chases resume_point to the coroutine-frame
+  /// header the resume call loads first. Hides the two dependent LLC misses
+  /// that otherwise dominate per-wake cost on large graphs.
+  void PrefetchResume(const std::vector<NodeId>& nodes, std::size_t i) noexcept;
 
   /// Executes the current round for `actors_` (channel + energy + trace),
   /// then resumes the actors to collect their next actions.
@@ -111,6 +170,9 @@ class Scheduler {
 
   const Graph* graph_;
   SchedulerConfig config_;
+  // Engaged when config.compaction; declared before channel_ so the
+  // channel's overlay pointer is never dangling during destruction.
+  std::optional<ResidualGraph> residual_;
   Channel channel_;
   EnergyMeter energy_;
 
@@ -126,14 +188,30 @@ class Scheduler {
   std::vector<NodeId> actors_;
   std::vector<NodeId> next_actors_;  // scratch, swapped each round
 
+  // Calendar-wheel wake queue. Sleeping nodes land in the bucket of their
+  // wake round when it is within the wheel horizon (now < round <= now + W),
+  // else in the unsorted overflow (far phase syncs). The virtual clock visits
+  // every wake round (jumps target the minimum pending round), so a bucket is
+  // drained exactly at its round; draining sorts the bucket, reproducing the
+  // (round, node)-ascending pop order of a binary heap — which resume order,
+  // and therefore trace goldens, depend on — at O(1) amortized per event
+  // instead of O(log sleepers).
+  static constexpr std::size_t kWheelSize = 4096;  // power of two
   struct WakeEntry {
     Round round;
     NodeId node;
-    bool operator>(const WakeEntry& other) const noexcept {
-      return round != other.round ? round > other.round : node > other.node;
-    }
   };
-  std::priority_queue<WakeEntry, std::vector<WakeEntry>, std::greater<>> wake_heap_;
+  void PushWake(Round round, NodeId node);
+  /// Smallest pending wake round (wheel and overflow), or kNoWake.
+  Round NextWakeRound() const noexcept;
+  /// Moves overflow entries that entered the horizon into their buckets.
+  void MigrateOverflow();
+  static constexpr Round kNoWake = ~Round{0};
+  std::vector<std::vector<NodeId>> wake_wheel_{kWheelSize};
+  std::vector<NodeId> wake_scratch_;       // drained bucket, sorted
+  std::uint64_t wheel_count_ = 0;
+  std::vector<WakeEntry> wake_overflow_;
+  Round overflow_min_ = kNoWake;
 
   Round now_ = 0;
   Round last_awake_round_ = 0;
@@ -153,8 +231,14 @@ class Scheduler {
   obs::Counter* push_rounds_ = nullptr;
   obs::Counter* pull_rounds_ = nullptr;
   obs::Counter* edges_scanned_ = nullptr;
+  obs::Counter* compactions_metric_ = nullptr;
+  obs::Counter* edges_reclaimed_metric_ = nullptr;
+  obs::Gauge* live_edges_metric_ = nullptr;
   obs::Gauge* arena_reserved_ = nullptr;
   obs::Gauge* arena_used_ = nullptr;
+  // RunUntil may be called repeatedly; counters flush deltas against these.
+  std::uint64_t compactions_flushed_ = 0;
+  std::uint64_t edges_reclaimed_flushed_ = 0;
 };
 
 }  // namespace emis

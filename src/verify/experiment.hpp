@@ -67,6 +67,9 @@ struct SweepConfig {
   /// Channel resolution direction for every trial (cost knob only; points
   /// are bit-identical across modes). `tweak` runs later and may override.
   ChannelResolution resolution = ChannelResolution::kAuto;
+  /// Residual-graph compaction for every trial (cost knob only; points are
+  /// bit-identical on or off). `tweak` runs later and may override.
+  bool compaction = true;
   /// Optional final tweak of the per-run config (ablations); receives the
   /// generated topology so graph-dependent parameters can be derived.
   /// Like `factory`, must be safe to invoke concurrently when jobs > 1

@@ -396,6 +396,12 @@ TEST(BenchReport, SchemaValidates) {
   alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
   doc.Set("alloc", std::move(alloc));
 
+  // A document without the metrics sub-document does not conform: the bench
+  // schema requires it (may be empty — bench binaries merge their sweeps'
+  // scheduler shards into it).
+  EXPECT_NE(obs::ValidateBenchReport(doc), "");
+  doc.Set("metrics", obs::BuildMetricsJson(obs::MetricsRegistry()));
+
   EXPECT_EQ(obs::ValidateBenchReport(doc), "");
   EXPECT_EQ(obs::ValidateReport(doc), "");
 

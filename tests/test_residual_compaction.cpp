@@ -1,0 +1,450 @@
+// Residual-graph compaction: per-round channel cost must track live edges
+// while staying invisible to the radio semantics. Properties checked here:
+//   * ResidualGraph bookkeeping — live degrees/edges, the half-dead row
+//     compaction trigger, stable (sorted) scan-row order, retire-twice
+//     rejection;
+//   * ResolveDirection in isolation — forced overrides win, kAuto takes the
+//     strictly cheaper side and breaks ties toward push;
+//   * the scheduler's cost model sums *live* degrees once nodes retire
+//     (companion to test_channel_direction's static-cost-model test);
+//   * RunMis receptions, decisions and energy are bit-identical across
+//     compaction on/off x push/pull/auto x loss {0, 0.3} (golden trace
+//     hashes);
+//   * the payload tie-break contract: a reception's payload is observable
+//     only when exactly one transmitter survives; >= 2 survivors perceive as
+//     collision/silence/beep with payload 0, on seed and compacted rows
+//     alike, in both directions;
+//   * retirement lifecycle — a retired node that transmits or listens trips
+//     an invariant, finishing implies retirement (ActiveCount reaches 0),
+//     and retiring is still legal (sleep + finish) afterwards;
+//   * parallel sweeps stay bit-identical across job counts with compaction
+//     on, and compaction on/off sweeps produce identical points;
+//   * the graph.compactions / graph.edges_reclaimed / chan.live_edges
+//     telemetry lands in the caller's MetricsRegistry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "radio/channel.hpp"
+#include "radio/graph.hpp"
+#include "radio/graph_generators.hpp"
+#include "radio/scheduler.hpp"
+#include "radio/trace.hpp"
+#include "verify/experiment.hpp"
+
+namespace emis {
+namespace {
+
+// --- ResidualGraph unit tests ---------------------------------------------
+
+TEST(ResidualGraph, TracksLiveDegreesAndEdges) {
+  const Graph g = gen::Star(5);  // hub 0, leaves 1..4
+  ResidualGraph r(g);
+  EXPECT_EQ(r.ActiveCount(), 5u);
+  EXPECT_EQ(r.LiveEdges(), g.NumEdges());  // undirected live-edge count
+  EXPECT_EQ(r.LiveDegree(0), 4u);
+  EXPECT_EQ(r.LiveDegree(1), 1u);
+  EXPECT_TRUE(r.Active(3));
+
+  r.Retire(1);
+  EXPECT_FALSE(r.Active(1));
+  EXPECT_EQ(r.ActiveCount(), 4u);
+  EXPECT_EQ(r.LiveDegree(0), 3u);
+  EXPECT_EQ(r.LiveDegree(1), 0u);
+  // The hub--leaf edge died with its first endpoint.
+  EXPECT_EQ(r.LiveEdges(), 3u);
+  EXPECT_TRUE(r.ScanRow(1).empty());
+}
+
+TEST(ResidualGraph, CompactsRowOnceHalfDead) {
+  const Graph g = gen::Star(5);  // hub row: [1, 2, 3, 4]
+  ResidualGraph r(g);
+
+  // One dead entry out of four: the prefix keeps the dead slot (a scan
+  // skips it), no compaction yet.
+  r.Retire(2);
+  EXPECT_EQ(r.Compactions(), 0u);
+  ASSERT_EQ(r.ScanRow(0).size(), 4u);
+
+  // Second death crosses the half-dead threshold: the hub row compacts in
+  // place to exactly its live neighbors, preserving sorted CSR order.
+  r.Retire(4);
+  EXPECT_EQ(r.Compactions(), 1u);
+  const std::span<const NodeId> row = r.ScanRow(0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 3u);
+  EXPECT_EQ(r.LiveDegree(0), 2u);
+  EXPECT_GE(r.EdgesReclaimed(), 2u);
+}
+
+TEST(ResidualGraph, ScanRowPrefixCoversLiveNeighborsInOrder) {
+  Rng rng(99);
+  const Graph g = gen::ErdosRenyi(48, 0.2, rng);
+  ResidualGraph r(g);
+  // Retire every third node and keep checking the overlay's core invariant:
+  // each scan row is a sorted supersequence of the live neighborhood.
+  for (NodeId v = 0; v < g.NumNodes(); v += 3) r.Retire(v);
+  std::uint64_t live_edges = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (!r.Active(v)) continue;
+    std::vector<NodeId> live;
+    for (NodeId w : g.Neighbors(v)) {
+      if (r.Active(w)) live.push_back(w);
+    }
+    std::vector<NodeId> scanned;
+    for (NodeId w : r.ScanRow(v)) {
+      if (r.Active(w)) scanned.push_back(w);
+    }
+    EXPECT_EQ(scanned, live) << "node " << v;
+    EXPECT_EQ(r.LiveDegree(v), live.size()) << "node " << v;
+    live_edges += live.size();
+  }
+  // Each undirected live edge was counted from both endpoints.
+  EXPECT_EQ(r.LiveEdges(), live_edges / 2);
+}
+
+TEST(ResidualGraph, RetireTwiceThrows) {
+  const Graph g = gen::Path(3);
+  ResidualGraph r(g);
+  r.Retire(1);
+  EXPECT_THROW(r.Retire(1), PreconditionError);
+  EXPECT_THROW(r.Retire(3), PreconditionError);  // out of range
+}
+
+// --- ResolveDirection (the cost model in isolation) -----------------------
+
+TEST(ResolveDirection, ForcedOverridesWinUnconditionally) {
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kPush, 1, 1000),
+            ChannelDirection::kPush);
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kPull, 1000, 1),
+            ChannelDirection::kPull);
+}
+
+TEST(ResolveDirection, AutoTakesCheaperSideTiesToPush) {
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kAuto, 10, 3),
+            ChannelDirection::kPull);
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kAuto, 3, 10),
+            ChannelDirection::kPush);
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kAuto, 7, 7),
+            ChannelDirection::kPush);
+  EXPECT_EQ(ResolveDirection(ChannelResolution::kAuto, 0, 0),
+            ChannelDirection::kPush);
+}
+
+// --- Scheduler cost model on live degrees ---------------------------------
+
+proc::Task<void> TransmitEachRound(NodeApi api, int rounds) {
+  for (int i = 0; i < rounds; ++i) co_await api.Transmit(1);
+}
+
+proc::Task<void> ListenEachRound(NodeApi api, int rounds) {
+  for (int i = 0; i < rounds; ++i) (void)co_await api.Listen();
+}
+
+proc::Task<void> FinishImmediately(NodeApi) { co_return; }
+
+TEST(ResidualCompaction, CostModelSumsLiveDegrees) {
+  // Star(64): the hub transmits, leaf 1 listens, leaves 2..63 finish at
+  // spawn and are auto-retired. With the static cost model pull would win
+  // (1 listener-degree-1 vs hub-degree-63); on live degrees the hub's
+  // degree collapses to 1, the sums tie, and auto resolves push. This is
+  // the intended behavior change pinned the other way (compaction off) in
+  // test_channel_direction.cpp's AutoPullsWhenListenersAreCheap.
+  const Graph g = gen::Star(64);
+  obs::MetricsRegistry metrics;
+  Scheduler sched(g, {.metrics = &metrics}, 1);
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return TransmitEachRound(api, 4);
+    if (api.Id() == 1) return ListenEachRound(api, 4);
+    return FinishImmediately(api);
+  });
+  sched.Run();
+  EXPECT_EQ(metrics.GetCounter("chan.push_rounds").Value(), 4u);
+  EXPECT_EQ(metrics.GetCounter("chan.pull_rounds").Value(), 0u);
+}
+
+// --- Reception equivalence: compaction is invisible to the radio ----------
+
+/// FNV-1a over every traced action and reception — any divergence in who
+/// acted, what was heard, or which payload was decoded changes the hash.
+class HashTrace final : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& e) override {
+    Mix(e.round);
+    Mix(e.node);
+    Mix(static_cast<std::uint64_t>(e.action));
+    Mix(e.payload);
+    Mix(static_cast<std::uint64_t>(e.reception.kind));
+    Mix(e.reception.payload);
+  }
+  std::uint64_t Value() const noexcept { return hash_; }
+
+ private:
+  void Mix(std::uint64_t x) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (x >> (8 * i)) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+struct RunFingerprint {
+  std::vector<MisStatus> status;
+  Round rounds = 0;
+  std::uint64_t total_awake = 0;
+  std::uint64_t max_awake = 0;
+  std::uint64_t trace_hash = 0;
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) = default;
+};
+
+RunFingerprint Fingerprint(const Graph& g, MisAlgorithm algorithm,
+                           bool compaction, ChannelResolution resolution,
+                           double loss) {
+  HashTrace trace;
+  MisRunConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.seed = 7;
+  cfg.trace = &trace;
+  cfg.link_loss = loss;
+  cfg.resolution = resolution;
+  cfg.compaction = compaction;
+  const MisRunResult r = RunMis(g, cfg);
+  EXPECT_TRUE(r.Valid() || loss > 0.0);
+  return {r.status, r.stats.rounds_used, r.energy.TotalAwake(),
+          r.energy.MaxAwake(), trace.Value()};
+}
+
+TEST(ResidualCompaction, ReceptionsBitIdenticalAcrossKnobs) {
+  Rng rng(2026);
+  const Graph g = gen::ErdosRenyi(72, 0.1, rng);
+  for (MisAlgorithm algorithm : {MisAlgorithm::kCd, MisAlgorithm::kNoCd}) {
+    for (double loss : {0.0, 0.3}) {
+      const RunFingerprint base = Fingerprint(
+          g, algorithm, /*compaction=*/true, ChannelResolution::kAuto, loss);
+      for (bool compaction : {true, false}) {
+        for (ChannelResolution resolution :
+             {ChannelResolution::kAuto, ChannelResolution::kPush,
+              ChannelResolution::kPull}) {
+          const RunFingerprint got =
+              Fingerprint(g, algorithm, compaction, resolution, loss);
+          EXPECT_EQ(got, base)
+              << ToString(algorithm) << " loss " << loss << " compaction "
+              << compaction << " resolution " << static_cast<int>(resolution);
+        }
+      }
+    }
+  }
+}
+
+TEST(ResidualCompaction, GoldenTraceHashes) {
+  // Pinned fingerprints: a change to retirement timing, scan order or the
+  // loss stream shows up here as a golden mismatch even if on/off still
+  // agree with each other.
+  Rng rng(424242);
+  const Graph g = gen::RandomGeometric(64, 0.22, rng);
+  const RunFingerprint cd = Fingerprint(g, MisAlgorithm::kCd, true,
+                                        ChannelResolution::kAuto, 0.0);
+  const RunFingerprint cd_lossy = Fingerprint(g, MisAlgorithm::kCd, true,
+                                              ChannelResolution::kAuto, 0.3);
+  const RunFingerprint nocd = Fingerprint(g, MisAlgorithm::kNoCd, true,
+                                          ChannelResolution::kAuto, 0.0);
+  EXPECT_EQ(cd.trace_hash, 0xB54A7384D88D1E30ULL);
+  EXPECT_EQ(cd_lossy.trace_hash, 0x0FA217956D3014ABULL);
+  EXPECT_EQ(nocd.trace_hash, 0xE8D014E39E2297D4ULL);
+}
+
+// --- Payload tie-break contract (channel.hpp "Payload tie-break") ----------
+
+TEST(ResidualCompaction, PayloadObservableOnlyForLoneTransmitter) {
+  const Graph g = gen::Star(5);  // hub 0, leaves 1..4
+  for (ChannelDirection dir : {ChannelDirection::kPush, ChannelDirection::kPull}) {
+    for (ChannelModel model :
+         {ChannelModel::kCd, ChannelModel::kNoCd, ChannelModel::kBeeping}) {
+      Channel ch(g, model);
+      // Two survivors: the perceived payload is 0 regardless of which
+      // transmitter's payload an implementation kept internally (push keeps
+      // the first delivery, pull the last scanned CSR neighbor — both
+      // unobservable by contract).
+      ch.BeginRound(dir);
+      ch.AddTransmitter(1, 0xAAA);
+      ch.AddTransmitter(3, 0xBBB);
+      Reception two = ch.ResolveListener(0);
+      EXPECT_EQ(two.payload, 0u);
+      switch (model) {
+        case ChannelModel::kCd:
+          EXPECT_EQ(two.kind, ReceptionKind::kCollision);
+          break;
+        case ChannelModel::kNoCd:
+          EXPECT_EQ(two.kind, ReceptionKind::kSilence);
+          break;
+        case ChannelModel::kBeeping:
+          EXPECT_EQ(two.kind, ReceptionKind::kBeep);
+          break;
+      }
+      // One survivor: the exact payload comes through (beeping stays unary).
+      ch.BeginRound(dir);
+      ch.AddTransmitter(3, 0xBBB);
+      Reception one = ch.ResolveListener(0);
+      if (model == ChannelModel::kBeeping) {
+        EXPECT_EQ(one.kind, ReceptionKind::kBeep);
+      } else {
+        EXPECT_EQ(one.kind, ReceptionKind::kMessage);
+        EXPECT_EQ(one.payload, 0xBBBu);
+      }
+    }
+  }
+}
+
+TEST(ResidualCompaction, TieBreakContractHoldsOnCompactedRows) {
+  const Graph g = gen::Star(5);
+  ResidualGraph residual(g);
+  residual.Retire(1);
+  residual.Retire(2);  // hub row compacts to [3, 4]
+  ASSERT_EQ(residual.Compactions(), 1u);
+  for (ChannelDirection dir : {ChannelDirection::kPush, ChannelDirection::kPull}) {
+    Channel ch(g, ChannelModel::kCd);
+    ch.AttachResidual(&residual);
+    ch.BeginRound(dir);
+    ch.AddTransmitter(3, 0x333);
+    ch.AddTransmitter(4, 0x444);
+    const Reception two = ch.ResolveListener(0);
+    EXPECT_EQ(two.kind, ReceptionKind::kCollision);
+    EXPECT_EQ(two.payload, 0u);
+    EXPECT_EQ(ch.TransmittingNeighbors(0), 2u);
+
+    ch.BeginRound(dir);
+    ch.AddTransmitter(4, 0x444);
+    const Reception one = ch.ResolveListener(0);
+    EXPECT_EQ(one.kind, ReceptionKind::kMessage);
+    EXPECT_EQ(one.payload, 0x444u);
+  }
+}
+
+// --- Retirement lifecycle --------------------------------------------------
+
+proc::Task<void> RetireThenTransmit(NodeApi api) {
+  api.Retire();
+  co_await api.Transmit(1);
+}
+
+proc::Task<void> RetireThenSleep(NodeApi api) {
+  api.Retire();
+  co_await api.SleepFor(3);
+}
+
+TEST(ResidualCompaction, RetiredNodeActingTripsInvariant) {
+  const Graph g = gen::Path(2);
+  Scheduler sched(g, {}, 1);
+  // The retire request is consumed before the resume slice's action is
+  // filed, so the transmit submitted alongside it is rejected.
+  EXPECT_THROW(
+      sched.Spawn([](NodeApi api) -> proc::Task<void> {
+        return RetireThenTransmit(api);
+      }),
+      InvariantError);
+}
+
+TEST(ResidualCompaction, RetiredNodeMaySleepAndFinish) {
+  const Graph g = gen::Path(2);
+  Scheduler sched(g, {}, 1);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> {
+    return RetireThenSleep(api);
+  });
+  sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  ASSERT_NE(sched.Residual(), nullptr);
+  EXPECT_EQ(sched.Residual()->ActiveCount(), 0u);
+}
+
+TEST(ResidualCompaction, FinishingImpliesRetirement) {
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(40, 0.15, rng);
+  MisRunConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.seed = 3;
+  const MisRunResult r = RunMis(g, cfg);
+  EXPECT_TRUE(r.Valid());
+  // RunMis tears its scheduler down, so observe via a direct run instead.
+  Scheduler sched(g, {}, 3);
+  sched.Spawn([](NodeApi api) -> proc::Task<void> {
+    return TransmitEachRound(api, 2);
+  });
+  sched.Run();
+  ASSERT_NE(sched.Residual(), nullptr);
+  EXPECT_EQ(sched.Residual()->ActiveCount(), 0u);
+  EXPECT_EQ(sched.Residual()->LiveEdges(), 0u);
+}
+
+TEST(ResidualCompaction, CompactionOffDisablesOverlayButKeepsInvariant) {
+  const Graph g = gen::Path(2);
+  Scheduler sched(g, {.compaction = false}, 1);
+  EXPECT_EQ(sched.Residual(), nullptr);
+  EXPECT_THROW(
+      sched.Spawn([](NodeApi api) -> proc::Task<void> {
+        return RetireThenTransmit(api);
+      }),
+      InvariantError);
+}
+
+// --- Parallel sweeps and telemetry -----------------------------------------
+
+void ExpectSamePoints(const std::vector<SweepPoint>& a,
+                      const std::vector<SweepPoint>& b) {
+  const auto same = [](const Summary& x, const Summary& y) {
+    return x.count == y.count && x.mean == y.mean && x.m2 == y.m2 &&
+           x.min == y.min && x.max == y.max;
+  };
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].n, b[i].n);
+    EXPECT_EQ(a[i].failures, b[i].failures);
+    EXPECT_TRUE(same(a[i].max_energy, b[i].max_energy)) << "point " << i;
+    EXPECT_TRUE(same(a[i].avg_energy, b[i].avg_energy)) << "point " << i;
+    EXPECT_TRUE(same(a[i].rounds, b[i].rounds)) << "point " << i;
+    EXPECT_TRUE(same(a[i].mis_size, b[i].mis_size)) << "point " << i;
+  }
+}
+
+TEST(ResidualCompaction, SweepsDeterministicAcrossJobsAndKnob) {
+  SweepConfig cfg;
+  cfg.algorithm = MisAlgorithm::kNoCd;
+  cfg.factory = families::SparseErdosRenyi(6.0);
+  cfg.sizes = {48, 96};
+  cfg.seeds_per_size = 4;
+  cfg.compaction = true;
+  const std::vector<SweepPoint> serial = RunSweep(cfg);
+  const std::vector<SweepPoint> threaded = RunSweep(cfg, 4, nullptr);
+  ExpectSamePoints(serial, threaded);
+  SweepConfig off = cfg;
+  off.compaction = false;
+  ExpectSamePoints(serial, RunSweep(off, 4, nullptr));
+}
+
+TEST(ResidualCompaction, TelemetryReachesRegistry) {
+  Rng rng(11);
+  const Graph g = gen::ErdosRenyi(96, 0.12, rng);
+  obs::MetricsRegistry metrics;
+  MisRunConfig cfg;
+  cfg.algorithm = MisAlgorithm::kCd;
+  cfg.seed = 9;
+  cfg.metrics = &metrics;
+  const MisRunResult r = RunMis(g, cfg);
+  EXPECT_TRUE(r.Valid());
+  // Every node decided, so the residual drained to zero live edges, and the
+  // dense seed rows crossed the half-dead threshold along the way.
+  EXPECT_EQ(metrics.GetGauge("chan.live_edges").Value(), 0.0);
+  EXPECT_GT(metrics.GetCounter("graph.compactions").Value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("graph.edges_reclaimed").Value(),
+            2 * g.NumEdges());
+}
+
+}  // namespace
+}  // namespace emis

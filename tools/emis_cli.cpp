@@ -1,21 +1,22 @@
 // emis_cli — run the library from the command line.
 //
+//   emis_cli help | --help | -h
 //   emis_cli algorithms
 //   emis_cli gen   <graph-spec> [--seed S] [--out FILE]
 //   emis_cli run   --graph <spec | file:PATH> --alg <name>
 //                  [--seed S] [--preset practical|theory] [--delta-unknown]
-//                  [--resolution auto|push|pull]
+//                  [--resolution auto|push|pull] [--compaction on|off]
 //                  [--trace FILE.csv] [--trace-jsonl FILE.jsonl]
 //                  [--report-out FILE.json] [--quiet]
-//   emis_cli sweep --alg <name> --family <spec-with-n-omitted? no: family key>
+//   emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
-//                  [--resolution auto|push|pull]
+//                  [--resolution auto|push|pull] [--compaction on|off]
 //                  [--jobs N] [--report-out FILE.json] [--quiet]
 //   emis_cli validate-report FILE.json
 //
 // Exit status: 0 on success (and valid MIS for `run`, conforming document
-// for `validate-report`), 1 on invalid MIS / non-conforming document,
-// 2 on usage errors.
+// for `validate-report`, requested help), 1 on invalid MIS / non-conforming
+// document, 2 on usage errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -91,6 +92,13 @@ ChannelResolution ResolutionFlag(const Flags& flags) {
   return r;
 }
 
+bool CompactionFlag(const Flags& flags) {
+  const std::string text = flags.Get("compaction", "on");
+  EMIS_REQUIRE(text == "on" || text == "off",
+               "--compaction must be on or off (got '" + text + "')");
+  return text == "on";
+}
+
 Graph LoadGraph(const std::string& source, std::uint64_t seed) {
   if (source.rfind("file:", 0) == 0) {
     const std::string path = source.substr(5);
@@ -150,6 +158,7 @@ int CmdRun(const Flags& flags) {
                "--preset must be practical or theory");
   cfg.preset = preset == "theory" ? ParamPreset::kTheory : ParamPreset::kPractical;
   cfg.resolution = ResolutionFlag(flags);
+  cfg.compaction = CompactionFlag(flags);
   if (flags.Has("delta-unknown")) cfg.delta_estimate = g.NumNodes();
 
   std::ofstream trace_file;
@@ -240,6 +249,12 @@ int CmdSweep(const Flags& flags) {
   cfg.seeds_per_size = static_cast<std::uint32_t>(std::stoul(flags.Get("seeds", "5")));
   cfg.delta_unknown = flags.Has("delta-unknown");
   cfg.resolution = ResolutionFlag(flags);
+  cfg.compaction = CompactionFlag(flags);
+  // Sweep-wide metrics (merged across worker shards) feed the report's
+  // required "metrics" sub-document, so chan.live_edges / graph.compactions
+  // accumulate in the BENCH_*.json trajectory.
+  obs::MetricsRegistry metrics;
+  cfg.metrics = &metrics;
   std::istringstream ss(sizes_csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
@@ -288,6 +303,7 @@ int CmdSweep(const Flags& flags) {
     sweeps.Push(BuildSweepJson("algorithm " + alg_name + ", family " + family,
                                points, &info));
     doc.Set("sweeps", std::move(sweeps));
+    doc.Set("metrics", obs::BuildMetricsJson(metrics));
     obs::JsonValue alloc = obs::JsonValue::MakeObject();
     alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
     doc.Set("alloc", std::move(alloc));
@@ -319,23 +335,37 @@ int CmdValidateReport(const Flags& flags) {
   return 1;
 }
 
-int Usage() {
+/// The usage text, shared by `help` (exit 0) and usage errors (exit 2).
+/// Every run/sweep cost knob (--resolution, --compaction) is listed for both
+/// commands; tests/golden/emis_cli_help.txt snapshots this output.
+void PrintUsage() {
   std::printf(
       "usage:\n"
+      "  emis_cli help | --help | -h\n"
       "  emis_cli algorithms\n"
       "  emis_cli gen <graph-spec> [--seed S] [--out FILE]\n"
       "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
       "               [--preset practical|theory] [--delta-unknown]\n"
-      "               [--resolution auto|push|pull]\n"
+      "               [--resolution auto|push|pull] [--compaction on|off]\n"
       "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
       "               [--report-out FILE.json] [--quiet]\n"
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
       "               [--delta-unknown] [--resolution auto|push|pull]\n"
+      "               [--compaction on|off]\n"
       "               [--jobs N] [--report-out FILE.json] [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
+      "cost knobs (identical results, different cost):\n"
+      "  --resolution  channel direction: auto picks per round by live-degree\n"
+      "                sums; push/pull force one side\n"
+      "  --compaction  residual-graph compaction: on (default) drops retired\n"
+      "                nodes from channel scan rows; off scans seed CSR rows\n"
       "graph specs: %s\n",
       GraphSpecHelp().c_str());
+}
+
+int Usage() {
+  PrintUsage();
   return 2;
 }
 
@@ -343,6 +373,10 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      PrintUsage();
+      return 0;
+    }
     if (cmd == "algorithms") return CmdAlgorithms();
     const Flags flags = Parse(argc, argv, 2);
     if (cmd == "gen") return CmdGen(flags);
