@@ -98,6 +98,22 @@ inline bool Compaction(bool fallback) {
   return text == "on";
 }
 
+/// Registry injected into sweeps that did not bring their own: the
+/// process-global Metrics() (feeding the BENCH_*.json "metrics" block)
+/// unless EMIS_BENCH_METRICS=off, which returns null so perf-sensitive legs
+/// run with scheduler instrumentation fully disabled — the pre-PR-5
+/// measurement condition. Receptions and sweep points are identical either
+/// way; only timer/counter overhead changes (see EXPERIMENTS.md,
+/// "Measurement conditions").
+inline obs::MetricsRegistry* BenchMetrics() {
+  const char* env = std::getenv("EMIS_BENCH_METRICS");
+  if (env == nullptr || env[0] == '\0') return &Metrics();
+  const std::string text(env);
+  EMIS_REQUIRE(text == "on" || text == "off",
+               "EMIS_BENCH_METRICS must be on or off (got '" + text + "')");
+  return text == "on" ? &Metrics() : nullptr;
+}
+
 /// A sweep's points plus how they were computed (jobs, wall-clock).
 struct TimedSweep {
   std::vector<SweepPoint> points;
@@ -112,7 +128,7 @@ inline TimedSweep RunTimedSweep(const SweepConfig& cfg) {
   SweepConfig directed = cfg;
   directed.resolution = Resolution(cfg.resolution);
   directed.compaction = Compaction(cfg.compaction);
-  if (directed.metrics == nullptr) directed.metrics = &Metrics();
+  if (directed.metrics == nullptr) directed.metrics = BenchMetrics();
   out.points = RunSweep(directed, Jobs(), &out.info);
   return out;
 }

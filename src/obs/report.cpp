@@ -326,17 +326,23 @@ std::string ValidateBenchReport(const JsonValue& doc) {
             {"sweeps", JsonValue::Kind::kArray}},
            &err);
   if (!err.empty()) return err;
-  const JsonValue* metrics =
-      Need(doc, "metrics", JsonValue::Kind::kObject, "report", &err);
+  // "metrics" joined the bench report after schema 1 shipped, so it stays
+  // optional under the unchanged schema id: documents from older binaries
+  // (no metrics block) remain valid, and when the block is present its
+  // shape must conform.
+  const JsonValue* metrics = doc.Find("metrics");
   if (metrics != nullptr) {
+    if (!metrics->IsObject()) {
+      return "report.metrics: expected object, got " + KindName(metrics->kind());
+    }
     NeedKeys(*metrics, "metrics",
              {{"counters", JsonValue::Kind::kObject},
               {"gauges", JsonValue::Kind::kObject},
               {"timers", JsonValue::Kind::kObject},
               {"histograms", JsonValue::Kind::kObject}},
              &err);
+    if (!err.empty()) return err;
   }
-  if (!err.empty()) return err;
   std::size_t i = 0;
   for (const JsonValue& v : doc.Find("verdicts")->Items()) {
     const std::string path = "verdicts[" + std::to_string(i) + "]";

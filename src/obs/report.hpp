@@ -33,9 +33,11 @@
 //   verdicts [{what, ok}]
 //   sweeps   [{title, points[{n, runs, failures, max_energy_mean,
 //              avg_energy_mean, rounds_mean, mis_size_mean}]}]
-//   metrics  same shape as the run report's metrics sub-document; sweeps
-//            merge their per-worker shards into it, so scheduler counters
-//            (chan.*, graph.*, sched.*) accumulate across the whole bench
+//   metrics  OPTIONAL (added after schema 1 shipped; older documents omit
+//            it and stay valid). Same shape as the run report's metrics
+//            sub-document; sweeps merge their per-worker shards into it, so
+//            scheduler counters (chan.*, graph.*, sched.*) accumulate
+//            across the whole bench
 //   alloc    {peak_rss_bytes}   (process-wide; arenas are per-run)
 #pragma once
 

@@ -121,10 +121,15 @@ void Scheduler::PrefetchResume(const std::vector<NodeId>& nodes,
 }
 
 void Scheduler::PushWake(Round round, NodeId node) {
-  // Wheel entries satisfy now < round <= now + W: the bucket for `round` was
+  // Wheel entries satisfy now < round < now + W: the bucket for `round` was
   // last drained at or before the current round, so it next drains exactly
-  // at `round` (the clock visits every pending wake round).
-  if (round - now_ <= kWheelSize) {
+  // at `round` (the clock visits every pending wake round). The bound must
+  // be strict — a distance-W entry maps to the *current* round's slot, and
+  // if it lands there while now's bucket drains (all woken nodes back to
+  // sleep), NextWakeRound would re-find the slot at d = 0 and re-drain it
+  // this round, waking the node W rounds early. Distance >= W goes to the
+  // overflow list, whose minimum NextWakeRound also consults.
+  if (round - now_ < kWheelSize) {
     wake_wheel_[round & (kWheelSize - 1)].push_back(node);
     ++wheel_count_;
   } else {
@@ -154,7 +159,9 @@ void Scheduler::MigrateOverflow() {
   std::size_t kept = 0;
   Round kept_min = kNoWake;
   for (const WakeEntry& entry : wake_overflow_) {
-    if (entry.round - now_ <= kWheelSize) {
+    // Same strict horizon as PushWake: a distance-W entry would alias the
+    // current slot, so it stays in overflow until the clock gets closer.
+    if (entry.round - now_ < kWheelSize) {
       wake_wheel_[entry.round & (kWheelSize - 1)].push_back(entry.node);
       ++wheel_count_;
     } else {
@@ -261,8 +268,10 @@ RunStats Scheduler::RunUntil(Round limit) {
     if (now_ >= limit) break;
 
     // Wake sleepers due now; they may join this round's actors. Swap the
-    // bucket out first: a woken node may sleep again onto the same slot
-    // (round now + W), and those entries must wait for the next lap.
+    // bucket out first: woken nodes push fresh wheel entries as they file
+    // sleeps (never into this slot — the strict horizon sends distance-W
+    // wakes to overflow), and sorting in scratch keeps the bucket's
+    // capacity for its next lap.
     if (overflow_min_ <= now_) MigrateOverflow();
     std::vector<NodeId>& bucket = wake_wheel_[now_ & (kWheelSize - 1)];
     if (!bucket.empty()) {

@@ -146,6 +146,11 @@ class Scheduler {
   /// Allocation footprint of this scheduler's coroutine-frame arena.
   const FrameArena::Stats& ArenaStats() const noexcept { return arena_.GetStats(); }
 
+  /// Calendar-wheel slot count (power of two). Public so tests can pin the
+  /// horizon edge: a sleep of exactly kWheelSize rounds must route through
+  /// the overflow list, not alias the current slot.
+  static constexpr std::size_t kWheelSize = 4096;
+
  private:
   /// Resumes node v's coroutine (which runs until its next await) and files
   /// the submitted action: into `actors` if it acts in the round ctx.now,
@@ -189,14 +194,14 @@ class Scheduler {
   std::vector<NodeId> next_actors_;  // scratch, swapped each round
 
   // Calendar-wheel wake queue. Sleeping nodes land in the bucket of their
-  // wake round when it is within the wheel horizon (now < round <= now + W),
-  // else in the unsorted overflow (far phase syncs). The virtual clock visits
+  // wake round when it is within the wheel horizon (now < round < now + W;
+  // strict, since a distance-W round aliases the current slot), else in the
+  // unsorted overflow (far phase syncs). The virtual clock visits
   // every wake round (jumps target the minimum pending round), so a bucket is
   // drained exactly at its round; draining sorts the bucket, reproducing the
   // (round, node)-ascending pop order of a binary heap — which resume order,
   // and therefore trace goldens, depend on — at O(1) amortized per event
   // instead of O(log sleepers).
-  static constexpr std::size_t kWheelSize = 4096;  // power of two
   struct WakeEntry {
     Round round;
     NodeId node;

@@ -396,10 +396,13 @@ TEST(BenchReport, SchemaValidates) {
   alloc.Set("peak_rss_bytes", obs::PeakRssBytes());
   doc.Set("alloc", std::move(alloc));
 
-  // A document without the metrics sub-document does not conform: the bench
-  // schema requires it (may be empty — bench binaries merge their sweeps'
-  // scheduler shards into it).
-  EXPECT_NE(obs::ValidateBenchReport(doc), "");
+  // The metrics sub-document is optional under schema 1: documents from
+  // binaries predating it must keep validating, while a present-but-broken
+  // block is rejected and a well-formed (possibly empty) one conforms.
+  EXPECT_EQ(obs::ValidateBenchReport(doc), "");
+  JsonValue broken_metrics = doc;
+  broken_metrics.Set("metrics", "not an object");
+  EXPECT_NE(obs::ValidateBenchReport(broken_metrics), "");
   doc.Set("metrics", obs::BuildMetricsJson(obs::MetricsRegistry()));
 
   EXPECT_EQ(obs::ValidateBenchReport(doc), "");

@@ -99,6 +99,79 @@ TEST(Scheduler, RoundSkippingJumpsLongSleeps) {
   EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
 }
 
+TEST(Scheduler, SleepOfExactlyWheelSizeDoesNotAliasCurrentSlot) {
+  // Horizon-edge regression: a wake at distance exactly kWheelSize maps to
+  // the same slot as the current round (round & (W-1) == now & (W-1)). It
+  // must go to the overflow list, not the wheel — otherwise the clock
+  // re-drains the current bucket without advancing and the node resumes
+  // kWheelSize rounds early (firing the wake-round invariant).
+  constexpr Round kW = Scheduler::kWheelSize;
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepThenTransmit(api, kW);
+    return ListenAtRound(api, kW, &slots);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, kW + 1);
+  EXPECT_EQ(stats.node_rounds, 2u);
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+  EXPECT_EQ(slots.acted_at[0], kW);
+}
+
+proc::Task<void> SleepWheelSizeTwiceThenTransmit(NodeApi api, Slots* out) {
+  co_await api.SleepFor(Scheduler::kWheelSize);
+  out->acted_at.push_back(api.Now());
+  co_await api.SleepFor(Scheduler::kWheelSize);
+  out->acted_at.push_back(api.Now());
+  co_await api.Transmit(7);
+}
+
+TEST(Scheduler, WheelSizeSleepFromDrainedBucketStaysOnSchedule) {
+  // The nastiest alias case: the node wakes from the just-drained bucket and
+  // immediately sleeps exactly kWheelSize again, so the push targets the very
+  // slot being drained in a round where every woken node goes back to sleep
+  // (actors stay empty and the clock relies on NextWakeRound to advance).
+  constexpr Round kW = Scheduler::kWheelSize;
+  Graph g = gen::Path(2);
+  Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+  Slots wake_log, slots;
+  sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+    if (api.Id() == 0) return SleepWheelSizeTwiceThenTransmit(api, &wake_log);
+    return ListenAtRound(api, 2 * kW, &slots);
+  });
+  const RunStats stats = sched.Run();
+  EXPECT_TRUE(sched.AllFinished());
+  EXPECT_EQ(stats.rounds_used, 2 * kW + 1);
+  ASSERT_EQ(wake_log.acted_at.size(), 2u);
+  EXPECT_EQ(wake_log.acted_at[0], kW);
+  EXPECT_EQ(wake_log.acted_at[1], 2 * kW);
+  ASSERT_EQ(slots.heard.size(), 1u);
+  EXPECT_EQ(slots.heard[0].kind, ReceptionKind::kMessage);
+}
+
+TEST(Scheduler, SleepsAroundTheWheelHorizon) {
+  // Distances W-1 (last wheel slot), W (overflow), and W+1 (overflow) all
+  // wake exactly on time.
+  constexpr Round kW = Scheduler::kWheelSize;
+  for (const Round d : {kW - 1, kW, kW + 1}) {
+    Graph g = gen::Empty(1);
+    Scheduler sched(g, {.model = ChannelModel::kCd}, 1);
+    Slots slots;
+    sched.Spawn([&](NodeApi api) -> proc::Task<void> {
+      return ListenAtRound(api, d, &slots);
+    });
+    const RunStats stats = sched.Run();
+    EXPECT_TRUE(sched.AllFinished());
+    EXPECT_EQ(stats.rounds_used, d + 1);
+    ASSERT_EQ(slots.acted_at.size(), 1u);
+    EXPECT_EQ(slots.acted_at[0], d);
+  }
+}
+
 proc::Task<void> SleepZeroThenTransmit(NodeApi api) {
   co_await api.SleepFor(0);              // must not suspend
   co_await api.SleepUntil(api.Now());    // must not suspend
