@@ -89,7 +89,8 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
       {.model = ModelFor(config.algorithm), .max_rounds = config.max_rounds,
        .trace = config.trace, .link_loss = config.link_loss,
        .resolution = config.resolution, .compaction = config.compaction,
-       .metrics = config.metrics, .timeline = config.timeline},
+       .metrics = config.metrics, .timeline = config.timeline,
+       .ledger = config.ledger, .telemetry = config.telemetry},
       config.seed);
 
   if (config.timeline != nullptr) {
@@ -140,9 +141,13 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
   if (config.timeline != nullptr) {
     // Close any span left open by a protocol that went quiet without
     // finishing (the scheduler closes only on completion / round limit), and
-    // drop the probe — it references result.status, which this frame owns.
+    // drop the run-scoped bindings: the probe references result.status
+    // (owned by this frame), and the ledger/telemetry hooks reference
+    // caller-owned collectors that may die before the timeline does.
     config.timeline->Close(result.stats.rounds_used);
     config.timeline->SetResidualProbe(nullptr);
+    config.timeline->BindLedger(nullptr);
+    config.timeline->SetSpanHook(nullptr);
   }
   result.energy = scheduler.Energy();
   result.arena = scheduler.ArenaStats();

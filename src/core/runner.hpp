@@ -105,6 +105,14 @@ struct MisRunConfig {
   /// caller-owned and may be serialized afterwards with obs/report.hpp.
   obs::MetricsRegistry* metrics = nullptr;
   obs::PhaseTimeline* timeline = nullptr;
+  /// Optional energy-attribution ledger (sized to the graph): per-(node,
+  /// phase, level) awake-round charges, conserved against the EnergyMeter.
+  /// Pair with `timeline` — without it all charges stay unattributed.
+  obs::EnergyLedger* ledger = nullptr;
+  /// Optional streaming telemetry sink: round heartbeats and (with
+  /// `timeline`) phase-boundary events, drained by the caller. RunMis emits
+  /// no run_begin/run_end envelopes — drivers own the stream's framing.
+  obs::StreamSink* telemetry = nullptr;
 };
 
 struct MisRunResult {

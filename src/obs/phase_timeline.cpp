@@ -1,5 +1,7 @@
 #include "obs/phase_timeline.hpp"
 
+#include "obs/energy_ledger.hpp"
+
 namespace emis::obs {
 namespace {
 
@@ -52,6 +54,16 @@ void PhaseTimeline::Open(std::uint32_t level, std::string_view base,
   open.listen_at_open = meter_ != nullptr ? meter_->TotalListen() : 0;
   open.has_residual = probe_residual;
   open.residual_at_open = residual;
+  if (ledger_ != nullptr) {
+    // Charges from this round on belong to the new span. SetPhase clears
+    // the sub context (a fresh level-0 span has no open sub-phase yet).
+    const std::string label = MakeLabel(base, index);
+    if (level == 0) {
+      ledger_->SetPhase(label);
+    } else {
+      ledger_->SetSub(label);
+    }
+  }
 }
 
 void PhaseTimeline::CloseLevel(std::uint32_t level, Round round, bool probed,
@@ -74,12 +86,61 @@ void PhaseTimeline::CloseLevel(std::uint32_t level, Round round, bool probed,
   span.residual_edges_end = residual;
   spans_.push_back(std::move(span));
   open.active = false;
+  if (ledger_ != nullptr) {
+    // Until another span opens at this level, charges fall back to the
+    // enclosing context (or to the unattributed key when a phase closes).
+    if (level == 0) {
+      ledger_->SetPhase({});
+    } else {
+      ledger_->SetSub({});
+    }
+  }
+  if (span_hook_) span_hook_(spans_.back());
 }
 
 void PhaseTimeline::Clear() {
   spans_.clear();
   open_[0] = OpenSpan{};
   open_[1] = OpenSpan{};
+}
+
+void PhaseAggregate::Accumulate(const PhaseTimeline& timeline) {
+  for (const PhaseSpan& s : timeline.Spans()) {
+    Row& row = rows_[Key(s.label, s.level)];
+    row.spans += 1;
+    row.rounds += s.Rounds();
+    row.transmit_rounds += s.transmit_rounds;
+    row.listen_rounds += s.listen_rounds;
+  }
+}
+
+void PhaseAggregate::MergeFrom(const PhaseAggregate& other) {
+  for (const auto& [key, r] : other.rows_) {
+    Row& row = rows_[key];
+    row.spans += r.spans;
+    row.rounds += r.rounds;
+    row.transmit_rounds += r.transmit_rounds;
+    row.listen_rounds += r.listen_rounds;
+  }
+}
+
+std::string PhaseAggregate::ToText() const {
+  std::string out;
+  for (const auto& [key, r] : rows_) {
+    out += key.first;
+    out += '|';
+    out += std::to_string(key.second);
+    out += ' ';
+    out += std::to_string(r.spans);
+    out += ' ';
+    out += std::to_string(r.rounds);
+    out += ' ';
+    out += std::to_string(r.transmit_rounds);
+    out += ' ';
+    out += std::to_string(r.listen_rounds);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace emis::obs

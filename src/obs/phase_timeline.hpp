@@ -21,14 +21,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "radio/energy.hpp"
 #include "radio/types.hpp"
 
 namespace emis::obs {
+
+class EnergyLedger;
 
 struct PhaseSpan {
   std::string label;
@@ -61,6 +65,20 @@ class PhaseTimeline {
   /// (pass nullptr) before the probed state dies.
   void SetResidualProbe(std::function<std::uint64_t()> probe) {
     residual_probe_ = std::move(probe);
+  }
+
+  /// Optional energy-attribution ledger: every span open/close updates the
+  /// ledger's current (phase, sub) context, so the scheduler's per-round
+  /// charges land under the span active at charge time. Bound by the
+  /// Scheduler when both collectors are configured; clear (nullptr) when
+  /// the ledger dies first.
+  void BindLedger(EnergyLedger* ledger) noexcept { ledger_ = ledger; }
+
+  /// Optional span-close hook (streaming telemetry's `phase` events).
+  /// Invoked once per closed span, on the annotating thread, after the span
+  /// is recorded. Clear (pass nullptr) before the sink dies.
+  void SetSpanHook(std::function<void(const PhaseSpan&)> hook) {
+    span_hook_ = std::move(hook);
   }
 
   /// Opens the level-0 span `base` (+ " <index>" if indexed) at `round`,
@@ -106,8 +124,41 @@ class PhaseTimeline {
 
   const EnergyMeter* meter_ = nullptr;
   std::function<std::uint64_t()> residual_probe_;
+  EnergyLedger* ledger_ = nullptr;
+  std::function<void(const PhaseSpan&)> span_hook_;
   OpenSpan open_[2];
   std::vector<PhaseSpan> spans_;
+};
+
+/// Cross-trial aggregate of closed spans, keyed by (label, level): span
+/// count, rounds and transmit/listen sums. All fields are integral keyed
+/// sums, so accumulating per-trial aggregates in (size, seed) order yields
+/// bit-identical content at any job count — the "merged timeline" view of a
+/// sweep (per-trial timelines themselves cannot merge: rounds are relative
+/// to each trial's own clock).
+class PhaseAggregate {
+ public:
+  struct Row {
+    std::uint64_t spans = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t transmit_rounds = 0;
+    std::uint64_t listen_rounds = 0;
+  };
+  using Key = std::pair<std::string, std::uint32_t>;  ///< (label, level)
+
+  /// Folds one run's closed spans into this aggregate.
+  void Accumulate(const PhaseTimeline& timeline);
+  void MergeFrom(const PhaseAggregate& other);
+
+  const std::map<Key, Row>& Rows() const noexcept { return rows_; }
+  bool Empty() const noexcept { return rows_.empty(); }
+
+  /// Canonical text rendering ("label|level spans rounds tx lx" per row,
+  /// key-sorted) — what the --jobs golden tests compare.
+  std::string ToText() const;
+
+ private:
+  std::map<Key, Row> rows_;
 };
 
 }  // namespace emis::obs

@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -78,6 +79,30 @@ JsonValue PhasesJson(const PhaseTimeline& timeline) {
     arr.Push(std::move(p));
   }
   return arr;
+}
+
+/// Prometheus metric-name mangling: `emis_` prefix, non-alphanumerics
+/// folded to '_' ("chan.live_edges" -> "emis_chan_live_edges").
+std::string PromName(std::string_view name) {
+  std::string out = "emis_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Exposition value formatting: integral values print without a fraction so
+/// counters stay exact; everything else uses max round-trip precision.
+std::string PromValue(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 // --- validation helpers ----------------------------------------------------
@@ -165,6 +190,74 @@ JsonValue BuildMetricsJson(const MetricsRegistry& registry) {
   return m;
 }
 
+JsonValue BuildAttributionJson(const EnergyLedger& ledger) {
+  JsonValue doc = JsonValue::MakeObject();
+  std::uint64_t total_tx = 0;
+  std::uint64_t total_lx = 0;
+  JsonValue keys = JsonValue::MakeArray();
+  for (const AttributionRow& row : ledger.Table()) {
+    total_tx += row.transmit_rounds;
+    total_lx += row.listen_rounds;
+    JsonValue k = JsonValue::MakeObject();
+    k.Set("phase", JsonValue(row.phase));
+    k.Set("sub", JsonValue(row.sub));
+    k.Set("transmit_rounds", JsonValue(row.transmit_rounds));
+    k.Set("listen_rounds", JsonValue(row.listen_rounds));
+    k.Set("awake_rounds", JsonValue(row.AwakeRounds()));
+    k.Set("nodes_charged", JsonValue(row.nodes_charged));
+    k.Set("max_awake", JsonValue(row.max_awake));
+    k.Set("p50_awake", JsonValue(row.p50_awake));
+    k.Set("p90_awake", JsonValue(row.p90_awake));
+    k.Set("p99_awake", JsonValue(row.p99_awake));
+    keys.Push(std::move(k));
+  }
+  // Ledger charges mirror the EnergyMeter's exactly, so these totals equal
+  // the energy block's total_transmit/total_listen (conservation).
+  doc.Set("total_transmit", JsonValue(total_tx));
+  doc.Set("total_listen", JsonValue(total_lx));
+  doc.Set("keys", std::move(keys));
+  return doc;
+}
+
+void WriteMetricsText(std::ostream& out, const MetricsRegistry& registry) {
+  for (const auto& [name, c] : registry.Counters()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n"
+        << prom << ' ' << c.Value() << '\n';
+  }
+  for (const auto& [name, g] : registry.Gauges()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << ' ' << PromValue(g.Value()) << '\n';
+  }
+  for (const auto& [name, h] : registry.Histograms()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.NumBuckets(); ++i) {
+      cumulative += h.BucketCount(i);
+      out << prom << "_bucket{le=\"";
+      if (i + 1 < h.NumBuckets()) {
+        out << PromValue(h.UpperBound(i));
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << '\n';
+    }
+    out << prom << "_sum " << PromValue(h.Sum()) << '\n'
+        << prom << "_count " << cumulative << '\n';
+  }
+  // Timers expose deterministic event counts plus wall-clock totals; the
+  // latter vary run to run, which is fine for scrape-style consumers.
+  for (const auto& [name, t] : registry.Timers()) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << "_count counter\n"
+        << prom << "_count " << t.Count() << '\n'
+        << "# TYPE " << prom << "_total_ns counter\n"
+        << prom << "_total_ns " << t.TotalNs() << '\n';
+  }
+}
+
 JsonValue BuildRunReport(const RunReportInputs& inputs) {
   EMIS_REQUIRE(inputs.stats != nullptr && inputs.energy != nullptr,
                "run report needs stats and energy");
@@ -194,6 +287,11 @@ JsonValue BuildRunReport(const RunReportInputs& inputs) {
   doc.Set("energy", EnergyJson(*inputs.energy));
   doc.Set("phases", inputs.timeline != nullptr ? PhasesJson(*inputs.timeline)
                                                : JsonValue::MakeArray());
+  // Optional (post-schema-1) block: older consumers that ignore unknown
+  // keys keep working, and documents without it stay valid.
+  if (inputs.ledger != nullptr) {
+    doc.Set("energy_attribution", BuildAttributionJson(*inputs.ledger));
+  }
 
   JsonValue alloc = JsonValue::MakeObject();
   alloc.Set("arena_reserved_bytes", JsonValue(inputs.arena_reserved_bytes));
@@ -280,6 +378,42 @@ std::string ValidateRunReport(const JsonValue& doc) {
                 {"transmit_rounds", JsonValue::Kind::kNumber},
                 {"listen_rounds", JsonValue::Kind::kNumber},
                 {"awake_rounds", JsonValue::Kind::kNumber}},
+               &err);
+      if (!err.empty()) return err;
+      ++i;
+    }
+  }
+
+  // "energy_attribution" joined the run report after schema 1 shipped, so
+  // it stays optional under the unchanged schema id; when present its shape
+  // must conform.
+  const JsonValue* attribution = doc.Find("energy_attribution");
+  if (attribution != nullptr && err.empty()) {
+    if (!attribution->IsObject()) {
+      return "report.energy_attribution: expected object, got " +
+             KindName(attribution->kind());
+    }
+    NeedKeys(*attribution, "energy_attribution",
+             {{"total_transmit", JsonValue::Kind::kNumber},
+              {"total_listen", JsonValue::Kind::kNumber},
+              {"keys", JsonValue::Kind::kArray}},
+             &err);
+    if (!err.empty()) return err;
+    std::size_t i = 0;
+    for (const JsonValue& k : attribution->Find("keys")->Items()) {
+      const std::string path = "energy_attribution.keys[" + std::to_string(i) + "]";
+      if (!k.IsObject()) return path + ": not an object";
+      NeedKeys(k, path,
+               {{"phase", JsonValue::Kind::kString},
+                {"sub", JsonValue::Kind::kString},
+                {"transmit_rounds", JsonValue::Kind::kNumber},
+                {"listen_rounds", JsonValue::Kind::kNumber},
+                {"awake_rounds", JsonValue::Kind::kNumber},
+                {"nodes_charged", JsonValue::Kind::kNumber},
+                {"max_awake", JsonValue::Kind::kNumber},
+                {"p50_awake", JsonValue::Kind::kNumber},
+                {"p90_awake", JsonValue::Kind::kNumber},
+                {"p99_awake", JsonValue::Kind::kNumber}},
                &err);
       if (!err.empty()) return err;
       ++i;
@@ -389,6 +523,37 @@ std::string ValidateBenchReport(const JsonValue& doc) {
   return err;
 }
 
+std::string ValidateDiffReport(const JsonValue& doc) {
+  if (!doc.IsObject()) return "report: not a JSON object";
+  std::string err;
+  const JsonValue* schema =
+      Need(doc, "schema", JsonValue::Kind::kString, "report", &err);
+  if (!err.empty()) return err;
+  if (schema->AsString() != kDiffReportSchema) {
+    return "report.schema: expected \"" + std::string(kDiffReportSchema) + "\"";
+  }
+  NeedKeys(doc, "report",
+           {{"baseline", JsonValue::Kind::kString},
+            {"current", JsonValue::Kind::kString},
+            {"compared", JsonValue::Kind::kNumber},
+            {"out_of_tolerance", JsonValue::Kind::kNumber},
+            {"deltas", JsonValue::Kind::kArray}},
+           &err);
+  if (!err.empty()) return err;
+  std::size_t i = 0;
+  for (const JsonValue& d : doc.Find("deltas")->Items()) {
+    const std::string path = "deltas[" + std::to_string(i) + "]";
+    if (!d.IsObject()) return path + ": not an object";
+    NeedKeys(d, path,
+             {{"metric", JsonValue::Kind::kString},
+              {"class", JsonValue::Kind::kString}},
+             &err);
+    if (!err.empty()) return err;
+    ++i;
+  }
+  return err;
+}
+
 std::string ValidateReport(const JsonValue& doc) {
   if (!doc.IsObject()) return "report: not a JSON object";
   const JsonValue* schema = doc.Find("schema");
@@ -397,6 +562,7 @@ std::string ValidateReport(const JsonValue& doc) {
   }
   if (schema->AsString() == kRunReportSchema) return ValidateRunReport(doc);
   if (schema->AsString() == kBenchReportSchema) return ValidateBenchReport(doc);
+  if (schema->AsString() == kDiffReportSchema) return ValidateDiffReport(doc);
   return "report.schema: unknown schema \"" + schema->AsString() + "\"";
 }
 

@@ -18,6 +18,16 @@
 //   phases   [{label, level, begin_round, end_round, rounds,
 //              transmit_rounds, listen_rounds, awake_rounds,
 //              residual_edges_begin?, residual_edges_end?}]
+//   energy_attribution
+//            OPTIONAL (added after schema 1 shipped; older documents omit
+//            it and stay valid). {total_transmit, total_listen, keys[
+//            {phase, sub, transmit_rounds, listen_rounds, awake_rounds,
+//             nodes_charged, max_awake, p50_awake, p90_awake, p99_awake}]}
+//            — the EnergyLedger's per-(phase, level) decomposition; key
+//            totals sum exactly to the energy block's totals (conservation,
+//            pinned by test). The empty phase label is the unattributed
+//            remainder. Gauges obs.trace_dropped / obs.telemetry_dropped in
+//            the metrics block account for bounded-sink losses.
 //   alloc    {arena_reserved_bytes, arena_used_bytes, peak_rss_bytes}
 //   metrics  {counters{}, gauges{}, timers{name:{count,total_ns,mean_ns,
 //             max_ns}}, histograms{name:{bounds[], counts[], sum}}}
@@ -44,6 +54,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/energy_ledger.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timeline.hpp"
@@ -54,6 +65,7 @@ namespace emis::obs {
 
 inline constexpr std::string_view kRunReportSchema = "emis-run-report/1";
 inline constexpr std::string_view kBenchReportSchema = "emis-bench-report/1";
+inline constexpr std::string_view kDiffReportSchema = "emis-diff-report/1";
 
 struct RunReportInputs {
   std::string algorithm;
@@ -74,6 +86,7 @@ struct RunReportInputs {
   const EnergyMeter* energy = nullptr;     ///< required
   const PhaseTimeline* timeline = nullptr; ///< optional; spans must be closed
   const MetricsRegistry* metrics = nullptr;///< optional
+  const EnergyLedger* ledger = nullptr;    ///< optional energy_attribution
 };
 
 /// Builds the report document. Deterministic in the inputs (stable key and
@@ -86,10 +99,21 @@ void WriteRunReport(std::ostream& out, const RunReportInputs& inputs);
 /// Serializes a MetricsRegistry alone (the `metrics` sub-document).
 JsonValue BuildMetricsJson(const MetricsRegistry& registry);
 
+/// The EnergyLedger's aggregation as the `energy_attribution` sub-document.
+JsonValue BuildAttributionJson(const EnergyLedger& ledger);
+
+/// Prometheus-style text exposition of a registry: counters and gauges as
+/// single samples, histograms as _bucket/_sum/_count families, timers as
+/// _count/_total_ns counters. Names are mangled to `emis_<name>` with
+/// non-alphanumerics folded to '_'. Deterministic (registry iteration is
+/// name-ordered), so output is snapshot-testable.
+void WriteMetricsText(std::ostream& out, const MetricsRegistry& registry);
+
 /// Schema checks: empty string if the document conforms, else a description
 /// of the first violation.
 std::string ValidateRunReport(const JsonValue& doc);
 std::string ValidateBenchReport(const JsonValue& doc);
+std::string ValidateDiffReport(const JsonValue& doc);
 
 /// Dispatches on the document's "schema" field; unknown schemas are errors.
 std::string ValidateReport(const JsonValue& doc);

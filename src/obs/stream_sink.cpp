@@ -1,0 +1,118 @@
+#include "obs/stream_sink.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace emis::obs {
+
+void StreamSink::Emit(const JsonValue& event) { Enqueue(event, true); }
+
+void StreamSink::EmitControl(const JsonValue& event) { Enqueue(event, false); }
+
+void StreamSink::Enqueue(const JsonValue& event, bool bounded) {
+  if (bounded && queue_.size() >= config_.max_queued_events) {
+    ++dropped_;
+    return;
+  }
+  std::string line = event.Dump(-1);
+  line += '\n';
+  queue_.push_back(std::move(line));
+  ++emitted_;
+}
+
+void StreamSink::DrainTo(std::ostream& out) {
+  for (const std::string& line : queue_) out << line;
+  queue_.clear();
+  out.flush();
+}
+
+std::string StreamSink::DrainToString() {
+  std::string blob;
+  std::size_t total = 0;
+  for (const std::string& line : queue_) total += line.size();
+  blob.reserve(total);
+  for (const std::string& line : queue_) blob += line;
+  queue_.clear();
+  return blob;
+}
+
+void StreamSink::Clear() {
+  queue_.clear();
+  emitted_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+#ifdef __linux__
+/// Unbuffered streambuf over an inherited file descriptor. Writes go
+/// straight through ::write; the descriptor is not closed on destruction
+/// (the parent process owns it).
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    const char c = static_cast<char>(ch);
+    return WriteAll(&c, 1) ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* data, std::streamsize count) override {
+    return WriteAll(data, static_cast<std::size_t>(count)) ? count : 0;
+  }
+
+ private:
+  bool WriteAll(const char* data, std::size_t count) {
+    while (count > 0) {
+      const ssize_t n = ::write(fd_, data, count);
+      if (n <= 0) return false;
+      data += n;
+      count -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  int fd_;
+};
+
+/// Owns the FdStreamBuf alongside the ostream so a single unique_ptr
+/// keeps both alive.
+class FdOStream final : public std::ostream {
+ public:
+  explicit FdOStream(int fd) : std::ostream(&buf_), buf_(fd) {}
+
+ private:
+  FdStreamBuf buf_;
+};
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<std::ostream> OpenTelemetryStream(const std::string& spec) {
+  EMIS_REQUIRE(!spec.empty(), "telemetry destination must not be empty");
+  if (spec.rfind("fd:", 0) == 0) {
+#ifdef __linux__
+    std::size_t parsed = 0;
+    int fd = -1;
+    try {
+      fd = std::stoi(spec.substr(3), &parsed);
+    } catch (const std::exception&) {
+      fd = -1;
+    }
+    EMIS_REQUIRE(fd >= 0 && parsed == spec.size() - 3,
+                 "bad telemetry fd spec '" + spec + "' (want fd:N)");
+    return std::make_unique<FdOStream>(fd);
+#else
+    EMIS_REQUIRE(false, "fd: telemetry destinations need POSIX write()");
+#endif
+  }
+  auto file = std::make_unique<std::ofstream>(spec);
+  EMIS_REQUIRE(file->good(), "cannot write telemetry file '" + spec + "'");
+  return file;
+}
+
+}  // namespace emis::obs

@@ -19,8 +19,40 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
     residual_.emplace(graph);
     channel_.AttachResidual(&*residual_);
   }
+  if (config_.ledger != nullptr) {
+    EMIS_EXPECTS(config_.ledger->NumNodes() == graph.NumNodes(),
+                 "energy ledger sized for a different graph");
+  }
   if (config_.timeline != nullptr) {
     config_.timeline->BindEnergy(&energy_);
+    // The timeline drives the ledger's (phase, sub) context and the
+    // telemetry's phase-boundary events. RunMis (or whichever driver owns
+    // the timeline) clears these bindings after the run.
+    if (config_.ledger != nullptr) {
+      config_.timeline->BindLedger(config_.ledger);
+    }
+    if (config_.telemetry != nullptr) {
+      obs::StreamSink* sink = config_.telemetry;
+      config_.timeline->SetSpanHook([sink](const obs::PhaseSpan& span) {
+        obs::JsonValue event = obs::JsonValue::MakeObject();
+        event.Set("event", obs::JsonValue("phase"));
+        event.Set("label", obs::JsonValue(span.label));
+        event.Set("level", obs::JsonValue(static_cast<std::uint64_t>(span.level)));
+        event.Set("begin_round", obs::JsonValue(span.begin_round));
+        event.Set("end_round", obs::JsonValue(span.end_round));
+        event.Set("rounds", obs::JsonValue(span.Rounds()));
+        // The span's transmit/listen delta = this phase's attribution
+        // increment, streamed so a live consumer can grow the attribution
+        // table without waiting for the final report.
+        event.Set("transmit_rounds", obs::JsonValue(span.transmit_rounds));
+        event.Set("listen_rounds", obs::JsonValue(span.listen_rounds));
+        if (span.has_residual) {
+          event.Set("residual_edges_begin", obs::JsonValue(span.residual_edges_begin));
+          event.Set("residual_edges_end", obs::JsonValue(span.residual_edges_end));
+        }
+        sink->Emit(event);
+      });
+    }
   }
   if (config_.metrics != nullptr) {
     execute_timer_ = &config_.metrics->GetTimer("sched.execute_round");
@@ -74,6 +106,7 @@ void Scheduler::Retire(NodeId v) {
   if (ctx.retired) return;  // idempotent: finishing also implies retirement
   ctx.retired = true;
   ctx.retire_requested = false;
+  ++retired_;
   if (residual_.has_value()) residual_->Retire(v);
 }
 
@@ -209,6 +242,7 @@ void Scheduler::ExecuteRound() {
       if (ctx.pending == ActionKind::kTransmit) {
         channel_.AddTransmitter(v, ctx.out_payload);
         energy_.ChargeTransmit(v);
+        if (config_.ledger != nullptr) config_.ledger->ChargeTransmit(v);
         if (config_.trace != nullptr) {
           config_.trace->OnEvent({now_, v, ActionKind::kTransmit, ctx.out_payload, {}});
         }
@@ -220,6 +254,7 @@ void Scheduler::ExecuteRound() {
       if (ctx.pending == ActionKind::kListen) {
         ctx.last_reception = channel_.ResolveListener(v);
         energy_.ChargeListen(v);
+        if (config_.ledger != nullptr) config_.ledger->ChargeListen(v);
         if (config_.trace != nullptr) {
           config_.trace->OnEvent({now_, v, ActionKind::kListen, 0, ctx.last_reception});
         }
@@ -230,6 +265,10 @@ void Scheduler::ExecuteRound() {
   last_awake_round_ = now_;
   any_awake_round_ = true;
   if (rounds_executed_ != nullptr) rounds_executed_->Inc();
+  if (config_.telemetry != nullptr &&
+      now_ % std::max<Round>(config_.telemetry->HeartbeatEvery(), 1) == 0) {
+    EmitHeartbeat();
+  }
 
   // Phase 3: resume actors so they submit their next action (for now_ + 1).
   const obs::ScopedTimer timing(resume_timer_);
@@ -241,6 +280,23 @@ void Scheduler::ExecuteRound() {
     ResumeAndFile(v, next_actors_);
   }
   actors_.swap(next_actors_);
+}
+
+void Scheduler::EmitHeartbeat() {
+  // Emitted after the round's channel/energy work, before the actors are
+  // resumed for the next round, so the gauges describe the round that just
+  // executed. Heartbeats ride the bounded queue: a consumer that cannot
+  // keep up loses heartbeats (counted), never the control envelopes.
+  obs::JsonValue event = obs::JsonValue::MakeObject();
+  event.Set("event", obs::JsonValue("round"));
+  event.Set("round", obs::JsonValue(now_));
+  event.Set("awake", obs::JsonValue(static_cast<std::uint64_t>(actors_.size())));
+  event.Set("decided", obs::JsonValue(static_cast<std::uint64_t>(retired_)));
+  event.Set("finished", obs::JsonValue(static_cast<std::uint64_t>(finished_)));
+  event.Set("live_edges",
+            obs::JsonValue(residual_.has_value() ? residual_->LiveEdges()
+                                                 : graph_->NumEdges()));
+  config_.telemetry->Emit(event);
 }
 
 RunStats Scheduler::RunUntil(Round limit) {

@@ -17,8 +17,10 @@
 #include <optional>
 #include <vector>
 
+#include "obs/energy_ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timeline.hpp"
+#include "obs/stream_sink.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
 #include "radio/frame_arena.hpp"
@@ -68,6 +70,20 @@ struct SchedulerConfig {
   /// to its energy meter, protocols annotate via NodeApi::Phase, and the
   /// timeline closes when the run finishes.
   obs::PhaseTimeline* timeline = nullptr;
+  /// Optional energy-attribution ledger (owned by the caller; must be sized
+  /// to the graph). Every transmit/listen charge is mirrored into it, keyed
+  /// by the timeline's current (phase, sub-phase) context — the scheduler
+  /// binds the ledger to `timeline` when both are set; without a timeline
+  /// all charges land under the unattributed key. Conservation is exact by
+  /// construction: Σ over keys of a node's attributed rounds equals its
+  /// EnergyMeter entry.
+  obs::EnergyLedger* ledger = nullptr;
+  /// Optional streaming telemetry sink (owned by the caller). The scheduler
+  /// emits a `round` heartbeat per executed round (cadence
+  /// StreamSinkConfig::heartbeat_every) with awake/decided/finished/
+  /// live-edge gauges, and — when `timeline` is also set — a `phase` event
+  /// per closed span carrying the span's attribution delta.
+  obs::StreamSink* telemetry = nullptr;
 };
 
 /// The per-round direction decision, factored out of the scheduler so the
@@ -223,7 +239,11 @@ class Scheduler {
   bool any_awake_round_ = false;
   std::uint64_t node_rounds_ = 0;
   NodeId finished_ = 0;
+  NodeId retired_ = 0;  ///< decided nodes (telemetry's "decided" gauge)
   bool spawned_ = false;
+
+  /// Emits the per-round telemetry heartbeat (config.telemetry set).
+  void EmitHeartbeat();
 
   // Metric handles resolved once in the constructor; null when metrics are
   // off, so the hot path pays a branch, not a map lookup.

@@ -30,6 +30,10 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void OnEvent(const TraceEvent& event) = 0;
+  /// Events this sink discarded (capacity-bounded sinks evict). Drivers
+  /// surface it as the `obs.trace_dropped` gauge in run reports so silent
+  /// trace loss is visible in artifacts.
+  virtual std::uint64_t DroppedCount() const noexcept { return 0; }
 };
 
 /// Keeps the most recent `capacity` events in memory.
@@ -46,7 +50,9 @@ class RingTrace final : public TraceSink {
   const std::deque<TraceEvent>& Events() const noexcept { return events_; }
   std::uint64_t TotalSeen() const noexcept { return total_seen_; }
   /// Events evicted because the ring was full. TotalSeen() - Events().size().
-  std::uint64_t DroppedCount() const noexcept { return total_seen_ - events_.size(); }
+  std::uint64_t DroppedCount() const noexcept override {
+    return total_seen_ - events_.size();
+  }
   void Clear() noexcept {
     events_.clear();
     total_seen_ = 0;

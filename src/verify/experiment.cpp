@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
+#include <ostream>
 
 #include "obs/scoped_timer.hpp"
 #include "verify/parallel.hpp"
@@ -64,6 +66,12 @@ struct TrialOutcome {
   double max_degree = 0.0;
   double seconds = 0.0;
   std::unique_ptr<MisRunResult> full;  ///< retained only for config.observe
+  /// Per-trial observability shards, merged on the reducing thread in
+  /// (size, seed) order — the shard-and-merge discipline that keeps every
+  /// aggregate bit-identical across jobs counts.
+  std::unique_ptr<obs::PhaseAggregate> phases;
+  std::unique_ptr<obs::AttributionTable> attribution;
+  std::unique_ptr<std::string> telemetry;  ///< drained NDJSON blob
 };
 
 }  // namespace
@@ -101,6 +109,35 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
       if (config.delta_unknown) run_config.delta_estimate = n;
       if (config.tweak) config.tweak(run_config, graph);
       if (!shards.empty()) run_config.metrics = &shards[worker];
+
+      // Per-trial observability collectors. The timeline is private to the
+      // trial (it drives the ledger's phase context and the sink's phase
+      // events); everything aggregates through the outcome slot, never
+      // through shared state.
+      const bool want_timeline = config.phases != nullptr ||
+                                 config.attribution != nullptr ||
+                                 config.telemetry_out != nullptr;
+      obs::PhaseTimeline timeline;
+      std::optional<obs::EnergyLedger> ledger;
+      std::optional<obs::StreamSink> sink;
+      if (want_timeline) run_config.timeline = &timeline;
+      if (config.attribution != nullptr) {
+        ledger.emplace(graph.NumNodes());
+        run_config.ledger = &*ledger;
+      }
+      if (config.telemetry_out != nullptr) {
+        sink.emplace(config.telemetry_config);
+        run_config.telemetry = &*sink;
+        obs::JsonValue begin = obs::JsonValue::MakeObject();
+        begin.Set("event", "run_begin");
+        begin.Set("n", static_cast<std::uint64_t>(n));
+        begin.Set("seed_index", static_cast<std::uint64_t>(s));
+        begin.Set("seed", seed);
+        begin.Set("nodes", static_cast<std::uint64_t>(graph.NumNodes()));
+        begin.Set("edges", graph.NumEdges());
+        sink->EmitControl(begin);
+      }
+
       MisRunResult run = RunMis(graph, run_config);
 
       TrialOutcome& out = outcomes[t];
@@ -111,6 +148,27 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
       out.mis_size = static_cast<double>(run.MisSize());
       out.max_degree = static_cast<double>(graph.MaxDegree());
       out.seconds = obs::MonotonicSeconds() - trial_begin;
+      if (config.phases != nullptr) {
+        out.phases = std::make_unique<obs::PhaseAggregate>();
+        out.phases->Accumulate(timeline);  // RunMis closed the spans
+      }
+      if (config.attribution != nullptr) {
+        out.attribution = std::make_unique<obs::AttributionTable>();
+        out.attribution->Accumulate(*ledger);
+      }
+      if (sink) {
+        obs::JsonValue end = obs::JsonValue::MakeObject();
+        end.Set("event", "run_end");
+        end.Set("n", static_cast<std::uint64_t>(n));
+        end.Set("seed_index", static_cast<std::uint64_t>(s));
+        end.Set("rounds", run.stats.rounds_used);
+        end.Set("mis_size", run.MisSize());
+        end.Set("valid", run.Valid());
+        end.Set("emitted_events", sink->EmittedEvents());
+        end.Set("dropped_events", sink->DroppedEvents());
+        sink->EmitControl(end);
+        out.telemetry = std::make_unique<std::string>(sink->DrainToString());
+      }
       if (config.observe) out.full = std::make_unique<MisRunResult>(std::move(run));
     });
   }
@@ -140,6 +198,15 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
       point.mis_size.Add(out.mis_size);
       point.max_degree.Add(out.max_degree);
       if (info != nullptr) info->point_wall_seconds[i] += out.seconds;
+      if (config.phases != nullptr && out.phases != nullptr) {
+        config.phases->MergeFrom(*out.phases);
+      }
+      if (config.attribution != nullptr && out.attribution != nullptr) {
+        config.attribution->MergeFrom(*out.attribution);
+      }
+      if (config.telemetry_out != nullptr && out.telemetry != nullptr) {
+        *config.telemetry_out << *out.telemetry;
+      }
       if (config.observe) {
         config.observe(point.n, static_cast<std::uint32_t>(s), *out.full);
       }

@@ -221,6 +221,46 @@ TEST(IoInLibrary, SuppressedByWaiver) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(IoInLibrary, FlagsFileWritesAnywhereInSrc) {
+  // File-writing is banned across ALL of src/ — including src/obs/, where
+  // console I/O is otherwise sanctioned.
+  const Report r = LintSource("src/radio/bad.cpp",
+                              "void Dump(const char* path) {\n"
+                              "  std::ofstream out(path);\n"
+                              "  out << 42;\n"
+                              "}\n");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "io-in-library");
+  EXPECT_EQ(r.findings[0].line, 2);
+
+  const Report in_obs = LintSource("src/obs/unsanctioned.cpp",
+                                   "void f() { FILE* fp = fopen(\"x\", \"w\"); }\n");
+  ASSERT_EQ(in_obs.findings.size(), 1u);
+  EXPECT_EQ(in_obs.findings[0].rule, "io-in-library");
+}
+
+TEST(IoInLibrary, StreamSinkOpenerIsTheOnlyWaivedWriter) {
+  // The exact path on the waiver list passes; a sibling with identical
+  // content does not — the sanction is per-file, not per-directory.
+  const std::string body =
+      "std::ofstream stream(path, std::ios::out);\n";
+  EXPECT_TRUE(LintSource("src/obs/stream_sink.cpp", body).findings.empty());
+  EXPECT_FALSE(LintSource("src/obs/other_sink.cpp", body).findings.empty());
+  EXPECT_EQ(emis_lint::detail::IoWriteWaivers().count("src/obs/stream_sink.cpp"),
+            1u);
+}
+
+TEST(IoInLibrary, ReadsAndToolWritersStayClean) {
+  // ifstream reads are fine in the library; tools/bench own their output.
+  EXPECT_TRUE(LintSource("src/obs/report.cpp",
+                         "std::ifstream in(path);\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("tools/cli.cpp", "std::ofstream out(path);\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("bench/b.cpp", "FILE* f = fopen(\"x\", \"w\");\n")
+                  .findings.empty());
+}
+
 // ---------------------------------------------------------------------------
 // float-accumulate-in-reduce
 

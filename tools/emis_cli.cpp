@@ -7,11 +7,15 @@
 //                  [--seed S] [--preset practical|theory] [--delta-unknown]
 //                  [--resolution auto|push|pull] [--compaction on|off]
 //                  [--trace FILE.csv] [--trace-jsonl FILE.jsonl]
-//                  [--report-out FILE.json] [--quiet]
+//                  [--report-out FILE.json] [--flamegraph-out FILE.txt]
+//                  [--telemetry-out PATH|fd:N] [--heartbeat-every R]
+//                  [--metrics-text FILE.prom] [--quiet]
 //   emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
 //                  [--resolution auto|push|pull] [--compaction on|off]
-//                  [--jobs N] [--report-out FILE.json] [--quiet]
+//                  [--jobs N] [--report-out FILE.json]
+//                  [--telemetry-out PATH|fd:N] [--heartbeat-every R]
+//                  [--metrics-text FILE.prom] [--quiet]
 //   emis_cli validate-report FILE.json
 //
 // Exit status: 0 on success (and valid MIS for `run`, conforming document
@@ -22,16 +26,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/energy_ledger.hpp"
 #include "obs/jsonl_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timeline.hpp"
 #include "obs/report.hpp"
+#include "obs/stream_sink.hpp"
 #include "radio/graph_io.hpp"
 #include "verify/experiment.hpp"
 #include "verify/parallel.hpp"
@@ -179,16 +186,68 @@ int CmdRun(const Flags& flags) {
     cfg.trace = &*jsonl_trace;
   }
 
-  // The report wants phase/metrics data, so attach collectors when asked.
+  // Collectors attach on demand: the report and Prometheus text want
+  // metrics; the report, flamegraph and telemetry want the timeline; the
+  // report's attribution block and the flamegraph want the ledger.
   obs::MetricsRegistry metrics;
   obs::PhaseTimeline timeline;
   const bool want_report = flags.Has("report-out");
-  if (want_report) {
-    cfg.metrics = &metrics;
-    cfg.timeline = &timeline;
+  const bool want_flame = flags.Has("flamegraph-out");
+  const bool want_telemetry = flags.Has("telemetry-out");
+  const bool want_metrics_text = flags.Has("metrics-text");
+  if (want_report || want_metrics_text) cfg.metrics = &metrics;
+  if (want_report || want_flame || want_telemetry) cfg.timeline = &timeline;
+  std::optional<obs::EnergyLedger> ledger;
+  if (want_report || want_flame) {
+    ledger.emplace(g.NumNodes());
+    cfg.ledger = &*ledger;
+  }
+  std::unique_ptr<std::ostream> telemetry_stream;
+  std::optional<obs::StreamSink> telemetry;
+  if (want_telemetry) {
+    telemetry_stream = obs::OpenTelemetryStream(flags.Get("telemetry-out"));
+    obs::StreamSinkConfig sink_config;
+    sink_config.heartbeat_every =
+        static_cast<Round>(std::stoull(flags.Get("heartbeat-every", "1")));
+    EMIS_REQUIRE(sink_config.heartbeat_every > 0,
+                 "--heartbeat-every must be >= 1");
+    telemetry.emplace(sink_config);
+    cfg.telemetry = &*telemetry;
+    obs::JsonValue begin = obs::JsonValue::MakeObject();
+    begin.Set("schema", obs::kTelemetrySchema);
+    begin.Set("event", "run_begin");
+    begin.Set("algorithm", alg_name);
+    begin.Set("graph", graph_spec);
+    begin.Set("seed", seed);
+    begin.Set("nodes", static_cast<std::uint64_t>(g.NumNodes()));
+    begin.Set("edges", g.NumEdges());
+    telemetry->EmitControl(begin);
   }
 
   const MisRunResult r = RunMis(g, cfg);
+
+  if (want_telemetry) {
+    obs::JsonValue end = obs::JsonValue::MakeObject();
+    end.Set("event", "run_end");
+    end.Set("rounds", r.stats.rounds_used);
+    end.Set("mis_size", r.MisSize());
+    end.Set("valid", r.Valid());
+    end.Set("emitted_events", telemetry->EmittedEvents());
+    end.Set("dropped_events", telemetry->DroppedEvents());
+    telemetry->EmitControl(end);
+    telemetry->DrainTo(*telemetry_stream);
+    telemetry_stream->flush();
+  }
+  if (cfg.metrics != nullptr) {
+    // Bounded-sink losses become gauges so a report where the trace ring or
+    // the telemetry queue overflowed says so (satellite of DESIGN.md §11).
+    metrics.GetGauge("obs.trace_dropped")
+        .Set(cfg.trace != nullptr
+                 ? static_cast<double>(cfg.trace->DroppedCount())
+                 : 0.0);
+    metrics.GetGauge("obs.telemetry_dropped")
+        .Set(telemetry ? static_cast<double>(telemetry->DroppedEvents()) : 0.0);
+  }
 
   if (want_report) {
     const std::string report_path = flags.Get("report-out");
@@ -210,9 +269,30 @@ int CmdRun(const Flags& flags) {
                          .stats = &r.stats,
                          .energy = &r.energy,
                          .timeline = &timeline,
-                         .metrics = &metrics});
+                         .metrics = &metrics,
+                         .ledger = &*ledger});
     if (!flags.Has("quiet")) {
       std::printf("report:      %s\n", report_path.c_str());
+    }
+  }
+  if (want_flame) {
+    const std::string flame_path = flags.Get("flamegraph-out");
+    std::ofstream flame_file(flame_path);
+    EMIS_REQUIRE(flame_file.good(), "cannot write '" + flame_path + "'");
+    // Collapsed-stack lines (`root;phase;sub weight`) — feed directly into
+    // flamegraph.pl / speedscope to see where the awake rounds went.
+    ledger->WriteCollapsed(flame_file, alg_name);
+    if (!flags.Has("quiet")) {
+      std::printf("flamegraph:  %s\n", flame_path.c_str());
+    }
+  }
+  if (want_metrics_text) {
+    const std::string metrics_path = flags.Get("metrics-text");
+    std::ofstream metrics_file(metrics_path);
+    EMIS_REQUIRE(metrics_file.good(), "cannot write '" + metrics_path + "'");
+    obs::WriteMetricsText(metrics_file, metrics);
+    if (!flags.Has("quiet")) {
+      std::printf("metrics:     %s\n", metrics_path.c_str());
     }
   }
   if (!flags.Has("quiet")) {
@@ -279,8 +359,41 @@ int CmdSweep(const Flags& flags) {
   const unsigned jobs = flags.Has("jobs")
                             ? static_cast<unsigned>(std::stoul(flags.Get("jobs")))
                             : par::DefaultJobs();
+  // Streaming telemetry: the sweep gives each trial a private sink and
+  // concatenates the drained blobs in (size, seed) order, so this stream is
+  // byte-identical at any --jobs. The sweep-level envelopes frame it.
+  std::unique_ptr<std::ostream> telemetry_stream;
+  if (flags.Has("telemetry-out")) {
+    telemetry_stream = obs::OpenTelemetryStream(flags.Get("telemetry-out"));
+    cfg.telemetry_config.heartbeat_every =
+        static_cast<Round>(std::stoull(flags.Get("heartbeat-every", "1")));
+    EMIS_REQUIRE(cfg.telemetry_config.heartbeat_every > 0,
+                 "--heartbeat-every must be >= 1");
+    cfg.telemetry_out = telemetry_stream.get();
+    obs::JsonValue begin = obs::JsonValue::MakeObject();
+    begin.Set("schema", obs::kTelemetrySchema);
+    begin.Set("event", "sweep_begin");
+    begin.Set("algorithm", alg_name);
+    begin.Set("family", family);
+    begin.Set("seeds_per_size", static_cast<std::uint64_t>(cfg.seeds_per_size));
+    obs::JsonValue sizes = obs::JsonValue::MakeArray();
+    for (const NodeId n : cfg.sizes) sizes.Push(static_cast<std::uint64_t>(n));
+    begin.Set("sizes", std::move(sizes));
+    *telemetry_stream << begin.Dump(-1) << '\n';
+  }
   SweepRunInfo info;
   const auto points = RunSweep(cfg, jobs, &info);
+  if (telemetry_stream != nullptr) {
+    std::uint32_t sweep_failures = 0;
+    for (const auto& p : points) sweep_failures += p.failures;
+    obs::JsonValue end = obs::JsonValue::MakeObject();
+    end.Set("event", "sweep_end");
+    end.Set("trials", static_cast<std::uint64_t>(cfg.sizes.size() *
+                                                 cfg.seeds_per_size));
+    end.Set("failures", static_cast<std::uint64_t>(sweep_failures));
+    *telemetry_stream << end.Dump(-1) << '\n';
+    telemetry_stream->flush();
+  }
   std::printf("%s", RenderSweep("algorithm " + alg_name + ", family " + family,
                                 points)
                         .c_str());
@@ -312,6 +425,13 @@ int CmdSweep(const Flags& flags) {
     EMIS_REQUIRE(report_file.good(), "cannot write '" + report_path + "'");
     report_file << doc.Dump(2) << '\n';
     if (!flags.Has("quiet")) std::printf("report: %s\n", report_path.c_str());
+  }
+  if (flags.Has("metrics-text")) {
+    const std::string metrics_path = flags.Get("metrics-text");
+    std::ofstream metrics_file(metrics_path);
+    EMIS_REQUIRE(metrics_file.good(), "cannot write '" + metrics_path + "'");
+    obs::WriteMetricsText(metrics_file, metrics);
+    if (!flags.Has("quiet")) std::printf("metrics: %s\n", metrics_path.c_str());
   }
   return 0;
 }
@@ -348,18 +468,27 @@ void PrintUsage() {
       "               [--preset practical|theory] [--delta-unknown]\n"
       "               [--resolution auto|push|pull] [--compaction on|off]\n"
       "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
-      "               [--report-out FILE.json] [--quiet]\n"
+      "               [--report-out FILE.json] [--flamegraph-out FILE.txt]\n"
+      "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
+      "               [--metrics-text FILE.prom] [--quiet]\n"
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
       "               [--delta-unknown] [--resolution auto|push|pull]\n"
       "               [--compaction on|off]\n"
-      "               [--jobs N] [--report-out FILE.json] [--quiet]\n"
+      "               [--jobs N] [--report-out FILE.json]\n"
+      "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
+      "               [--metrics-text FILE.prom] [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
       "cost knobs (identical results, different cost):\n"
       "  --resolution  channel direction: auto picks per round by live-degree\n"
       "                sums; push/pull force one side\n"
       "  --compaction  residual-graph compaction: on (default) drops retired\n"
       "                nodes from channel scan rows; off scans seed CSR rows\n"
+      "observability sinks (identical results, extra artifacts):\n"
+      "  --flamegraph-out  collapsed-stack energy attribution (phase;sub w)\n"
+      "  --telemetry-out   emis-telemetry/1 NDJSON stream (file or fd:N);\n"
+      "                    --heartbeat-every R thins round events to every R\n"
+      "  --metrics-text    Prometheus text exposition of the metrics registry\n"
       "graph specs: %s\n",
       GraphSpecHelp().c_str());
 }

@@ -305,9 +305,11 @@ inline const std::vector<RuleInfo>& Rules() {
       {"raw-assert", "src, bench, tools",
        "no raw assert(); use EMIS_EXPECTS/EMIS_ENSURES/EMIS_INVARIANT/"
        "EMIS_UNREACHABLE from core/contracts.hpp"},
-      {"io-in-library", "src (excl. src/obs)",
-       "no std::cout/std::cerr/printf-family console I/O in library code; "
-       "emit data through obs/ sinks or return it"},
+      {"io-in-library", "src (console: excl. src/obs; file writes: all src)",
+       "no std::cout/std::cerr/printf-family console I/O in library code "
+       "(emit through obs/ sinks or return data), and no ofstream/fopen/"
+       "freopen file-writing outside the sanctioned waiver list "
+       "(stream_sink.cpp's telemetry opener)"},
       {"float-accumulate-in-reduce", "src",
        "no floating-point += accumulation inside Merge/Reduce-named reduce "
        "paths (MetricsRegistry::Merge-reachable); sums there must be "
@@ -594,22 +596,55 @@ inline void RuleRawAssert(const SourceFile& f, std::vector<RawFinding>* out) {
 
 // --- rule: io-in-library ---------------------------------------------------
 
+/// Library files sanctioned to open files for writing: the telemetry
+/// stream's OpenTelemetryStream is the library's one write path (everything
+/// else writes through caller-provided std::ostream&). Growing this list is
+/// an API-review decision, not a lint tweak.
+inline const std::set<std::string, std::less<>>& IoWriteWaivers() {
+  static const std::set<std::string, std::less<>> kWaived = {
+      "src/obs/stream_sink.cpp",
+  };
+  return kWaived;
+}
+
 inline void RuleIoInLibrary(const SourceFile& f, std::vector<RawFinding>* out) {
-  if (!InSrc(f.path) || InObs(f.path)) return;
-  static const std::set<std::string, std::less<>> kStreams = {"cout", "cerr", "clog"};
-  static const std::set<std::string, std::less<>> kCalls = {
-      "printf", "fprintf", "puts", "fputs", "putchar", "vprintf", "vfprintf"};
+  if (!InSrc(f.path)) return;
   const auto& toks = f.tokens;
-  for (std::size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != Token::Kind::kIdent) continue;
-    const bool stream = kStreams.count(toks[i].text) > 0;
-    const bool call = kCalls.count(toks[i].text) > 0 && i + 1 < toks.size() &&
-                      IsPunct(toks[i + 1], "(");
-    if (stream || call) {
+  // Console I/O: banned in all library code except src/obs (whose sinks own
+  // rendering); reads (ifstream) stay legal everywhere.
+  if (!InObs(f.path)) {
+    static const std::set<std::string, std::less<>> kStreams = {"cout", "cerr", "clog"};
+    static const std::set<std::string, std::less<>> kCalls = {
+        "printf", "fprintf", "puts", "fputs", "putchar", "vprintf", "vfprintf"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent) continue;
+      const bool stream = kStreams.count(toks[i].text) > 0;
+      const bool call = kCalls.count(toks[i].text) > 0 && i + 1 < toks.size() &&
+                        IsPunct(toks[i + 1], "(");
+      if (stream || call) {
+        out->push_back({"io-in-library", toks[i].line,
+                        "console I/O '" + toks[i].text +
+                            "' in library code — emit through obs/ sinks "
+                            "(trace, report) or return data to the caller"});
+      }
+    }
+  }
+  // File-opening-for-write: banned in ALL of src/ — including src/obs —
+  // except the waiver list. Library code takes std::ostream& from the
+  // caller; only the sanctioned telemetry opener names destinations itself.
+  if (IoWriteWaivers().count(f.path) == 0) {
+    static const std::set<std::string, std::less<>> kWriters = {
+        "ofstream", "fopen", "freopen"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Token::Kind::kIdent ||
+          kWriters.count(toks[i].text) == 0) {
+        continue;
+      }
       out->push_back({"io-in-library", toks[i].line,
-                      "console I/O '" + toks[i].text +
-                          "' in library code — emit through obs/ sinks "
-                          "(trace, report) or return data to the caller"});
+                      "file-writing I/O '" + toks[i].text +
+                          "' in library code — take a std::ostream& from the "
+                          "caller, or add the file to the sanctioned waiver "
+                          "list (emis_lint IoWriteWaivers)"});
     }
   }
 }

@@ -1,0 +1,146 @@
+// emis_report_diff CLI — the bench regression gate.
+//
+// Usage:
+//   emis_report_diff --baseline FILE --current FILE [--out FILE]
+//                    [--tolerance METRIC=REL]... [--default-tolerance REL]
+//                    [--quiet]
+//
+// Exit codes: 0 = every metric within tolerance, 1 = drift / incomparable
+// documents, 2 = usage or IO error.
+//
+// This is a developer tool, not library code: console I/O and filesystem
+// access are its job.
+#include "tools/emis_report_diff.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/contracts.hpp"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: emis_report_diff --baseline FILE --current FILE [--out FILE]\n"
+      "                        [--tolerance METRIC=REL]...\n"
+      "                        [--default-tolerance REL] [--quiet]\n"
+      "\n"
+      "Diffs two emis report artifacts (run or bench reports) and exits\n"
+      "nonzero when any deterministic metric drifts past its tolerance.\n"
+      "Float-valued columns (mean/avg) default to relative 1e-6; everything\n"
+      "else compares exactly. --out writes an emis-diff-report/1 document.\n");
+}
+
+bool ReadFileJson(const std::string& path, emis::obs::JsonValue* out,
+                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read '" + path + "'";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    *out = emis::obs::ParseJson(buffer.str());
+  } catch (const emis::PreconditionError& e) {
+    *error = "'" + path + "': " + e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string out_path;
+  emis_diff::DiffOptions options;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(arg, "--current") == 0 && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(arg, "--default-tolerance") == 0 && i + 1 < argc) {
+      options.default_rel_tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(arg, "--tolerance") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "emis_report_diff: --tolerance wants METRIC=REL, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.overrides[spec.substr(0, eq)] =
+          std::strtod(spec.c_str() + eq + 1, nullptr);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "emis_report_diff: unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  emis::obs::JsonValue baseline;
+  emis::obs::JsonValue current;
+  std::string error;
+  if (!ReadFileJson(baseline_path, &baseline, &error) ||
+      !ReadFileJson(current_path, &current, &error)) {
+    std::fprintf(stderr, "emis_report_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  const emis_diff::DiffResult result =
+      emis_diff::DiffReports(baseline, current, options, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "emis_report_diff: incomparable: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "emis_report_diff: cannot write '%s'\n",
+                   out_path.c_str());
+      return 2;
+    }
+    out << emis_diff::BuildDiffReportJson(result, baseline_path, current_path)
+               .Dump(2)
+        << '\n';
+  }
+
+  if (!quiet) {
+    for (const emis_diff::MetricDelta& d : result.deltas) {
+      if (d.cls == "ok") continue;
+      if (d.has_baseline && d.has_current) {
+        std::printf("%s: [%s] baseline=%.17g current=%.17g rel=%.3g tol=%.3g\n",
+                    d.metric.c_str(), d.cls.c_str(), d.baseline, d.current,
+                    d.rel_delta, d.tolerance);
+      } else {
+        std::printf("%s: [%s] %s=%.17g\n", d.metric.c_str(), d.cls.c_str(),
+                    d.has_baseline ? "baseline" : "current",
+                    d.has_baseline ? d.baseline : d.current);
+      }
+    }
+    std::printf("emis_report_diff: %zu metric(s) compared, %zu out of tolerance\n",
+                result.compared, result.out_of_tolerance);
+  }
+  return result.Ok() ? 0 : 1;
+}
