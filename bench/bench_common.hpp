@@ -86,6 +86,20 @@ inline ChannelResolution Resolution(ChannelResolution fallback) {
   return r;
 }
 
+/// Execution-engine override for the benches' sweeps: the value of
+/// EMIS_BENCH_ENGINE (coroutine|flat) when set, else the config's own. A
+/// cost knob only — sweep points are bit-identical under either engine
+/// (pinned by test_flat_engine.cpp).
+inline ExecutionEngine Engine(ExecutionEngine fallback) {
+  const char* env = std::getenv("EMIS_BENCH_ENGINE");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const ExecutionEngine e = ExecutionEngineFromString(env);
+  EMIS_REQUIRE(e != kInvalidExecutionEngine,
+               std::string("EMIS_BENCH_ENGINE must be coroutine or flat"
+                           " (got '") + env + "')");
+  return e;
+}
+
 /// Residual-compaction override for the benches' sweeps: the value of
 /// EMIS_BENCH_COMPACTION (on|off) when set, else the config's own. A cost
 /// knob only — sweep points are bit-identical on or off.
@@ -128,6 +142,7 @@ inline TimedSweep RunTimedSweep(const SweepConfig& cfg) {
   SweepConfig directed = cfg;
   directed.resolution = Resolution(cfg.resolution);
   directed.compaction = Compaction(cfg.compaction);
+  directed.engine = Engine(cfg.engine);
   if (directed.metrics == nullptr) directed.metrics = BenchMetrics();
   out.points = RunSweep(directed, Jobs(), &out.info);
   return out;

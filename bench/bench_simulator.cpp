@@ -1,9 +1,15 @@
 // E11 — simulator micro-benchmarks (engineering, google-benchmark).
 //
 // Throughput of the substrate: graph generation, channel resolution,
-// coroutine round dispatch, backoff execution, and end-to-end MIS runs.
+// round dispatch under both execution engines, backoff execution, and
+// end-to-end MIS runs. The custom main additionally writes an
+// emis-bench-report/1 artifact (EMIS_BENCH_JSON) whose metrics block
+// carries the measured flat-vs-coroutine RunMis speedup.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "core/backoff.hpp"
 #include "core/runner.hpp"
 #include "obs/metrics.hpp"
@@ -157,6 +163,22 @@ void BM_MisCdEndToEndInstrumented(benchmark::State& state) {
 }
 BENCHMARK(BM_MisCdEndToEndInstrumented)->Arg(1024)->Arg(8192);
 
+void BM_MisCdEndToEndFlat(benchmark::State& state) {
+  // BM_MisCdEndToEnd under the flat engine — the per-iteration delta is the
+  // engine overhead alone (identical receptions, actions, and results).
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = ++seed,
+                              .engine = ExecutionEngine::kFlat});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MisCdEndToEndFlat)->Arg(1024)->Arg(8192);
+
 void BM_MisNoCdEndToEnd(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   Rng rng(5);
@@ -170,7 +192,67 @@ void BM_MisNoCdEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_MisNoCdEndToEnd)->Arg(256);
 
+void BM_MisNoCdEndToEndFlat(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kNoCd, .seed = ++seed,
+                              .engine = ExecutionEngine::kFlat});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MisNoCdEndToEndFlat)->Arg(256);
+
+/// Wall-clock for `reps` end-to-end kCd runs under `engine` (distinct seeds,
+/// so no run is trivially warm).
+double MeasureRunMisSeconds(const Graph& g, ExecutionEngine engine, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t seed = 100;
+  for (int i = 0; i < reps; ++i) {
+    const auto r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = ++seed,
+                              .engine = engine});
+    benchmark::DoNotOptimize(r.MisSize());
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  return dt.count();
+}
+
+/// Writes the EMIS_BENCH_JSON artifact: the flat-vs-coroutine RunMis
+/// speedup as a gauge (sim.flat_speedup_x) plus a sanity verdict, so the CI
+/// perf trajectory tracks the engine ratio run over run.
+void EmitSpeedupArtifact() {
+  bench::Banner("E11-simulator",
+                "flat engine >= coroutine engine RunMis throughput");
+  Rng rng(4);
+  const NodeId n = 8192;
+  const Graph g = gen::ErdosRenyi(n, 8.0 / n, rng);
+  constexpr int kReps = 5;
+  MeasureRunMisSeconds(g, ExecutionEngine::kCoroutine, 1);  // warm-up
+  const double coro = MeasureRunMisSeconds(g, ExecutionEngine::kCoroutine, kReps);
+  const double flat = MeasureRunMisSeconds(g, ExecutionEngine::kFlat, kReps);
+  const double speedup = flat > 0.0 ? coro / flat : 0.0;
+  std::printf("RunMis kCd er n=%u: coroutine %.3fs, flat %.3fs, speedup %.2fx\n",
+              n, coro, flat, speedup);
+  bench::Metrics().GetGauge("sim.flat_speedup_x").Set(speedup);
+  bench::Metrics().GetGauge("sim.coroutine_seconds").Set(coro);
+  bench::Metrics().GetGauge("sim.flat_seconds").Set(flat);
+  bench::Verdict(speedup >= 1.0,
+                 "flat engine at least matches coroutine RunMis throughput");
+  bench::Footer();
+}
+
 }  // namespace
 }  // namespace emis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emis::EmitSpeedupArtifact();
+  return 0;
+}

@@ -1,0 +1,960 @@
+// Exact flat transcriptions of the coroutine MIS cores.
+//
+// Every machine here is a protothread: a Step function whose resume point
+// is a small integer (`pc`) switched on at entry, with all state that must
+// survive a yield stored in a per-node lane struct. The yield macros below
+// file one action through FlatCtx and return false; re-entry jumps straight
+// back to the yield site (Duff's-device case labels keyed by __LINE__).
+//
+// Transcription rules (what makes runs bit-identical to the coroutines):
+//   * Awaiting a child Task starts the child immediately (symmetric
+//     transfer, process.hpp), so a nested coroutine call is equivalent to
+//     inlining its body. Sub-machines (backoffs, the competition, the
+//     LowDegreeMIS runs) are therefore stepped inline at the call site,
+//     with their own pc in the lane.
+//   * SleepFor/SleepUntil that are already due do not suspend
+//     (SleepAwait::await_ready). FLAT_SLEEP_* mirrors this: it only yields
+//     when FlatCtx files a real sleep.
+//   * RNG draws happen at the same program points, so each node consumes
+//     its Split(v) stream identically.
+//   * Loop counters live in the lane, never in locals across yields;
+//     quantities recomputed from immutable params (windows, schedules) are
+//     locals, recomputed on every re-entry to the same value.
+#include "core/flat_mis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/competition.hpp"
+#include "core/contracts.hpp"
+#include "core/mis_nocd.hpp"
+#include "radio/hugepages.hpp"
+
+namespace emis {
+namespace {
+
+// Protothread yield macros. Each use must sit on its own source line (the
+// line number is the case label). `pc_` is the reference bound by
+// FLAT_BEGIN; Step functions return false while suspended, true when the
+// (sub-)program has completed.
+#define FLAT_BEGIN(pc_field) \
+  std::uint16_t& pc_ = (pc_field); \
+  switch (pc_) { \
+    case 0:
+
+#define FLAT_END() \
+  } \
+  return true
+
+#define FLAT_TRANSMIT(c, payload) \
+  do { \
+    (c).Transmit(payload); \
+    pc_ = __LINE__; \
+    return false; \
+    case __LINE__:; \
+  } while (0)
+
+#define FLAT_LISTEN(c) \
+  do { \
+    (c).Listen(); \
+    pc_ = __LINE__; \
+    return false; \
+    case __LINE__:; \
+  } while (0)
+
+#define FLAT_SLEEP_FOR(c, rounds) \
+  do { \
+    if ((c).SleepFor(rounds)) { \
+      pc_ = __LINE__; \
+      return false; \
+    } \
+    [[fallthrough]]; \
+    case __LINE__:; \
+  } while (0)
+
+#define FLAT_SLEEP_UNTIL(c, round) \
+  do { \
+    if ((c).SleepUntil(round)) { \
+      pc_ = __LINE__; \
+      return false; \
+    } \
+    [[fallthrough]]; \
+    case __LINE__:; \
+  } while (0)
+
+// Runs a sub-machine to completion: yields out of the enclosing Step while
+// the child is suspended. The child's lane pc must be reset to 0 *before*
+// this statement (re-entries jump past anything written earlier).
+#define FLAT_AWAIT(call) \
+  do { \
+    pc_ = __LINE__; \
+    [[fallthrough]]; \
+    case __LINE__: \
+      if (!(call)) return false; \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Backoff primitives (flat mirrors of core/backoff.cpp / MarkExchange)
+// ---------------------------------------------------------------------------
+
+/// Shared lane for one in-flight backoff call. Callers reset with Start()
+/// immediately before each logical call; `heard` is the Rec* return value.
+struct BackoffLane {
+  Round end_round = 0;
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+  std::uint32_t x = 0;
+  std::uint16_t pc = 0;
+  bool heard = false;
+
+  void Start() noexcept { pc = 0; }
+};
+
+/// SndEBackoff(k, delta).
+bool StepSndE(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
+              std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  FLAT_BEGIN(t.pc);
+  for (t.i = 0; t.i < k; ++t.i) {
+    t.x = std::min(c.Rand().GeometricHalf(), window);
+    FLAT_SLEEP_FOR(c, t.x - 1);
+    FLAT_TRANSMIT(c, 1);
+    FLAT_SLEEP_FOR(c, window - t.x);
+  }
+  FLAT_END();
+}
+
+/// RecEBackoff(k, delta, delta_est) -> t.heard.
+bool StepRecE(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
+              std::uint32_t delta, std::uint32_t delta_est) {
+  const std::uint32_t window = BackoffWindow(delta);
+  const std::uint32_t listen_window = std::min(BackoffWindow(delta_est), window);
+  FLAT_BEGIN(t.pc);
+  t.end_round = c.Now() + BackoffRounds(k, delta);
+  t.heard = false;
+  for (t.i = 0; t.i < k && !t.heard; ++t.i) {
+    for (t.j = 0; t.j < listen_window; ++t.j) {
+      FLAT_LISTEN(c);
+      if (c.Heard().Busy()) {
+        t.heard = true;
+        break;
+      }
+    }
+    FLAT_SLEEP_UNTIL(c, t.end_round - static_cast<Round>(k - 1 - t.i) * window);
+  }
+  FLAT_SLEEP_UNTIL(c, t.end_round);
+  FLAT_END();
+}
+
+/// SndDecay(k, delta).
+bool StepSndDecay(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
+                  std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  FLAT_BEGIN(t.pc);
+  c.SubPhase("decay");
+  for (t.i = 0; t.i < k; ++t.i) {
+    t.x = std::min(c.Rand().GeometricHalf(), window);
+    for (t.j = 0; t.j < window; ++t.j) {
+      if (t.j < t.x) {
+        FLAT_TRANSMIT(c, 1);
+      } else {
+        FLAT_LISTEN(c);
+      }
+    }
+  }
+  FLAT_END();
+}
+
+/// RecDecay(k, delta) -> t.heard.
+bool StepRecDecay(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
+                  std::uint32_t delta) {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(BackoffRounds(k, delta));
+  FLAT_BEGIN(t.pc);
+  c.SubPhase("decay");
+  t.heard = false;
+  for (t.j = 0; t.j < total; ++t.j) {
+    FLAT_LISTEN(c);
+    t.heard = t.heard || c.Heard().Busy();
+  }
+  FLAT_END();
+}
+
+/// SndBackoff / RecBackoff style dispatch. The two bodies have disjoint
+/// case-label sets, but a given lane only ever runs one of them per call.
+bool StepSnd(BackoffLane& t, const FlatCtx& c, BackoffStyle style,
+             std::uint32_t k, std::uint32_t delta) {
+  return style == BackoffStyle::kEnergyEfficient ? StepSndE(t, c, k, delta)
+                                                 : StepSndDecay(t, c, k, delta);
+}
+bool StepRec(BackoffLane& t, const FlatCtx& c, BackoffStyle style,
+             std::uint32_t k, std::uint32_t delta, std::uint32_t delta_est) {
+  return style == BackoffStyle::kEnergyEfficient
+             ? StepRecE(t, c, k, delta, delta_est)
+             : StepRecDecay(t, c, k, delta);
+}
+
+/// MarkExchange(k, delta) from core/ghaffari_mis.cpp -> t.heard.
+bool StepMarkExchange(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
+                      std::uint32_t delta) {
+  const std::uint32_t window = BackoffWindow(delta);
+  FLAT_BEGIN(t.pc);
+  t.end_round = c.Now() + BackoffRounds(k, delta);
+  t.heard = false;
+  for (t.i = 0; t.i < k && !t.heard; ++t.i) {
+    if (c.Rand().Bit()) {
+      t.x = std::min(c.Rand().GeometricHalf(), window);
+      FLAT_SLEEP_FOR(c, t.x - 1);
+      FLAT_TRANSMIT(c, 1);
+    } else {
+      for (t.j = 0; t.j < window; ++t.j) {
+        FLAT_LISTEN(c);
+        if (c.Heard().Busy()) {
+          t.heard = true;
+          break;
+        }
+      }
+    }
+    FLAT_SLEEP_UNTIL(c, t.end_round - static_cast<Round>(k - 1 - t.i) * window);
+  }
+  FLAT_SLEEP_UNTIL(c, t.end_round);
+  FLAT_END();
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (CD / beeping): flat mirror of core/mis_cd.cpp
+// ---------------------------------------------------------------------------
+
+struct CdLane {
+  std::uint64_t spent = 0;  // Budget::spent, epoch-wide
+  std::uint32_t phase = 0;
+  std::uint32_t j = 0;   // rank-bit index
+  std::uint32_t j2 = 0;  // losers_keep_listening remainder index
+  std::uint32_t r = 0;   // repetition index of the in-flight logical round
+  std::uint16_t pc = 0;
+  std::uint16_t sub_pc = 0;  // Transmit/ListenLogical resume point
+  bool heard_anything = false;
+  bool lost = false;
+  bool busy = false;  // ListenLogical accumulator
+  bool ok = false;    // logical round completed within budget
+};
+
+class FlatMisCd final : public FlatProtocol {
+ public:
+  FlatMisCd(CdParams params, std::vector<MisStatus>* out, NodeId num_nodes)
+      : params_(params),
+        out_(out),
+        reps_(std::max(1u, params.repetitions)) {
+    ReserveHuge(lanes_, num_nodes);
+  }
+
+  void Step(NodeId v, NodeContext& ctx) override {
+    const FlatCtx c(&ctx);
+    if (StepNode(lanes_[v], c, &(*out_)[v])) {
+      // MisCdNode: api.Retire() then the root coroutine finishes.
+      ctx.done = true;
+    }
+  }
+
+  LaneLayout Lanes() const noexcept override {
+    return {lanes_.data(), sizeof(CdLane)};
+  }
+
+ private:
+  bool Exhausted(const CdLane& t) const noexcept {
+    return params_.energy_cap != 0 && t.spent >= params_.energy_cap;
+  }
+
+  /// TransmitLogical: `reps` physical transmits, charging the budget.
+  /// Completes with t.ok = false when the budget ran out first.
+  bool StepTransmitLogical(CdLane& t, const FlatCtx& c) {
+    FLAT_BEGIN(t.sub_pc);
+    t.ok = true;
+    for (t.r = 0; t.r < reps_; ++t.r) {
+      if (Exhausted(t)) {
+        t.ok = false;
+        return true;
+      }
+      ++t.spent;
+      FLAT_TRANSMIT(c, 1);
+    }
+    FLAT_END();
+  }
+
+  /// ListenLogical: `reps` physical listens ORed into t.busy.
+  bool StepListenLogical(CdLane& t, const FlatCtx& c) {
+    FLAT_BEGIN(t.sub_pc);
+    t.ok = true;
+    t.busy = false;
+    for (t.r = 0; t.r < reps_; ++t.r) {
+      if (Exhausted(t)) {
+        t.ok = false;
+        return true;
+      }
+      ++t.spent;
+      FLAT_LISTEN(c);
+      t.busy = t.busy || c.Heard().Busy();
+    }
+    FLAT_END();
+  }
+
+  void CappedDecision(const CdLane& t, MisStatus* status) const noexcept {
+    *status = t.heard_anything ? MisStatus::kOutMis : MisStatus::kInMis;
+  }
+
+  // MisCdNode + MisCdEpoch, inlined (the node wrapper only writes the
+  // initial kUndecided and retires at the end).
+  bool StepNode(CdLane& t, const FlatCtx& c, MisStatus* status) {
+    FLAT_BEGIN(t.pc);
+    *status = MisStatus::kUndecided;
+    for (t.phase = 0; t.phase < params_.luby_phases; ++t.phase) {
+      c.Phase("luby-phase", t.phase);
+      t.lost = false;
+      for (t.j = 0; t.j < params_.rank_bits; ++t.j) {
+        if (Exhausted(t)) {
+          CappedDecision(t, status);
+          return true;
+        }
+        if (c.Rand().Bit()) {
+          t.sub_pc = 0;
+          FLAT_AWAIT(StepTransmitLogical(t, c));
+          if (!t.ok) {
+            CappedDecision(t, status);
+            return true;
+          }
+        } else {
+          t.sub_pc = 0;
+          FLAT_AWAIT(StepListenLogical(t, c));
+          if (!t.ok) {
+            CappedDecision(t, status);
+            return true;
+          }
+          if (t.busy) {
+            t.heard_anything = true;
+            t.lost = true;
+            if (params_.losers_keep_listening) {
+              // Naive-Luby baseline: stay awake to the competition's end.
+              for (t.j2 = 0; t.j2 < params_.rank_bits - t.j - 1; ++t.j2) {
+                t.sub_pc = 0;
+                FLAT_AWAIT(StepListenLogical(t, c));
+                if (!t.ok) {
+                  CappedDecision(t, status);
+                  return true;
+                }
+              }
+            } else {
+              FLAT_SLEEP_FOR(
+                  c, static_cast<Round>(params_.rank_bits - t.j - 1) * reps_);
+            }
+            break;
+          }
+        }
+      }
+      if (Exhausted(t)) {
+        CappedDecision(t, status);
+        return true;
+      }
+      if (!t.lost) {
+        // Winner: confirm inclusion so neighbors terminate out of the MIS.
+        t.sub_pc = 0;
+        FLAT_AWAIT(StepTransmitLogical(t, c));
+        if (!t.ok) {
+          CappedDecision(t, status);
+          return true;
+        }
+        *status = MisStatus::kInMis;
+        return true;
+      }
+      // Loser: final check — did a neighbor win this phase?
+      t.sub_pc = 0;
+      FLAT_AWAIT(StepListenLogical(t, c));
+      if (!t.ok) {
+        CappedDecision(t, status);
+        return true;
+      }
+      if (t.busy) {
+        t.heard_anything = true;
+        *status = MisStatus::kOutMis;
+        return true;
+      }
+    }
+    // Phases exhausted while still undecided (probability 1/poly(n)).
+    FLAT_END();
+  }
+
+  CdParams params_;
+  std::vector<MisStatus>* out_;
+  std::uint32_t reps_;
+  std::vector<CdLane> lanes_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulated CD-MIS (LowDegreeMIS / Davies-profile / naive no-CD Luby):
+// flat mirror of core/simulated_cd_mis.cpp
+// ---------------------------------------------------------------------------
+
+struct SimCdLane {
+  Round start = 0;
+  std::uint32_t phase = 0;
+  std::uint32_t j = 0;
+  std::uint16_t pc = 0;
+  MisStatus result = MisStatus::kUndecided;
+  bool lost = false;
+  BackoffLane bk;
+
+  void Start() noexcept { pc = 0; }
+};
+
+/// SimulatedCdMisRun -> t.result.
+bool StepSimCd(SimCdLane& t, const FlatCtx& c, const SimCdParams& p) {
+  FLAT_BEGIN(t.pc);
+  t.start = c.Now();
+  for (t.phase = 0; t.phase < p.luby_phases; ++t.phase) {
+    if (p.annotate_phases) c.Phase("luby-phase", t.phase);
+    t.lost = false;
+    for (t.j = 0; t.j < p.rank_bits && !t.lost; ++t.j) {
+      if (c.Rand().Bit()) {
+        t.bk.Start();
+        FLAT_AWAIT(StepSnd(t.bk, c, p.style, p.BittyReps(), p.delta));
+      } else {
+        t.bk.Start();
+        FLAT_AWAIT(StepRec(t.bk, c, p.style, p.BittyReps(), p.delta, p.delta_est));
+        if (t.bk.heard) {
+          t.lost = true;
+          // Sleep out the remaining Bitty phases of this competition.
+          FLAT_SLEEP_UNTIL(c, t.start + static_cast<Round>(t.phase) * p.PhaseRounds() +
+                                  static_cast<Round>(p.rank_bits) * p.BittyRounds());
+        }
+      }
+    }
+    if (!t.lost) {
+      // Winner: announce inclusion during the check backoff, then decide.
+      t.bk.Start();
+      FLAT_AWAIT(StepSnd(t.bk, c, p.style, p.reps, p.delta));
+      t.result = MisStatus::kInMis;
+      return true;
+    }
+    t.bk.Start();
+    FLAT_AWAIT(StepRec(t.bk, c, p.style, p.reps, p.delta, p.delta_est));
+    if (t.bk.heard) {
+      t.result = MisStatus::kOutMis;
+      return true;
+    }
+  }
+  t.result = MisStatus::kUndecided;
+  FLAT_END();
+}
+
+class FlatSimulatedCdMis final : public FlatProtocol {
+ public:
+  FlatSimulatedCdMis(SimCdParams params, std::vector<MisStatus>* out,
+                     NodeId num_nodes)
+      : params_(params), out_(out) {
+    params_.annotate_phases = true;  // standalone contract (Standalone())
+    ReserveHuge(lanes_, num_nodes);
+  }
+
+  void Step(NodeId v, NodeContext& ctx) override {
+    const FlatCtx c(&ctx);
+    SimCdLane& t = lanes_[v];
+    if (t.pc == 0) (*out_)[v] = MisStatus::kUndecided;
+    if (StepSimCd(t, c, params_)) {
+      (*out_)[v] = t.result;
+      ctx.done = true;
+    }
+  }
+
+  LaneLayout Lanes() const noexcept override {
+    return {lanes_.data(), sizeof(SimCdLane)};
+  }
+
+ private:
+  SimCdParams params_;
+  std::vector<MisStatus>* out_;
+  std::vector<SimCdLane> lanes_;
+};
+
+// ---------------------------------------------------------------------------
+// Ghaffari-style round-efficient MIS: flat mirror of core/ghaffari_mis.cpp
+// ---------------------------------------------------------------------------
+
+struct GhaffariLane {
+  Round start = 0;
+  std::uint32_t iter = 0;
+  std::uint32_t exponent = 1;
+  std::uint32_t level = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t heard_slots = 0;
+  std::uint16_t pc = 0;
+  MisStatus result = MisStatus::kUndecided;
+  bool marked = false;
+  bool heard_mark = false;
+  bool crowded = false;
+  BackoffLane bk;
+
+  void Start() noexcept { pc = 0; }
+};
+
+/// GhaffariMisRun -> t.result.
+bool StepGhaffari(GhaffariLane& t, const FlatCtx& c, const GhaffariParams& p) {
+  const Round iter_rounds = p.IterationRounds();
+  const std::uint32_t levels = p.Levels();
+  FLAT_BEGIN(t.pc);
+  t.start = c.Now();
+  t.exponent = 1;  // p_v = 2^-exponent, starting at 1/2
+  for (t.iter = 0; t.iter < p.iterations; ++t.iter) {
+    if (p.annotate_phases) c.Phase("ghaffari-iter", t.iter);
+
+    // --- 1. Mark + exchange ----------------------------------------------
+    t.marked = c.Rand().Bernoulli(std::ldexp(1.0, -static_cast<int>(t.exponent)));
+    t.heard_mark = false;
+    if (t.marked) {
+      t.bk.Start();
+      FLAT_AWAIT(StepMarkExchange(t.bk, c, p.mark_reps, p.delta));
+      t.heard_mark = t.bk.heard;
+    } else {
+      FLAT_SLEEP_UNTIL(c, t.start + static_cast<Round>(t.iter) * iter_rounds +
+                              p.MarkExchangeRounds());
+    }
+
+    // --- 2. Join + announce ----------------------------------------------
+    if (t.marked && !t.heard_mark) {
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.announce_reps, p.delta));
+      t.result = MisStatus::kInMis;
+      return true;
+    }
+    t.bk.Start();
+    FLAT_AWAIT(StepRecE(t.bk, c, p.announce_reps, p.delta, p.delta));
+    if (t.bk.heard) {
+      t.result = MisStatus::kOutMis;
+      return true;
+    }
+
+    // --- 3. Effective-degree probe ---------------------------------------
+    t.crowded = false;
+    for (t.level = 0; t.level < levels; ++t.level) {
+      t.heard_slots = 0;
+      for (t.slot = 0; t.slot < p.est_slots; ++t.slot) {
+        if (c.Rand().Bernoulli(
+                std::ldexp(1.0, -static_cast<int>(t.exponent + t.level)))) {
+          FLAT_TRANSMIT(c, 1);
+        } else {
+          FLAT_LISTEN(c);
+          t.heard_slots += c.Heard().Busy() ? 1 : 0;
+        }
+      }
+      if (t.level >= 1 && static_cast<double>(t.heard_slots) >=
+                              p.crowded_threshold * p.est_slots) {
+        t.crowded = true;
+      }
+    }
+    if (t.crowded) {
+      t.exponent = std::min(t.exponent + 1, levels);
+    } else if (t.exponent > 1) {
+      --t.exponent;
+    }
+    FLAT_SLEEP_UNTIL(c, t.start + static_cast<Round>(t.iter + 1) * iter_rounds);
+  }
+  t.result = MisStatus::kUndecided;
+  FLAT_END();
+}
+
+class FlatGhaffariMis final : public FlatProtocol {
+ public:
+  FlatGhaffariMis(GhaffariParams params, std::vector<MisStatus>* out,
+                  NodeId num_nodes)
+      : params_(params), out_(out) {
+    params_.annotate_phases = true;  // standalone contract (Standalone())
+    ReserveHuge(lanes_, num_nodes);
+  }
+
+  void Step(NodeId v, NodeContext& ctx) override {
+    const FlatCtx c(&ctx);
+    GhaffariLane& t = lanes_[v];
+    if (t.pc == 0) (*out_)[v] = MisStatus::kUndecided;
+    if (StepGhaffari(t, c, params_)) {
+      (*out_)[v] = t.result;
+      ctx.done = true;
+    }
+  }
+
+  LaneLayout Lanes() const noexcept override {
+    return {lanes_.data(), sizeof(GhaffariLane)};
+  }
+
+ private:
+  GhaffariParams params_;
+  std::vector<MisStatus>* out_;
+  std::vector<GhaffariLane> lanes_;
+};
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 competition + Algorithm 2 epoch: flat mirrors of
+// core/competition.cpp and core/mis_nocd.cpp
+// ---------------------------------------------------------------------------
+
+struct CompetitionLane {
+  Round end = 0;
+  std::uint32_t j = 0;
+  std::uint32_t delta_est = 0;
+  std::uint16_t pc = 0;
+  CompetitionOutcome outcome = CompetitionOutcome::kWin;
+  bool heard = false;
+  bool committed = false;
+  BackoffLane bk;
+
+  void Start() noexcept { pc = 0; }
+};
+
+/// Competition(params) -> t.outcome (probe-free path; protocols pass null).
+bool StepCompetition(CompetitionLane& t, const FlatCtx& c, const NoCdParams& p) {
+  FLAT_BEGIN(t.pc);
+  t.end = c.Now() +
+          static_cast<Round>(p.rank_bits) * BackoffRounds(p.deep_reps, p.delta);
+  t.delta_est = p.delta;
+  t.heard = false;
+  t.committed = false;
+  for (t.j = 0; t.j < p.rank_bits; ++t.j) {
+    if (c.Rand().Bit()) {
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.deep_reps, p.delta));
+      continue;
+    }
+    t.bk.Start();
+    FLAT_AWAIT(StepRecE(t.bk, c, p.deep_reps, p.delta, t.delta_est));
+    t.heard = t.heard || t.bk.heard;
+    if (t.heard && !t.committed) {
+      // Lost: sleep out the remaining Bitty phases.
+      FLAT_SLEEP_UNTIL(c, t.end);
+      t.outcome = CompetitionOutcome::kLose;
+      return true;
+    }
+    if (!t.heard) {
+      t.delta_est = std::min(p.delta, p.commit_degree);
+      t.committed = true;
+    }
+  }
+  // Nodes that heard nothing win, including committed ones (Alg. 3 line 14).
+  t.outcome = t.heard ? CompetitionOutcome::kCommit : CompetitionOutcome::kWin;
+  FLAT_END();
+}
+
+struct NoCdEpochLane {
+  std::uint32_t i = 0;  // Luby phase index
+  std::uint16_t pc = 0;
+  CompetitionLane comp;
+  BackoffLane bk;
+  SimCdLane sim;    // LowDegreeKind::kSimulatedAlg1
+  GhaffariLane gh;  // LowDegreeKind::kGhaffari
+
+  void Start() noexcept { pc = 0; }
+};
+
+/// MisNoCdEpoch(params, start, in_mis, status). `sched` must equal
+/// NoCdSchedule::Of(params) (precomputed once per machine, not per node).
+bool StepNoCdEpoch(NoCdEpochLane& t, const FlatCtx& c, const NoCdParams& p,
+                   const NoCdSchedule& sched, Round start, bool* in_mis,
+                   MisStatus* status) {
+  FLAT_BEGIN(t.pc);
+  for (t.i = 0; t.i < p.luby_phases; ++t.i) {
+    // Theorem 10's deterministic threshold: over budget -> decide and sleep.
+    if (p.energy_cap != 0 && !*in_mis && c.EnergySpent() >= p.energy_cap) {
+      *status = MisStatus::kOutMis;
+      return true;
+    }
+
+    if (*in_mis) {
+      // MIS nodes sleep through the competition and announce in both deep
+      // checks and the shallow check (Alg. 2 lines 4, 7, 15, 26).
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.CompetitionEnd());
+      c.SubPhase("deep-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.deep_reps, p.delta));
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.deep_reps, p.delta));
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.LowDegreeEnd());
+      c.SubPhase("shallow-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.shallow_reps, p.delta));
+      continue;
+    }
+    if (*status != MisStatus::kUndecided) return true;  // decided earlier
+
+    FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase);
+    c.Phase("luby-phase", t.i);
+    c.SubPhase("competition");
+    t.comp.Start();
+    FLAT_AWAIT(StepCompetition(t.comp, c, p));
+
+    if (t.comp.outcome == CompetitionOutcome::kWin) {
+      // Deep check A: listen for MIS neighbors before joining (lines 8-11).
+      c.SubPhase("deep-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepRecE(t.bk, c, p.deep_reps, p.delta, p.delta));
+      if (t.bk.heard) {
+        *status = MisStatus::kOutMis;
+        return true;
+      }
+      *in_mis = true;
+      *status = MisStatus::kInMis;
+      // Deep check B: announce as a fresh MIS node (lines 14-15).
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.deep_reps, p.delta));
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.LowDegreeEnd());
+      c.SubPhase("shallow-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepSndE(t.bk, c, p.shallow_reps, p.delta));
+    } else if (t.comp.outcome == CompetitionOutcome::kCommit) {
+      // Committed nodes sleep through deep check A (line 12)...
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.FirstDeepEnd());
+      // ...then deep-check for MIS neighbors, old and fresh (lines 17-20).
+      c.SubPhase("deep-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepRecE(t.bk, c, p.deep_reps, p.delta, p.delta));
+      if (t.bk.heard) {
+        *status = MisStatus::kOutMis;
+        return true;
+      }
+      // Survivors resolve with LowDegreeMIS inside the T_G window.
+      c.SubPhase("low-degree-mis");
+      if (p.low_degree_kind == LowDegreeKind::kGhaffari) {
+        t.gh.Start();
+        FLAT_AWAIT(StepGhaffari(t.gh, c, p.low_degree_ghaffari));
+      } else {
+        t.sim.Start();
+        FLAT_AWAIT(StepSimCd(t.sim, c, p.low_degree));
+      }
+      {
+        const MisStatus sub = p.low_degree_kind == LowDegreeKind::kGhaffari
+                                  ? t.gh.result
+                                  : t.sim.result;
+        if (sub == MisStatus::kInMis) {
+          *in_mis = true;
+          *status = MisStatus::kInMis;
+        } else if (sub == MisStatus::kOutMis) {
+          *status = MisStatus::kOutMis;
+          return true;  // dominated within the committed subgraph
+        }
+      }
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.LowDegreeEnd());
+      // Shallow check (lines 26-30).
+      c.SubPhase("shallow-check");
+      if (*in_mis) {
+        t.bk.Start();
+        FLAT_AWAIT(StepSndE(t.bk, c, p.shallow_reps, p.delta));
+      } else {
+        t.bk.Start();
+        FLAT_AWAIT(StepRecE(t.bk, c, p.shallow_reps, p.delta, p.delta));
+        if (t.bk.heard) {
+          *status = MisStatus::kOutMis;
+          return true;
+        }
+      }
+    } else {  // CompetitionOutcome::kLose
+      // Losers sleep until the shallow check (lines 12, 24), then listen
+      // once for an MIS neighbor (lines 28-30).
+      FLAT_SLEEP_UNTIL(c, start + static_cast<Round>(t.i) * sched.phase +
+                              sched.LowDegreeEnd());
+      c.SubPhase("shallow-check");
+      t.bk.Start();
+      FLAT_AWAIT(StepRecE(t.bk, c, p.shallow_reps, p.delta, p.delta));
+      if (t.bk.heard) {
+        *status = MisStatus::kOutMis;
+        return true;
+      }
+    }
+  }
+  // Phases exhausted while undecided (probability 1/poly(n)).
+  FLAT_END();
+}
+
+class FlatMisNoCd final : public FlatProtocol {
+ public:
+  FlatMisNoCd(NoCdParams params, std::vector<MisStatus>* out, NodeId num_nodes)
+      : params_(params),
+        sched_(NoCdSchedule::Of(params)),
+        out_(out) {
+    ReserveHuge(lanes_, num_nodes);
+  }
+
+  void Step(NodeId v, NodeContext& ctx) override {
+    const FlatCtx c(&ctx);
+    Lane& t = lanes_[v];
+    if (t.epoch.pc == 0 && !t.entered) {
+      (*out_)[v] = MisStatus::kUndecided;
+      t.in_mis = false;
+      t.entered = true;
+    }
+    if (StepNoCdEpoch(t.epoch, c, params_, sched_, 0, &t.in_mis, &(*out_)[v])) {
+      // MisNoCdNode: api.Retire() then the root coroutine finishes.
+      ctx.done = true;
+    }
+  }
+
+  LaneLayout Lanes() const noexcept override {
+    return {lanes_.data(), sizeof(Lane)};
+  }
+
+ private:
+  struct Lane {
+    NoCdEpochLane epoch;
+    bool in_mis = false;
+    bool entered = false;
+  };
+
+  NoCdParams params_;
+  NoCdSchedule sched_;
+  std::vector<MisStatus>* out_;
+  std::vector<Lane> lanes_;
+};
+
+// ---------------------------------------------------------------------------
+// Unknown-Δ doubling wrapper: flat mirror of core/delta_doubling.cpp
+// ---------------------------------------------------------------------------
+
+struct DeltaLane {
+  Round epoch_start = 0;
+  Round verify_end = 0;
+  std::uint32_t g = 0;   // guess index
+  std::uint32_t it = 0;  // verification iteration
+  std::uint16_t pc = 0;
+  bool in_mis = false;
+  NoCdEpochLane epoch;
+  BackoffLane bk;
+};
+
+class FlatDeltaDoublingMis final : public FlatProtocol {
+ public:
+  FlatDeltaDoublingMis(DeltaDoublingParams params, std::vector<MisStatus>* out,
+                       NodeId num_nodes)
+      : params_(params), out_(out) {
+    ReserveHuge(lanes_, num_nodes);
+    // Per-guess configuration is identical across nodes: derive it once
+    // here instead of per node (the coroutine recomputes it per node, but
+    // the values are pure functions of params).
+    for (const std::uint32_t guess : params_.Guesses()) {
+      const NoCdParams epoch = params_.theory_constants
+                                   ? NoCdParams::Theory(params_.n, guess)
+                                   : NoCdParams::Practical(params_.n, guess);
+      guesses_.push_back(guess);
+      epochs_.push_back(epoch);
+      scheds_.push_back(NoCdSchedule::Of(epoch));
+      verify_rounds_.push_back(static_cast<Round>(params_.verify_reps) *
+                               BackoffRounds(1, guess));
+      epoch_rounds_.push_back(static_cast<Round>(epoch.luby_phases) *
+                              scheds_.back().phase);
+    }
+  }
+
+  void Step(NodeId v, NodeContext& ctx) override {
+    const FlatCtx c(&ctx);
+    if (StepNode(lanes_[v], c, &(*out_)[v])) {
+      // DeltaDoublingMisNode: api.Retire() then the root finishes.
+      ctx.done = true;
+    }
+  }
+
+  LaneLayout Lanes() const noexcept override {
+    return {lanes_.data(), sizeof(DeltaLane)};
+  }
+
+ private:
+  bool StepNode(DeltaLane& t, const FlatCtx& c, MisStatus* status) {
+    FLAT_BEGIN(t.pc);
+    *status = MisStatus::kUndecided;
+    t.in_mis = false;
+    t.epoch_start = 0;
+    for (t.g = 0; t.g < guesses_.size(); ++t.g) {
+      // Spans the verification window; the nested epoch's "luby-phase"
+      // annotations take over from there.
+      c.Phase("delta-epoch", guesses_[t.g]);
+      t.verify_end = t.epoch_start + verify_rounds_[t.g];
+      // --- 1. Verification window ---------------------------------------
+      if (t.in_mis) {
+        for (t.it = 0; t.it < params_.verify_reps && t.in_mis; ++t.it) {
+          if (c.Rand().Bit()) {
+            t.bk.Start();
+            FLAT_AWAIT(StepSndE(t.bk, c, 1, guesses_[t.g]));
+          } else {
+            t.bk.Start();
+            FLAT_AWAIT(StepRecE(t.bk, c, 1, guesses_[t.g], guesses_[t.g]));
+            if (t.bk.heard) {
+              t.in_mis = false;  // independence violation: retry from scratch
+              *status = MisStatus::kUndecided;
+            }
+          }
+        }
+      }
+      FLAT_SLEEP_UNTIL(c, t.verify_end);
+
+      // --- 2. Algorithm 2 epoch with Δ = guess --------------------------
+      if (!t.in_mis) *status = MisStatus::kUndecided;
+      t.epoch.Start();
+      FLAT_AWAIT(StepNoCdEpoch(t.epoch, c, epochs_[t.g], scheds_[t.g],
+                               t.verify_end, &t.in_mis, status));
+      t.epoch_start = t.verify_end + epoch_rounds_[t.g];
+      FLAT_SLEEP_UNTIL(c, t.epoch_start);
+    }
+    FLAT_END();
+  }
+
+  DeltaDoublingParams params_;
+  std::vector<MisStatus>* out_;
+  std::vector<std::uint32_t> guesses_;
+  std::vector<NoCdParams> epochs_;
+  std::vector<NoCdSchedule> scheds_;
+  std::vector<Round> verify_rounds_;
+  std::vector<Round> epoch_rounds_;
+  std::vector<DeltaLane> lanes_;
+};
+
+#undef FLAT_BEGIN
+#undef FLAT_END
+#undef FLAT_TRANSMIT
+#undef FLAT_LISTEN
+#undef FLAT_SLEEP_FOR
+#undef FLAT_SLEEP_UNTIL
+#undef FLAT_AWAIT
+
+}  // namespace
+
+std::unique_ptr<FlatProtocol> FlatMisCdProtocol(CdParams params,
+                                                std::vector<MisStatus>* out,
+                                                NodeId num_nodes) {
+  EMIS_EXPECTS(out != nullptr, "output vector required");
+  return std::make_unique<FlatMisCd>(params, out, num_nodes);
+}
+
+std::unique_ptr<FlatProtocol> FlatMisNoCdProtocol(NoCdParams params,
+                                                  std::vector<MisStatus>* out,
+                                                  NodeId num_nodes) {
+  EMIS_EXPECTS(out != nullptr, "output vector required");
+  return std::make_unique<FlatMisNoCd>(params, out, num_nodes);
+}
+
+std::unique_ptr<FlatProtocol> FlatSimulatedCdMisProtocol(
+    SimCdParams params, std::vector<MisStatus>* out, NodeId num_nodes) {
+  EMIS_EXPECTS(out != nullptr, "output vector required");
+  return std::make_unique<FlatSimulatedCdMis>(params, out, num_nodes);
+}
+
+std::unique_ptr<FlatProtocol> FlatGhaffariMisProtocol(
+    GhaffariParams params, std::vector<MisStatus>* out, NodeId num_nodes) {
+  EMIS_EXPECTS(out != nullptr, "output vector required");
+  return std::make_unique<FlatGhaffariMis>(params, out, num_nodes);
+}
+
+std::unique_ptr<FlatProtocol> FlatDeltaDoublingMisProtocol(
+    DeltaDoublingParams params, std::vector<MisStatus>* out, NodeId num_nodes) {
+  EMIS_REQUIRE(out != nullptr, "output vector required");
+  return std::make_unique<FlatDeltaDoublingMis>(params, out, num_nodes);
+}
+
+}  // namespace emis

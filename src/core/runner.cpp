@@ -1,8 +1,10 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/delta_doubling.hpp"
+#include "core/flat_mis.hpp"
 #include "core/ghaffari_mis.hpp"
 #include "core/mis_cd.hpp"
 #include "core/mis_nocd.hpp"
@@ -22,6 +24,18 @@ std::uint32_t EffectiveDelta(const Graph& graph, const MisRunConfig& config) {
 }
 
 }  // namespace
+
+ExecutionEngine DefaultExecutionEngine() noexcept {
+  static const ExecutionEngine engine = [] {
+    const char* env = std::getenv("EMIS_ENGINE");
+    if (env != nullptr) {
+      const ExecutionEngine parsed = ExecutionEngineFromString(env);
+      if (parsed != kInvalidExecutionEngine) return parsed;
+    }
+    return ExecutionEngine::kCoroutine;
+  }();
+  return engine;
+}
 
 ChannelModel ModelFor(MisAlgorithm algorithm) noexcept {
   switch (algorithm) {
@@ -90,7 +104,8 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
        .trace = config.trace, .link_loss = config.link_loss,
        .resolution = config.resolution, .compaction = config.compaction,
        .metrics = config.metrics, .timeline = config.timeline,
-       .ledger = config.ledger, .telemetry = config.telemetry},
+       .ledger = config.ledger, .engine = config.engine,
+       .telemetry = config.telemetry},
       config.seed);
 
   if (config.timeline != nullptr) {
@@ -109,30 +124,57 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
     });
   }
 
+  const bool flat = config.engine == ExecutionEngine::kFlat;
+  const NodeId n = graph.NumNodes();
   switch (config.algorithm) {
     case MisAlgorithm::kCd:
     case MisAlgorithm::kCdBeeping:
-    case MisAlgorithm::kCdNaive:
-      scheduler.Spawn(MisCdProtocol(DeriveCdParams(graph, config), &result.status));
+    case MisAlgorithm::kCdNaive: {
+      const CdParams p = DeriveCdParams(graph, config);
+      if (flat) {
+        scheduler.SpawnFlat(FlatMisCdProtocol(p, &result.status, n));
+      } else {
+        scheduler.Spawn(MisCdProtocol(p, &result.status));
+      }
       break;
-    case MisAlgorithm::kNoCd:
-      scheduler.Spawn(MisNoCdProtocol(DeriveNoCdParams(graph, config), &result.status));
+    }
+    case MisAlgorithm::kNoCd: {
+      const NoCdParams p = DeriveNoCdParams(graph, config);
+      if (flat) {
+        scheduler.SpawnFlat(FlatMisNoCdProtocol(p, &result.status, n));
+      } else {
+        scheduler.Spawn(MisNoCdProtocol(p, &result.status));
+      }
       break;
+    }
     case MisAlgorithm::kNoCdDaviesProfile:
-    case MisAlgorithm::kNoCdNaive:
-      scheduler.Spawn(
-          SimulatedCdMisProtocol(DeriveSimParams(graph, config), &result.status));
+    case MisAlgorithm::kNoCdNaive: {
+      const SimCdParams p = DeriveSimParams(graph, config);
+      if (flat) {
+        scheduler.SpawnFlat(FlatSimulatedCdMisProtocol(p, &result.status, n));
+      } else {
+        scheduler.Spawn(SimulatedCdMisProtocol(p, &result.status));
+      }
       break;
+    }
     case MisAlgorithm::kNoCdUnknownDelta: {
       DeltaDoublingParams p = DeltaDoublingParams::Practical(EffectiveN(graph, config));
       p.theory_constants = config.preset == ParamPreset::kTheory;
-      scheduler.Spawn(DeltaDoublingMisProtocol(p, &result.status));
+      if (flat) {
+        scheduler.SpawnFlat(FlatDeltaDoublingMisProtocol(p, &result.status, n));
+      } else {
+        scheduler.Spawn(DeltaDoublingMisProtocol(p, &result.status));
+      }
       break;
     }
     case MisAlgorithm::kNoCdRoundEfficient: {
       const GhaffariParams p = GhaffariParams::Practical(
           EffectiveN(graph, config), EffectiveDelta(graph, config));
-      scheduler.Spawn(GhaffariMisProtocol(p, &result.status));
+      if (flat) {
+        scheduler.SpawnFlat(FlatGhaffariMisProtocol(p, &result.status, n));
+      } else {
+        scheduler.Spawn(GhaffariMisProtocol(p, &result.status));
+      }
       break;
     }
   }

@@ -66,10 +66,20 @@ constexpr std::string_view ToString(MisAlgorithm a) noexcept {
 /// Which constant preset to derive parameters from (see params.hpp).
 enum class ParamPreset : std::uint8_t { kPractical, kTheory };
 
+/// Process-wide default execution backend: ExecutionEngine::kCoroutine, or
+/// the value of the EMIS_ENGINE environment variable ("coroutine" / "flat")
+/// when set to a valid engine name. Read once and cached; lets a CI matrix
+/// run the whole test suite under either engine without touching call sites.
+ExecutionEngine DefaultExecutionEngine() noexcept;
+
 struct MisRunConfig {
   MisAlgorithm algorithm = MisAlgorithm::kCd;
   ParamPreset preset = ParamPreset::kPractical;
   std::uint64_t seed = 0;
+
+  /// Execution backend (cost knob only — both engines produce identical
+  /// traces, energy profiles, and MIS decisions; see DESIGN.md §12).
+  ExecutionEngine engine = DefaultExecutionEngine();
 
   /// Known upper bound on n given to the nodes (paper §1.1). 0 = use the
   /// actual node count. Overestimates only scale the polylog factors.

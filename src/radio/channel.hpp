@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/contracts.hpp"
+#include "radio/channel_kernels.hpp"
 #include "radio/graph.hpp"
 #include "radio/model.hpp"
 #include "radio/rng.hpp"
@@ -208,13 +209,24 @@ class Channel {
     return h;
   }
 
-  /// Word-parallel pull scan for high-degree rows. Rows are sorted, so runs
-  /// of neighbors sharing a 64-id block reuse one cached bitset word, and a
-  /// block with no transmitters is dismissed with a single test. Same visit
-  /// order and per-link loss draws as the plain scan — results are
-  /// byte-identical.
+  /// Word-parallel pull scan for high-degree rows. The loss-free path
+  /// dispatches to the runtime-selected kernel (AVX2 gathers when the CPU
+  /// has them, the portable cached-word loop otherwise — see
+  /// radio/channel_kernels.hpp); both report the exact count and the LAST
+  /// transmitting row position, so receptions are byte-identical to the
+  /// plain scan. Lossy rows need a per-link erasure draw in row visit order
+  /// and keep the scalar loop.
   Heard ScanRowByWords(NodeId v, std::span<const NodeId> row) const {
     Heard h;
+    if (loss_ == 0.0) {
+      const chan_kernels::ScanHits hits =
+          scan_fn_(row.data(), row.size(), tx_words_.data(), epoch_);
+      h.count = hits.count;
+      if (hits.last_hit != chan_kernels::kNoHit) {
+        h.payload = tx_payload_[row[hits.last_hit]];
+      }
+      return h;
+    }
     std::size_t cached_index = ~std::size_t{0};
     std::uint64_t cached_bits = 0;
     for (NodeId u : row) {
@@ -225,7 +237,7 @@ class Channel {
         cached_bits = word.epoch == epoch_ ? word.bits : 0;
       }
       if (((cached_bits >> (u & 63)) & 1u) == 0) continue;
-      if (loss_ > 0.0 && LinkErased(epoch_, u, v, loss_seed_, loss_)) continue;
+      if (LinkErased(epoch_, u, v, loss_seed_, loss_)) continue;
       ++h.count;
       h.payload = tx_payload_[u];
     }
@@ -284,12 +296,11 @@ class Channel {
   std::vector<std::uint64_t> tx_payload_;
   // Packed transmitter bitset for the word-parallel pull scan: one 16-byte
   // (epoch, bits) pair per 64 nodes, lazily invalidated by epoch stamp so
-  // BeginRound stays O(1).
-  struct TxWord {
-    std::uint64_t epoch = 0;
-    std::uint64_t bits = 0;
-  };
+  // BeginRound stays O(1). The word layout is shared with the scan kernels.
+  using TxWord = chan_kernels::TxWord;
   std::vector<TxWord> tx_words_;
+  // Loss-free pull-scan kernel for this machine, resolved once at startup.
+  chan_kernels::ScanRowFn scan_fn_ = chan_kernels::ResolveScanRowFn();
 };
 
 }  // namespace emis

@@ -1,0 +1,35 @@
+#include "radio/channel_kernels.hpp"
+
+namespace emis::chan_kernels {
+
+ScanHits ScanRowPortable(const NodeId* row, std::size_t size,
+                         const TxWord* words, std::uint64_t epoch) {
+  ScanHits h;
+  std::size_t cached_index = ~std::size_t{0};
+  std::uint64_t cached_bits = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const NodeId u = row[i];
+    const std::size_t index = u >> 6;
+    if (index != cached_index) {
+      cached_index = index;
+      const TxWord& word = words[index];
+      cached_bits = word.epoch == epoch ? word.bits : 0;
+    }
+    if (((cached_bits >> (u & 63)) & 1u) == 0) continue;
+    ++h.count;
+    h.last_hit = i;
+  }
+  return h;
+}
+
+ScanRowFn ResolveScanRowFn() noexcept {
+  static const ScanRowFn fn = [] {
+#if defined(__x86_64__) || defined(_M_X64)
+    if (__builtin_cpu_supports("avx2")) return &ScanRowAvx2;
+#endif
+    return &ScanRowPortable;
+  }();
+  return fn;
+}
+
+}  // namespace emis::chan_kernels

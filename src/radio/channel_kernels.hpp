@@ -1,0 +1,64 @@
+// Word-parallel pull-scan kernels for the channel's high-degree rows.
+//
+// The pull direction resolves a listener by scanning its (sorted) row of
+// candidate neighbor ids against the round's packed transmitter bitset —
+// one epoch-stamped 64-bit word per 64 node ids (Channel's TxWord mirror).
+// This header factors the loss-free inner loop out of Channel into free
+// kernels so the implementation can be picked at runtime:
+//
+//   * ScanRowPortable — the reference loop: one cached bitset word per
+//     64-id block, O(1) per row entry;
+//   * ScanRowAvx2 — 4 row entries per step via AVX2 gathers over the
+//     (epoch, bits) pairs (compiled in its own -mavx2 TU; on non-x86 or
+//     pre-AVX2 toolchains it compiles as a forwarder to the portable loop);
+//   * ResolveScanRowFn — runtime dispatch: AVX2 when the CPU supports it,
+//     portable otherwise. Resolved once per process.
+//
+// Contract (pinned by tests/test_channel_kernels.cpp): both kernels return
+// the exact transmitting-neighbor count and the row POSITION of the last
+// transmitting entry — Channel turns that into the last-entry payload, so
+// receptions are bit-identical whichever kernel ran. Only the loss-free
+// path dispatches here; lossy rows need a per-link erasure draw in visit
+// order and keep the scalar loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "radio/types.hpp"
+
+namespace emis::chan_kernels {
+
+/// One packed transmitter word: bit (u & 63) of `bits` is set iff node u
+/// transmitted in round `epoch`. Words are invalidated lazily by the epoch
+/// stamp, so a stale word (epoch != current) reads as "no transmitters".
+struct TxWord {
+  std::uint64_t epoch = 0;
+  std::uint64_t bits = 0;
+};
+
+/// Sentinel for "no row entry transmitted".
+inline constexpr std::size_t kNoHit = ~std::size_t{0};
+
+struct ScanHits {
+  std::uint32_t count = 0;       ///< transmitting entries in the row
+  std::size_t last_hit = kNoHit; ///< row index of the LAST transmitting entry
+};
+
+using ScanRowFn = ScanHits (*)(const NodeId* row, std::size_t size,
+                               const TxWord* words, std::uint64_t epoch);
+
+/// Reference kernel; always available.
+ScanHits ScanRowPortable(const NodeId* row, std::size_t size,
+                         const TxWord* words, std::uint64_t epoch);
+
+/// AVX2 kernel (own translation unit). Bit-identical results to the
+/// portable kernel; falls back to it when built without AVX2 support.
+ScanHits ScanRowAvx2(const NodeId* row, std::size_t size, const TxWord* words,
+                     std::uint64_t epoch);
+
+/// The kernel for this machine: ScanRowAvx2 iff the CPU reports AVX2,
+/// else ScanRowPortable. Cached after the first call.
+ScanRowFn ResolveScanRowFn() noexcept;
+
+}  // namespace emis::chan_kernels

@@ -1,0 +1,65 @@
+// AVX2 pull-scan kernel. Compiled with -mavx2 when the toolchain supports
+// it (see src/CMakeLists.txt); otherwise this TU degrades to a forwarder so
+// the symbol always links. Selection happens at runtime in
+// ResolveScanRowFn — a binary built here still runs on pre-AVX2 hosts.
+#include "radio/channel_kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace emis::chan_kernels {
+
+#if defined(__AVX2__)
+
+ScanHits ScanRowAvx2(const NodeId* row, std::size_t size, const TxWord* words,
+                     std::uint64_t epoch) {
+  ScanHits h;
+  // TxWord is a (epoch, bits) u64 pair; gather from the flat u64 view at
+  // indices 2*word and 2*word+1. Four row entries per step: i32gather_epi64
+  // consumes 4 x i32 indices and produces 4 x u64 lanes.
+  const auto* flat = reinterpret_cast<const long long*>(words);
+  const __m256i epoch_v = _mm256_set1_epi64x(static_cast<long long>(epoch));
+  const __m256i one_v = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  std::uint32_t count = 0;
+  for (; i + 4 <= size; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i));
+    const __m128i word_x2 = _mm_slli_epi32(_mm_srli_epi32(ids, 6), 1);
+    const __m256i epochs = _mm256_i32gather_epi64(flat, word_x2, 8);
+    const __m256i bits = _mm256_i32gather_epi64(
+        flat, _mm_add_epi32(word_x2, _mm_set1_epi32(1)), 8);
+    // A stale word (epoch mismatch) reads as no transmitters.
+    const __m256i fresh = _mm256_cmpeq_epi64(epochs, epoch_v);
+    const __m256i shift =
+        _mm256_cvtepu32_epi64(_mm_and_si128(ids, _mm_set1_epi32(63)));
+    const __m256i bit =
+        _mm256_and_si256(_mm256_srlv_epi64(bits, shift), one_v);
+    const __m256i hit =
+        _mm256_cmpeq_epi64(_mm256_and_si256(bit, fresh), one_v);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(hit)));
+    if (mask != 0) {
+      count += static_cast<std::uint32_t>(__builtin_popcount(mask));
+      h.last_hit = i + (31u - static_cast<unsigned>(__builtin_clz(mask)));
+    }
+  }
+  // Scalar tail (< 4 entries) through the reference kernel.
+  const ScanHits tail = ScanRowPortable(row + i, size - i, words, epoch);
+  count += tail.count;
+  if (tail.last_hit != kNoHit) h.last_hit = i + tail.last_hit;
+  h.count = count;
+  return h;
+}
+
+#else  // !defined(__AVX2__)
+
+ScanHits ScanRowAvx2(const NodeId* row, std::size_t size, const TxWord* words,
+                     std::uint64_t epoch) {
+  return ScanRowPortable(row, size, words, epoch);
+}
+
+#endif
+
+}  // namespace emis::chan_kernels

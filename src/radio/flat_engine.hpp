@@ -1,0 +1,133 @@
+// The flat execution backend: protocols as explicit state machines.
+//
+// The coroutine engine (radio/process.hpp) represents each node's program
+// counter as a suspended coroutine stack; resuming it costs an indirect
+// jump into an arena frame plus symmetric transfers through every nested
+// sub-task. The flat engine replaces that with one FlatProtocol object that
+// owns a packed per-node lane (a small struct of counters and flags in a
+// contiguous SoA-style vector) and a Step() that advances the node's state
+// machine in place. The scheduler is otherwise unchanged: the same wake
+// wheel, the same two-phase channel resolution, the same energy meter,
+// trace sink, timeline, and Retire() compaction.
+//
+// Equivalence contract (pinned by tests/test_flat_engine.cpp): a flat
+// machine must file the *same actions in the same rounds*, consume its
+// node's RNG stream with the *same draws in the same order*, and emit the
+// same Phase/SubPhase annotations at the same rounds as the coroutine
+// protocol it mirrors. Two rules make this exact:
+//
+//   1. Step() runs until it files a real action (transmit, listen, or a
+//      strictly-future sleep) or the program ends. Zero-length sleeps are
+//      resolved inside Step, mirroring SleepAwait::await_ready() — they
+//      never reach the scheduler in either engine.
+//   2. Every RNG draw and annotation happens at the same point of the
+//      node's program order. Awaiting a child Task starts the child
+//      immediately (symmetric transfer), so a nested coroutine call
+//      behaves exactly like inlining its body — flat sub-machines are
+//      therefore stepped inline at the call site.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/phase_timeline.hpp"
+#include "radio/model.hpp"
+#include "radio/process.hpp"
+#include "radio/rng.hpp"
+#include "radio/types.hpp"
+
+namespace emis {
+
+/// The action/observation surface a flat state machine sees: the NodeApi
+/// equivalent over the same NodeContext the scheduler resolves against.
+/// Cheap value type; wraps one node for the duration of one Step().
+class FlatCtx {
+ public:
+  explicit FlatCtx(NodeContext* ctx) noexcept : ctx_(ctx) {}
+
+  NodeId Id() const noexcept { return ctx_->id; }
+  Round Now() const noexcept { return ctx_->now; }
+  Rng& Rand() const noexcept { return ctx_->rng; }
+
+  /// Result of the node's last listen action.
+  const Reception& Heard() const noexcept { return ctx_->last_reception; }
+
+  /// Awake rounds this node has paid so far (reads the scheduler's meter).
+  std::uint64_t EnergySpent() const noexcept {
+    return ctx_->energy != nullptr ? ctx_->energy->Awake() : 0;
+  }
+
+  /// Phase / sub-phase annotations; same semantics as NodeApi.
+  void Phase(std::string_view base,
+             std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
+    if (ctx_->timeline != nullptr) ctx_->timeline->Annotate(base, index, ctx_->now);
+  }
+  void SubPhase(std::string_view base,
+                std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
+    if (ctx_->timeline != nullptr) {
+      ctx_->timeline->AnnotateSub(base, index, ctx_->now);
+    }
+  }
+
+  /// Files one awake transmit round. The caller must yield out of Step()
+  /// immediately after (the protothread macros in core/flat_mis.cpp do).
+  void Transmit(std::uint64_t payload = 1) const noexcept {
+    ctx_->pending = ActionKind::kTransmit;
+    ctx_->out_payload = payload;
+  }
+
+  /// Files one awake listen round.
+  void Listen() const noexcept { ctx_->pending = ActionKind::kListen; }
+
+  /// Files a sleep until absolute round `round` and returns true, or
+  /// returns false when the sleep is zero-length (already due) — the
+  /// machine must then continue executing without yielding, exactly like
+  /// SleepAwait::await_ready() short-circuiting a coroutine co_await.
+  bool SleepUntil(Round round) const noexcept {
+    if (round <= ctx_->now) return false;
+    ctx_->pending = ActionKind::kSleep;
+    ctx_->wake_round = round;
+    return true;
+  }
+
+  /// Files a sleep for `rounds` rounds; false (no yield) when rounds == 0.
+  bool SleepFor(Round rounds) const noexcept {
+    return SleepUntil(ctx_->now + rounds);
+  }
+
+  /// Terminal-decision marker; same semantics as NodeApi::Retire().
+  void Retire() const noexcept { ctx_->retire_requested = true; }
+
+ private:
+  NodeContext* ctx_;
+};
+
+/// A batched protocol: one object drives every node's state machine. The
+/// scheduler calls Step(v) wherever the coroutine engine would resume node
+/// v's coroutine; Step must leave exactly one action filed in `ctx`
+/// (pending / out_payload / wake_round) or mark the program finished by
+/// setting ctx.done = true (with ctx.retire_requested where the coroutine
+/// protocol would have called api.Retire()).
+class FlatProtocol {
+ public:
+  /// Byte layout of the per-node lane array: node v's machine state lives at
+  /// `base + stride * v`. The scheduler prefetches upcoming lanes with this
+  /// (resume order is wake order, not node order, so the hardware stride
+  /// detector cannot) — purely a performance hint; {nullptr, 0} disables it.
+  struct LaneLayout {
+    const void* base = nullptr;
+    std::size_t stride = 0;
+  };
+
+  virtual ~FlatProtocol() = default;
+
+  FlatProtocol() = default;
+  FlatProtocol(const FlatProtocol&) = delete;
+  FlatProtocol& operator=(const FlatProtocol&) = delete;
+
+  virtual void Step(NodeId v, NodeContext& ctx) = 0;
+
+  virtual LaneLayout Lanes() const noexcept { return {}; }
+};
+
+}  // namespace emis

@@ -1,0 +1,54 @@
+// Transparent-huge-page advice for large, randomly-indexed per-node arrays.
+//
+// The engines' hot arrays (scheduler contexts, flat-engine lanes) are ~100 B
+// per node and indexed in wake order, not address order — at bench sizes
+// (n = 2^20 and up) nearly every access misses the dTLB under 4 KiB pages.
+// Backing the array with 2 MiB pages cuts the page count ~500x, so the walk
+// all but disappears. Purely a cost knob: behaviour is identical whether the
+// advice is honored, ignored (THP disabled), or unavailable (non-Linux).
+//
+// Order matters: madvise(MADV_HUGEPAGE) only changes how *future* faults are
+// served; already-touched pages wait for khugepaged's slow background
+// collapse. Callers must advise between reserve() (allocates, untouched) and
+// resize() (first touch) — ReserveHuge does exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace emis {
+
+/// Advises the kernel to serve faults in [base, base + bytes) with huge
+/// pages. Only the 2 MiB-aligned interior is advised; small arrays are left
+/// alone. Advisory — never fails observably.
+inline void AdviseHugePages(void* base, std::size_t bytes) noexcept {
+#if defined(__linux__)
+  constexpr std::uintptr_t kHuge = std::uintptr_t{1} << 21;
+  if (bytes < 2 * kHuge) return;  // no aligned interior worth the call
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(base);
+  const std::uintptr_t first = (addr + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t last = (addr + bytes) & ~(kHuge - 1);
+  if (last > first) {
+    (void)madvise(reinterpret_cast<void*>(first), last - first, MADV_HUGEPAGE);
+  }
+#else
+  (void)base;
+  (void)bytes;
+#endif
+}
+
+/// reserve() + advise + resize(), in that order, so the value-initializing
+/// first touch faults huge pages directly instead of queueing for collapse.
+template <typename T>
+void ReserveHuge(std::vector<T>& vec, std::size_t count) {
+  vec.reserve(count);
+  AdviseHugePages(vec.data(), count * sizeof(T));
+  vec.resize(count);
+}
+
+}  // namespace emis

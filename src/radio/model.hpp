@@ -100,6 +100,37 @@ constexpr std::string_view ToString(ReceptionKind k) noexcept {
   return "?";
 }
 
+/// Which backend drives protocol execution (see radio/scheduler.hpp).
+/// Semantically invisible: both engines produce identical traces, energy
+/// charges, metrics, and reports (pinned by tests/test_flat_engine.cpp).
+/// The choice only moves *how* a node's program counter is represented:
+///   * coroutine — one C++20 coroutine per node, frames pooled in the slab
+///     arena; the reference implementation every protocol is written in;
+///   * flat — packed per-node state-machine lanes stepped in place
+///     (core/flat_mis.*), no frames and no symmetric transfer on the
+///     resume hot path.
+enum class ExecutionEngine : std::uint8_t {
+  kCoroutine,  ///< reference backend: resume one coroutine per awake node
+  kFlat,       ///< batched backend: advance packed state-machine lanes
+};
+
+constexpr std::string_view ToString(ExecutionEngine e) noexcept {
+  switch (e) {
+    case ExecutionEngine::kCoroutine: return "coroutine";
+    case ExecutionEngine::kFlat: return "flat";
+  }
+  return "?";
+}
+
+/// Parses "coroutine" / "flat"; anything else is kInvalid.
+inline constexpr auto kInvalidExecutionEngine =
+    static_cast<ExecutionEngine>(0xFF);
+constexpr ExecutionEngine ExecutionEngineFromString(std::string_view s) noexcept {
+  if (s == "coroutine") return ExecutionEngine::kCoroutine;
+  if (s == "flat") return ExecutionEngine::kFlat;
+  return kInvalidExecutionEngine;
+}
+
 /// What a node chose to do with its current round(s).
 enum class ActionKind : std::uint8_t {
   kTransmit,  ///< transmit a payload this round (awake)

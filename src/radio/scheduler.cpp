@@ -4,6 +4,7 @@
 
 #include "core/contracts.hpp"
 #include "obs/scoped_timer.hpp"
+#include "radio/hugepages.hpp"
 
 namespace emis {
 
@@ -71,7 +72,7 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
     arena_used_ = &config_.metrics->GetGauge("arena.bytes_used");
   }
   const Rng root(seed);
-  contexts_.resize(graph.NumNodes());
+  ReserveHuge(contexts_, graph.NumNodes());
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     contexts_[v].id = v;
     contexts_[v].rng = root.Split(v);
@@ -82,6 +83,8 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
 
 void Scheduler::Spawn(const ProtocolFactory& factory) {
   EMIS_EXPECTS(!spawned_, "Spawn must be called exactly once");
+  EMIS_EXPECTS(config_.engine == ExecutionEngine::kCoroutine,
+               "Spawn drives the coroutine engine; use SpawnFlat");
   spawned_ = true;
   // Root frames (and any coroutines the factory itself creates) come from
   // this scheduler's pooled arena; see radio/frame_arena.hpp.
@@ -100,6 +103,22 @@ void Scheduler::Spawn(const ProtocolFactory& factory) {
   }
 }
 
+void Scheduler::SpawnFlat(std::unique_ptr<FlatProtocol> protocol) {
+  EMIS_EXPECTS(!spawned_, "Spawn must be called exactly once");
+  EMIS_EXPECTS(config_.engine == ExecutionEngine::kFlat,
+               "SpawnFlat drives the flat engine; use Spawn");
+  EMIS_EXPECTS(protocol != nullptr, "flat protocol must not be null");
+  spawned_ = true;
+  flat_ = std::move(protocol);
+  flat_lanes_ = flat_->Lanes();
+  // Step every machine to its first action (round 0), in node order —
+  // exactly where Spawn runs each coroutine to its first suspension.
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    contexts_[v].now = 0;
+    ResumeAndFile(v, actors_);
+  }
+}
+
 void Scheduler::Retire(NodeId v) {
   EMIS_EXPECTS(v < graph_->NumNodes(), "node out of range");
   NodeContext& ctx = contexts_[v];
@@ -112,18 +131,27 @@ void Scheduler::Retire(NodeId v) {
 
 void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
   NodeContext& ctx = contexts_[v];
-  // Sub-protocol frames spawned while the coroutine runs allocate from (and
-  // completed ones recycle into) this scheduler's arena.
-  const FrameArenaScope frames(&arena_);
-  ctx.resume_point.resume();
-  if (tasks_[v].Done()) {
-    tasks_[v].RethrowIfFailed();
-    ctx.done = true;
-    ++finished_;
-    // A finished protocol never acts again: drop the node from every
-    // neighbor's live scan row.
-    Retire(v);
-    return;
+  if (flat_ != nullptr) {
+    flat_->Step(v, ctx);
+    if (ctx.done) {
+      ++finished_;
+      // A finished program never acts again: drop the node from every
+      // neighbor's live scan row.
+      Retire(v);
+      return;
+    }
+  } else {
+    // Sub-protocol frames spawned while the coroutine runs allocate from
+    // (and completed ones recycle into) this scheduler's arena.
+    const FrameArenaScope frames(&arena_);
+    ctx.resume_point.resume();
+    if (tasks_[v].Done()) {
+      tasks_[v].RethrowIfFailed();
+      ctx.done = true;
+      ++finished_;
+      Retire(v);
+      return;
+    }
   }
   if (ctx.retire_requested) Retire(v);
   switch (ctx.pending) {
@@ -143,10 +171,23 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
 
 void Scheduler::PrefetchResume(const std::vector<NodeId>& nodes,
                                std::size_t i) noexcept {
-  if (i + 8 < nodes.size()) {
-    __builtin_prefetch(&contexts_[nodes[i + 8]], /*rw=*/1, /*locality=*/1);
+  if (i + 16 < nodes.size()) {
+    const NodeId ahead = nodes[i + 16];
+    // A NodeContext straddles two cache lines; pull both, the resume touches
+    // fields across the whole struct (rng at the front, flags at the back).
+    const char* ctx_line = reinterpret_cast<const char*>(&contexts_[ahead]);
+    __builtin_prefetch(ctx_line, /*rw=*/1, /*locality=*/1);
+    __builtin_prefetch(ctx_line + sizeof(NodeContext) - 1, 1, 1);
+    if (flat_lanes_.base != nullptr) {
+      // The flat engine's second dependent load is the node's lane. Resume
+      // order is wake order, not node order, so the hardware stride
+      // detector cannot cover it — pull it alongside the context line.
+      __builtin_prefetch(static_cast<const char*>(flat_lanes_.base) +
+                             flat_lanes_.stride * ahead,
+                         1, 1);
+    }
   }
-  if (i + 4 < nodes.size()) {
+  if (i + 4 < nodes.size() && flat_ == nullptr) {
     // The context line was prefetched four resumes ago, so this dereference
     // is cheap by now; the frame header is what resume() loads first.
     __builtin_prefetch(contexts_[nodes[i + 4]].resume_point.address(), 1, 1);
@@ -223,6 +264,8 @@ ChannelDirection Scheduler::ChooseDirection() {
       listen_edges += cost;
     }
   }
+  round_tx_edges_ = tx_edges;
+  round_listen_edges_ = listen_edges;
   const ChannelDirection dir =
       ResolveDirection(config_.resolution, tx_edges, listen_edges);
   if (edges_scanned_ != nullptr) {
@@ -232,12 +275,30 @@ ChannelDirection Scheduler::ChooseDirection() {
   return dir;
 }
 
+ChannelDirection Scheduler::PhysicalDirection(
+    ChannelDirection model_dir) const noexcept {
+  // Coroutine engine: physical == model, so the accounted cost is the paid
+  // cost. Lossy channels scan scalar either way (per-link draws), so the
+  // unweighted model is already right there too.
+  if (flat_ == nullptr || config_.link_loss > 0.0) return model_dir;
+  // Loss-free flat rounds: the pull scan runs the word-parallel kernel at
+  // roughly a quarter of push's per-edge cost (measured ~3.2 ns/edge vs
+  // ~14 ns/edge at bench sizes), so push only wins when the transmit side
+  // is ~4x smaller in edge volume.
+  return round_tx_edges_ * 4 < round_listen_edges_ ? ChannelDirection::kPush
+                                                   : ChannelDirection::kPull;
+}
+
 void Scheduler::ExecuteRound() {
   {
     const obs::ScopedTimer timing(execute_timer_);
-    channel_.BeginRound(ChooseDirection());
+    channel_.BeginRound(PhysicalDirection(ChooseDirection()));
     // Phase 1: register all transmissions.
-    for (NodeId v : actors_) {
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      if (i + 8 < actors_.size()) {
+        __builtin_prefetch(&contexts_[actors_[i + 8]], 0, 1);
+      }
+      const NodeId v = actors_[i];
       NodeContext& ctx = contexts_[v];
       if (ctx.pending == ActionKind::kTransmit) {
         channel_.AddTransmitter(v, ctx.out_payload);
@@ -249,7 +310,11 @@ void Scheduler::ExecuteRound() {
       }
     }
     // Phase 2: resolve receptions.
-    for (NodeId v : actors_) {
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      if (i + 8 < actors_.size()) {
+        __builtin_prefetch(&contexts_[actors_[i + 8]], 1, 1);
+      }
+      const NodeId v = actors_[i];
       NodeContext& ctx = contexts_[v];
       if (ctx.pending == ActionKind::kListen) {
         ctx.last_reception = channel_.ResolveListener(v);

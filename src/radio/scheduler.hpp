@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "obs/stream_sink.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
+#include "radio/flat_engine.hpp"
 #include "radio/frame_arena.hpp"
 #include "radio/graph.hpp"
 #include "radio/model.hpp"
@@ -78,6 +80,11 @@ struct SchedulerConfig {
   /// construction: Σ over keys of a node's attributed rounds equals its
   /// EnergyMeter entry.
   obs::EnergyLedger* ledger = nullptr;
+  /// Which backend drives the protocols. kCoroutine runs the reference
+  /// coroutine implementation via Spawn; kFlat runs a packed state-machine
+  /// backend via SpawnFlat. Observationally identical (traces, energy,
+  /// metrics, reports); purely a cost knob.
+  ExecutionEngine engine = ExecutionEngine::kCoroutine;
   /// Optional streaming telemetry sink (owned by the caller). The scheduler
   /// emits a `round` heartbeat per executed round (cadence
   /// StreamSinkConfig::heartbeat_every) with awake/decided/finished/
@@ -129,8 +136,13 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Creates and starts one protocol instance per node. Must be called
-  /// exactly once, before Run/RunUntil.
+  /// exactly once, before Run/RunUntil. Requires engine == kCoroutine.
   void Spawn(const ProtocolFactory& factory);
+
+  /// Installs the flat state-machine backend and steps every node to its
+  /// first action. The flat counterpart of Spawn; must be called exactly
+  /// once, before Run/RunUntil. Requires engine == kFlat.
+  void SpawnFlat(std::unique_ptr<FlatProtocol> protocol);
 
   /// Runs until all protocols finish or max_rounds is reached.
   RunStats Run() { return RunUntil(config_.max_rounds); }
@@ -168,7 +180,8 @@ class Scheduler {
   static constexpr std::size_t kWheelSize = 4096;
 
  private:
-  /// Resumes node v's coroutine (which runs until its next await) and files
+  /// Advances node v's program to its next suspension — resuming its
+  /// coroutine or stepping its flat lane, per config.engine — and files
   /// the submitted action: into `actors` if it acts in the round ctx.now,
   /// into the wake heap if it sleeps. Detects completion.
   void ResumeAndFile(NodeId v, std::vector<NodeId>& actors);
@@ -186,8 +199,21 @@ class Scheduler {
 
   /// Degree-sum cost model: the direction this round resolves in, given the
   /// pending actions of `actors_`. Also validates actor rounds and feeds the
-  /// chan.* counters.
+  /// chan.* counters. Leaves the round's edge sums in round_tx_edges_ /
+  /// round_listen_edges_ for PhysicalDirection.
   ChannelDirection ChooseDirection();
+
+  /// The direction the channel *physically* resolves in this round. For the
+  /// coroutine engine this is the cost-model direction unchanged. The flat
+  /// engine may substitute the cheaper pass: the pull-side word scan (an
+  /// AVX2/word-parallel sweep over the transmitter bitset) costs ~4x less
+  /// per edge than push's scattered per-neighbor deliveries, so a forced or
+  /// model push round with a large transmit side resolves faster as a pull
+  /// scan. Receptions are byte-identical in both directions (Channel's
+  /// documented contract, pinned by tests), and every chan.* metric is
+  /// recorded from the cost-model direction in ChooseDirection — so this is
+  /// unobservable in traces, energy, metrics, and reports.
+  ChannelDirection PhysicalDirection(ChannelDirection model_dir) const noexcept;
 
   const Graph* graph_;
   SchedulerConfig config_;
@@ -204,6 +230,16 @@ class Scheduler {
 
   std::vector<NodeContext> contexts_;
   std::vector<proc::Task<void>> tasks_;
+
+  // Engaged by SpawnFlat: the batched state-machine backend. When set, the
+  // resume hot path steps lanes in place and tasks_/arena_ stay empty.
+  std::unique_ptr<FlatProtocol> flat_;
+  // Cached at SpawnFlat so the prefetch path pays no virtual call.
+  FlatProtocol::LaneLayout flat_lanes_;
+  // Edge sums of the current round's actors, written by ChooseDirection and
+  // consumed by PhysicalDirection.
+  std::uint64_t round_tx_edges_ = 0;
+  std::uint64_t round_listen_edges_ = 0;
 
   // Nodes acting (transmit/listen) in round now_.
   std::vector<NodeId> actors_;

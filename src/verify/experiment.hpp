@@ -73,6 +73,9 @@ struct SweepConfig {
   /// Residual-graph compaction for every trial (cost knob only; points are
   /// bit-identical on or off). `tweak` runs later and may override.
   bool compaction = true;
+  /// Execution backend for every trial (cost knob only; points are
+  /// bit-identical across engines). `tweak` runs later and may override.
+  ExecutionEngine engine = DefaultExecutionEngine();
   /// Optional final tweak of the per-run config (ablations); receives the
   /// generated topology so graph-dependent parameters can be derived.
   /// Like `factory`, must be safe to invoke concurrently when jobs > 1

@@ -1,0 +1,130 @@
+// Pins the pull-scan kernel contract (radio/channel_kernels.hpp): both the
+// portable loop and the AVX2 gather kernel must return the exact
+// transmitting-entry count and the row position of the LAST transmitting
+// entry, treating stale (epoch-mismatched) words as empty. The AVX2 kernel
+// is exercised directly — not through ResolveScanRowFn — so the equivalence
+// holds on AVX2 hosts and degrades to portable-vs-portable elsewhere.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/channel_kernels.hpp"
+#include "radio/rng.hpp"
+
+namespace emis {
+namespace {
+
+using chan_kernels::kNoHit;
+using chan_kernels::ScanHits;
+using chan_kernels::ScanRowAvx2;
+using chan_kernels::ScanRowPortable;
+using chan_kernels::TxWord;
+
+/// Unoptimized reference: one bitset probe per row entry, no word caching.
+ScanHits ScanRowNaive(const std::vector<NodeId>& row,
+                      const std::vector<TxWord>& words, std::uint64_t epoch) {
+  ScanHits h;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const TxWord& w = words[row[i] >> 6];
+    if (w.epoch != epoch) continue;
+    if (((w.bits >> (row[i] & 63)) & 1u) == 0) continue;
+    ++h.count;
+    h.last_hit = i;
+  }
+  return h;
+}
+
+void ExpectAllKernelsAgree(const std::vector<NodeId>& row,
+                           const std::vector<TxWord>& words,
+                           std::uint64_t epoch) {
+  const ScanHits want = ScanRowNaive(row, words, epoch);
+  const ScanHits portable =
+      ScanRowPortable(row.data(), row.size(), words.data(), epoch);
+  const ScanHits avx2 = ScanRowAvx2(row.data(), row.size(), words.data(), epoch);
+  EXPECT_EQ(portable.count, want.count);
+  EXPECT_EQ(portable.last_hit, want.last_hit);
+  EXPECT_EQ(avx2.count, want.count);
+  EXPECT_EQ(avx2.last_hit, want.last_hit);
+}
+
+TEST(ChannelKernels, EmptyRowReportsNoHits) {
+  const std::vector<TxWord> words(4);
+  const std::vector<NodeId> row;
+  for (chan_kernels::ScanRowFn fn : {&ScanRowPortable, &ScanRowAvx2}) {
+    const ScanHits h = fn(row.data(), 0, words.data(), 1);
+    EXPECT_EQ(h.count, 0u);
+    EXPECT_EQ(h.last_hit, kNoHit);
+  }
+}
+
+TEST(ChannelKernels, AllEntriesTransmitting) {
+  const NodeId n = 200;
+  std::vector<TxWord> words((n + 63) / 64);
+  const std::uint64_t epoch = 7;
+  for (auto& w : words) w = {epoch, ~std::uint64_t{0}};
+  std::vector<NodeId> row(n);
+  for (NodeId v = 0; v < n; ++v) row[v] = v;
+  ExpectAllKernelsAgree(row, words, epoch);
+  const ScanHits h = ScanRowAvx2(row.data(), row.size(), words.data(), epoch);
+  EXPECT_EQ(h.count, n);
+  EXPECT_EQ(h.last_hit, static_cast<std::size_t>(n - 1));
+}
+
+TEST(ChannelKernels, StaleWordsReadAsEmpty) {
+  std::vector<TxWord> words(2);
+  words[0] = {5, ~std::uint64_t{0}};  // fresh: all 64 transmit
+  words[1] = {4, ~std::uint64_t{0}};  // stale epoch: none transmit
+  const std::vector<NodeId> row = {0, 1, 63, 64, 65, 100, 127};
+  ExpectAllKernelsAgree(row, words, /*epoch=*/5);
+  const ScanHits h = ScanRowAvx2(row.data(), row.size(), words.data(), 5);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.last_hit, 2u);  // position of id 63, the last fresh entry
+}
+
+TEST(ChannelKernels, LastHitLandsInScalarTail) {
+  // Row length 4k+3 with the only transmitter in the final (tail) entries —
+  // exercises the AVX2 kernel's portable-tail splice and offset fixup.
+  std::vector<TxWord> words(8);
+  const std::uint64_t epoch = 9;
+  std::vector<NodeId> row;
+  for (NodeId v = 0; v < 39; ++v) row.push_back(v * 3);
+  const NodeId hot = row[38];
+  words[hot >> 6] = {epoch, 1ULL << (hot & 63)};
+  ExpectAllKernelsAgree(row, words, epoch);
+  const ScanHits h = ScanRowAvx2(row.data(), row.size(), words.data(), epoch);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_EQ(h.last_hit, 38u);
+}
+
+TEST(ChannelKernels, RandomizedRowsAgreeAcrossKernels) {
+  Rng rng(20260807);
+  for (int iter = 0; iter < 400; ++iter) {
+    const NodeId n = 1 + static_cast<NodeId>(rng.UniformBelow(2048));
+    const std::uint64_t epoch = 1 + rng.UniformBelow(64);
+    std::vector<TxWord> words((n + 63) / 64);
+    for (auto& w : words) {
+      // Mix fresh, stale, and never-written words; sparse through dense bits.
+      const auto age = rng.UniformBelow(3);
+      w.epoch = age == 0 ? epoch : (age == 1 ? epoch - 1 : 0);
+      w.bits = rng.NextU64() & rng.NextU64() &
+               (rng.Bernoulli(0.3) ? ~std::uint64_t{0} : rng.NextU64());
+    }
+    // Sorted distinct ids, like a CSR row / residual live prefix.
+    std::vector<NodeId> row;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.Bernoulli(0.4)) row.push_back(v);
+    }
+    ExpectAllKernelsAgree(row, words, epoch);
+  }
+}
+
+TEST(ChannelKernels, ResolveReturnsStableNonNullKernel) {
+  const chan_kernels::ScanRowFn fn = chan_kernels::ResolveScanRowFn();
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn, chan_kernels::ResolveScanRowFn());
+  EXPECT_TRUE(fn == &ScanRowPortable || fn == &ScanRowAvx2);
+}
+
+}  // namespace
+}  // namespace emis

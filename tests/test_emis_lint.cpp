@@ -154,6 +154,54 @@ TEST(UnorderedIteration, ReadOnlyBodyAndOrderedMapAreClean) {
                   .findings.empty());
 }
 
+TEST(UnorderedIteration, FlagsAccumulatingIteratorLoop) {
+  // The iterator form walks the same unspecified bucket order as the range
+  // form; an explicit .begin() loop must not slip past the rule.
+  const Report r = LintSource(
+      "src/core/bad.cpp",
+      "std::unordered_map<int, double> m;\n"
+      "void f(std::vector<int>* out) {\n"
+      "  for (auto it = m.begin(); it != m.end(); ++it) {\n"
+      "    out->push_back(it->first);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(UnorderedIteration, FlagsIteratorLoopThroughAlias) {
+  const Report r = LintSource(
+      "src/core/bad.cpp",
+      "using Pending = std::unordered_set<int>;\n"
+      "void f(Pending pending, std::vector<int>* out) {\n"
+      "  for (auto it = pending.cbegin(); it != pending.cend(); ++it) {\n"
+      "    out->push_back(*it);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(HasRule(r, "unordered-iteration"));
+}
+
+TEST(UnorderedIteration, ReadOnlyIteratorLoopAndIndexLoopAreClean) {
+  // A read-only iterator walk is order-insensitive, and an index loop over a
+  // vector (the SoA lane idiom) has a deterministic order by construction.
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "std::unordered_set<int> s;\n"
+                         "bool f(int x) {\n"
+                         "  for (auto it = s.begin(); it != s.end(); ++it)\n"
+                         "    if (*it == x) return true;\n"
+                         "  return false;\n"
+                         "}\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("src/core/ok.cpp",
+                         "std::vector<int> lanes;\n"
+                         "void f(std::vector<int>* out) {\n"
+                         "  for (std::size_t v = 0; v < lanes.size(); ++v)\n"
+                         "    out->push_back(lanes[v]);\n"
+                         "}\n")
+                  .findings.empty());
+}
+
 TEST(UnorderedIteration, SuppressedByWaiver) {
   const Report r = LintSource(
       "src/core/waived.cpp",

@@ -101,6 +101,39 @@ TEST(Fuzz, RandomConfigurationsAreDeterministic) {
   }
 }
 
+TEST(Fuzz, EnginesAgreeOnRandomConfigurations) {
+  // Cross-check the flat backend against the coroutine reference on random
+  // (topology, algorithm, loss, knob) draws — breadth the targeted matrix
+  // in test_flat_engine.cpp doesn't have.
+  Rng fuzz(20260807);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::string spec = RandomSpec(fuzz);
+    const std::uint64_t graph_seed = fuzz.NextU64();
+    MisRunConfig cfg;
+    cfg.algorithm = kAll[fuzz.UniformBelow(std::size(kAll))];
+    cfg.seed = fuzz.NextU64();
+    if (fuzz.Bernoulli(0.3)) cfg.link_loss = 0.1;
+    if (fuzz.Bernoulli(0.3)) cfg.compaction = false;
+    if (fuzz.Bernoulli(0.3)) cfg.resolution = ChannelResolution::kPush;
+
+    Rng rng_a(graph_seed), rng_b(graph_seed);
+    const Graph ga = GraphFromSpec(spec, rng_a);
+    const Graph gb = GraphFromSpec(spec, rng_b);
+    cfg.engine = ExecutionEngine::kCoroutine;
+    const auto reference = RunMis(ga, cfg);
+    cfg.engine = ExecutionEngine::kFlat;
+    const auto flat = RunMis(gb, cfg);
+    const std::string what =
+        spec + " alg=" + std::string(ToString(cfg.algorithm)) +
+        " seed=" + std::to_string(cfg.seed) + " loss=" +
+        std::to_string(cfg.link_loss);
+    EXPECT_EQ(flat.status, reference.status) << what;
+    EXPECT_EQ(flat.stats.rounds_used, reference.stats.rounds_used) << what;
+    EXPECT_EQ(flat.energy.TotalAwake(), reference.energy.TotalAwake()) << what;
+    EXPECT_EQ(flat.energy.MaxAwake(), reference.energy.MaxAwake()) << what;
+  }
+}
+
 TEST(Fuzz, EdgeListRoundTripsForRandomGraphs) {
   Rng fuzz(777);
   for (int iter = 0; iter < 60; ++iter) {

@@ -418,7 +418,10 @@ TEST(BenchReport, SchemaValidates) {
 TEST(RunReport, AllocSectionCarriesArenaAndRss) {
   Rng rng(3);
   Graph g = gen::ErdosRenyi(48, 0.1, rng);
-  const MisRunResult r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 9});
+  // Arena stats are a coroutine-engine observable (the flat engine allocates
+  // no frames), so pin the engine rather than inherit EMIS_ENGINE.
+  const MisRunResult r = RunMis(g, {.algorithm = MisAlgorithm::kCd, .seed = 9,
+                                    .engine = ExecutionEngine::kCoroutine});
   ASSERT_TRUE(r.Valid());
   EXPECT_GT(r.arena.reserved_bytes, 0u);   // root frames came from the arena
   EXPECT_GT(r.arena.frame_allocations, 0u);

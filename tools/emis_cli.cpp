@@ -106,6 +106,15 @@ bool CompactionFlag(const Flags& flags) {
   return text == "on";
 }
 
+ExecutionEngine EngineFlag(const Flags& flags) {
+  const std::string text =
+      flags.Get("engine", std::string(ToString(DefaultExecutionEngine())));
+  const ExecutionEngine e = ExecutionEngineFromString(text);
+  EMIS_REQUIRE(e != kInvalidExecutionEngine,
+               "--engine must be coroutine or flat (got '" + text + "')");
+  return e;
+}
+
 Graph LoadGraph(const std::string& source, std::uint64_t seed) {
   if (source.rfind("file:", 0) == 0) {
     const std::string path = source.substr(5);
@@ -166,6 +175,7 @@ int CmdRun(const Flags& flags) {
   cfg.preset = preset == "theory" ? ParamPreset::kTheory : ParamPreset::kPractical;
   cfg.resolution = ResolutionFlag(flags);
   cfg.compaction = CompactionFlag(flags);
+  cfg.engine = EngineFlag(flags);
   if (flags.Has("delta-unknown")) cfg.delta_estimate = g.NumNodes();
 
   std::ofstream trace_file;
@@ -330,6 +340,7 @@ int CmdSweep(const Flags& flags) {
   cfg.delta_unknown = flags.Has("delta-unknown");
   cfg.resolution = ResolutionFlag(flags);
   cfg.compaction = CompactionFlag(flags);
+  cfg.engine = EngineFlag(flags);
   // Sweep-wide metrics (merged across worker shards) feed the report's
   // required "metrics" sub-document, so chan.live_edges / graph.compactions
   // accumulate in the BENCH_*.json trajectory.
@@ -456,8 +467,9 @@ int CmdValidateReport(const Flags& flags) {
 }
 
 /// The usage text, shared by `help` (exit 0) and usage errors (exit 2).
-/// Every run/sweep cost knob (--resolution, --compaction) is listed for both
-/// commands; tests/golden/emis_cli_help.txt snapshots this output.
+/// Every run/sweep cost knob (--resolution, --compaction, --engine) is
+/// listed for both commands; tests/golden/emis_cli_help.txt snapshots this
+/// output.
 void PrintUsage() {
   std::printf(
       "usage:\n"
@@ -467,6 +479,7 @@ void PrintUsage() {
       "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
       "               [--preset practical|theory] [--delta-unknown]\n"
       "               [--resolution auto|push|pull] [--compaction on|off]\n"
+      "               [--engine coroutine|flat]\n"
       "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
       "               [--report-out FILE.json] [--flamegraph-out FILE.txt]\n"
       "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
@@ -474,7 +487,7 @@ void PrintUsage() {
       "  emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>\n"
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
       "               [--delta-unknown] [--resolution auto|push|pull]\n"
-      "               [--compaction on|off]\n"
+      "               [--compaction on|off] [--engine coroutine|flat]\n"
       "               [--jobs N] [--report-out FILE.json]\n"
       "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
       "               [--metrics-text FILE.prom] [--quiet]\n"
@@ -484,6 +497,9 @@ void PrintUsage() {
       "                sums; push/pull force one side\n"
       "  --compaction  residual-graph compaction: on (default) drops retired\n"
       "                nodes from channel scan rows; off scans seed CSR rows\n"
+      "  --engine      execution backend: coroutine (default; override via\n"
+      "                EMIS_ENGINE) resumes one coroutine per awake node;\n"
+      "                flat advances packed per-node state machines\n"
       "observability sinks (identical results, extra artifacts):\n"
       "  --flamegraph-out  collapsed-stack energy attribution (phase;sub w)\n"
       "  --telemetry-out   emis-telemetry/1 NDJSON stream (file or fd:N);\n"

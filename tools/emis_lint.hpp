@@ -540,14 +540,31 @@ inline void RuleUnorderedIteration(const SourceFile& f, std::vector<RawFinding>*
       else if (IsPunct(toks[j], ")")) --depth;
       else if (depth == 1 && IsPunct(toks[j], ":")) { colon = j; break; }
     }
-    if (colon >= toks.size()) continue;
     bool over_unordered = false;
     std::string range_name;
-    for (std::size_t j = colon + 1; j < close; ++j) {
-      if (toks[j].kind == Token::Kind::kIdent && unordered.count(toks[j].text) > 0) {
-        over_unordered = true;
-        range_name = toks[j].text;
-        break;
+    if (colon < toks.size()) {
+      // Range-based: any unordered name in the range expression.
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            unordered.count(toks[j].text) > 0) {
+          over_unordered = true;
+          range_name = toks[j].text;
+          break;
+        }
+      }
+    } else {
+      // Iterator-based: `it = name.begin()` (or cbegin) in the loop header
+      // walks the same unspecified bucket order as the range form — the SoA
+      // batch passes iterate ids, so any .begin() walk here is suspect.
+      for (std::size_t j = i + 2; j + 2 < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            unordered.count(toks[j].text) > 0 && IsPunct(toks[j + 1], ".") &&
+            (IsIdentTok(toks[j + 2], "begin") ||
+             IsIdentTok(toks[j + 2], "cbegin"))) {
+          over_unordered = true;
+          range_name = toks[j].text;
+          break;
+        }
       }
     }
     if (!over_unordered) continue;
