@@ -105,7 +105,7 @@ MisRunResult RunMis(const Graph& graph, const MisRunConfig& config) {
        .resolution = config.resolution, .compaction = config.compaction,
        .metrics = config.metrics, .timeline = config.timeline,
        .ledger = config.ledger, .engine = config.engine,
-       .telemetry = config.telemetry},
+       .telemetry = config.telemetry, .shards = config.shards},
       config.seed);
 
   if (config.timeline != nullptr) {

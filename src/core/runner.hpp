@@ -80,6 +80,10 @@ struct MisRunConfig {
   /// Execution backend (cost knob only — both engines produce identical
   /// traces, energy profiles, and MIS decisions; see DESIGN.md §12).
   ExecutionEngine engine = DefaultExecutionEngine();
+  /// Intra-run shard count for the flat engine (cost knob only — observables
+  /// are bit-identical at any shard count; see SchedulerConfig::shards and
+  /// DESIGN.md §13). The coroutine engine always runs single-sharded.
+  unsigned shards = DefaultShards();
 
   /// Known upper bound on n given to the nodes (paper §1.1). 0 = use the
   /// actual node count. Overestimates only scale the polylog factors.

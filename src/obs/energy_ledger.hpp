@@ -79,6 +79,14 @@ class EnergyLedger {
   void ChargeTransmit(NodeId v) { Charge(v).tx += 1; }
   void ChargeListen(NodeId v) { Charge(v).lx += 1; }
 
+  /// Interns the current (phase, sub) key now, on the calling thread. The
+  /// sharded scheduler calls this once per round before its parallel charge
+  /// passes: with the key pre-interned, concurrent Charge calls touch only
+  /// the per-node cell vectors (disjoint across shards) and never the
+  /// shared key table. Annotations only move between rounds (inside the
+  /// serial resume pass), so the key cannot change mid-pass.
+  void PrimeCurrentKey() { (void)CurrentKey(); }
+
   /// Per-node totals across all keys — the conservation check's left-hand
   /// side (must equal the EnergyMeter's per-node entries).
   std::uint64_t AttributedTransmit(NodeId v) const;

@@ -272,6 +272,7 @@ JsonValue BuildRunReport(const RunReportInputs& inputs) {
   run.Set("nodes", JsonValue(static_cast<std::uint64_t>(inputs.nodes)));
   run.Set("edges", JsonValue(inputs.edges));
   run.Set("max_degree", JsonValue(static_cast<std::uint64_t>(inputs.max_degree)));
+  run.Set("shards", JsonValue(static_cast<std::uint64_t>(inputs.shards)));
   doc.Set("run", std::move(run));
 
   JsonValue result = JsonValue::MakeObject();

@@ -9,7 +9,8 @@
 //
 // Schema emis-run-report/1 (all keys required unless noted):
 //   schema   "emis-run-report/1"
-//   run      {algorithm, graph, preset, seed, nodes, edges, max_degree}
+//   run      {algorithm, graph, preset, seed, nodes, edges, max_degree,
+//             shards (optional; cost metadata, excluded from diff gates)}
 //   result   {valid_mis, mis_size, rounds, node_rounds, nodes_finished,
 //             hit_round_limit}
 //   energy   {max_awake, avg_awake, total_awake, total_transmit,
@@ -75,6 +76,9 @@ struct RunReportInputs {
   NodeId nodes = 0;
   std::uint64_t edges = 0;
   std::uint32_t max_degree = 0;
+  /// Intra-run shard count the run executed with (run.shards; cost metadata
+  /// only — reports are bit-identical across shard counts outside this key).
+  unsigned shards = 1;
   bool valid_mis = false;
   std::uint64_t mis_size = 0;
   /// Allocation telemetry: the scheduler arena's footprint

@@ -133,6 +133,83 @@ class Channel {
     for (NodeId w : nbrs) Deliver(w, payload);
   }
 
+  // --- Sharded transmitter registration (DESIGN.md §13) -------------------
+  //
+  // The sharded scheduler splits a round's transmit pass across workers,
+  // one contiguous node range per shard. Each worker stamps its
+  // transmitters into its own TxShardBuffer (per-node tx_mark_/tx_payload_
+  // entries are disjoint across shards, so those are written directly; the
+  // packed word bitset goes through the buffer), and the scheduler then
+  // OR-merges the buffers into tx_words_ serially, in fixed shard order.
+  // Shard cuts need not be 64-aligned: a boundary word shared by two shards
+  // is set independently in each buffer and unioned by the serial merge.
+  // After the merge the channel state is byte-identical to what the same
+  // AddTransmitter sequence would have produced in pull mode.
+
+  /// One shard's transmitter bitset: the words covering its node range,
+  /// kept all-zero between rounds, plus the list of word indices touched
+  /// this round (so the merge and the reset cost O(touched), not O(range)).
+  struct TxShardBuffer {
+    std::size_t word_begin = 0;            ///< global index of words[0]
+    std::vector<std::uint64_t> words;      ///< local bitset, zero when idle
+    std::vector<std::uint32_t> touched;    ///< local indices of nonzero words
+  };
+
+  /// Sizes `buffer` for the node range [node_begin, node_end): the
+  /// inclusive span of words those nodes' bits fall in (empty ranges get no
+  /// words).
+  void InitShardBuffer(TxShardBuffer& buffer, NodeId node_begin,
+                       NodeId node_end) const {
+    EMIS_EXPECTS(node_begin <= node_end && node_end <= graph_->NumNodes(),
+                 "shard range out of bounds");
+    buffer.word_begin = node_begin >> 6;
+    const std::size_t words =
+        node_begin == node_end
+            ? 0
+            : (static_cast<std::size_t>(node_end - 1) >> 6) - buffer.word_begin + 1;
+    buffer.words.assign(words, 0);
+    buffer.touched.clear();
+    buffer.touched.reserve(buffer.words.size());
+  }
+
+  /// Shard-local counterpart of AddTransmitter for pull-resolved rounds:
+  /// stamps u's per-node transmitter state and sets its bit in the shard
+  /// buffer. Safe to call concurrently for nodes of *different* shards; u
+  /// must lie in `buffer`'s node range. The same double-registration
+  /// invariant as AddTransmitter applies.
+  void StampTransmitter(TxShardBuffer& buffer, NodeId u, std::uint64_t payload) {
+    EMIS_INVARIANT(direction_ == ChannelDirection::kPull,
+                   "sharded stamping requires pull resolution");
+    EMIS_INVARIANT(tx_mark_[u] != epoch_,
+                   "node registered as transmitter twice in one round");
+    tx_mark_[u] = epoch_;
+    tx_payload_[u] = payload;
+    const std::size_t local = (u >> 6) - buffer.word_begin;
+    if (buffer.words[local] == 0) buffer.touched.push_back(
+        static_cast<std::uint32_t>(local));
+    buffer.words[local] |= 1ULL << (u & 63);
+  }
+
+  /// Merges one shard's buffer into the global epoch-stamped word bitset
+  /// and resets the buffer for the next round. Called serially, in fixed
+  /// shard order, after every shard's stamp pass completed. Returns the
+  /// number of words merged (the `chan.merge_words` observable).
+  std::size_t MergeTxShard(TxShardBuffer& buffer) {
+    for (const std::uint32_t local : buffer.touched) {
+      TxWord& word = tx_words_[buffer.word_begin + local];
+      if (word.epoch != epoch_) {
+        word.epoch = epoch_;
+        word.bits = buffer.words[local];
+      } else {
+        word.bits |= buffer.words[local];
+      }
+      buffer.words[local] = 0;
+    }
+    const std::size_t merged = buffer.touched.size();
+    buffer.touched.clear();
+    return merged;
+  }
+
   /// What listener v perceives this round under the channel model.
   /// The transmitter set for the round must be fully registered first.
   Reception ResolveListener(NodeId v) const {

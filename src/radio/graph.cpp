@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "core/contracts.hpp"
+
 namespace emis {
 
 Graph Graph::FromEdges(NodeId num_nodes, std::span<const Edge> edges) {
   GraphBuilder builder(num_nodes);
   for (const Edge& e : edges) builder.AddEdge(e.u, e.v);
   return std::move(builder).Build();
+}
+
+Graph Graph::FromMappedCsr(std::shared_ptr<const void> owner,
+                           const std::uint64_t* offsets, NodeId num_nodes,
+                           const NodeId* adjacency, std::uint64_t adj_entries,
+                           std::uint32_t max_degree) {
+  EMIS_EXPECTS(owner != nullptr, "mapped CSR needs a storage owner");
+  EMIS_EXPECTS(offsets != nullptr && (adjacency != nullptr || adj_entries == 0),
+               "mapped CSR arrays must not be null");
+  Graph g;
+  g.mapping_ = std::move(owner);
+  g.mapped_offsets_ = offsets;
+  g.mapped_adjacency_ = adjacency;
+  g.mapped_nodes_ = num_nodes;
+  g.mapped_entries_ = adj_entries;
+  g.max_degree_ = max_degree;
+  return g;
 }
 
 ResidualGraph::ResidualGraph(const Graph& graph)

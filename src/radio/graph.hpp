@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_set>
 #include <utility>
@@ -41,18 +42,46 @@ class Graph {
     return FromEdges(num_nodes, std::span<const Edge>(edges.begin(), edges.size()));
   }
 
-  NodeId NumNodes() const noexcept { return static_cast<NodeId>(offsets_.size() - 1); }
-  std::uint64_t NumEdges() const noexcept { return adjacency_.size() / 2; }
+  /// Wraps an externally-owned CSR without copying it — the zero-copy path
+  /// behind graph_io::MapBinaryCsr. `owner` keeps the backing storage (an
+  /// mmap) alive for the graph's lifetime; copies of the graph share it.
+  /// The arrays must already satisfy the class invariants (symmetric,
+  /// sorted rows, no self-loops or duplicates): the binary loader validates
+  /// the header and section bounds, not the adjacency content, exactly so
+  /// that loading never has to fault in the full edge array.
+  static Graph FromMappedCsr(std::shared_ptr<const void> owner,
+                             const std::uint64_t* offsets, NodeId num_nodes,
+                             const NodeId* adjacency, std::uint64_t adj_entries,
+                             std::uint32_t max_degree);
+
+  NodeId NumNodes() const noexcept {
+    return mapping_ == nullptr ? static_cast<NodeId>(offsets_.size() - 1)
+                               : mapped_nodes_;
+  }
+  std::uint64_t NumEdges() const noexcept { return NumAdjEntries() / 2; }
 
   std::uint32_t Degree(NodeId v) const {
     EMIS_REQUIRE(v < NumNodes(), "node out of range");
-    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    const std::uint64_t* offsets = OffsetArray();
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
   }
 
   /// Sorted neighbor list of v.
   std::span<const NodeId> Neighbors(NodeId v) const {
     EMIS_REQUIRE(v < NumNodes(), "node out of range");
-    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+    const std::uint64_t* offsets = OffsetArray();
+    return {AdjArray() + offsets[v], offsets[v + 1] - offsets[v]};
+  }
+
+  /// Raw CSR views: the (NumNodes() + 1)-entry row-offset array and the
+  /// directed adjacency array it indexes (each undirected edge appears
+  /// twice). Consumed by the binary serializer (radio/graph_io.hpp) and the
+  /// scheduler's edge-balanced shard cut.
+  std::span<const std::uint64_t> RowOffsets() const noexcept {
+    return {OffsetArray(), static_cast<std::size_t>(NumNodes()) + 1};
+  }
+  std::span<const NodeId> Adjacency() const noexcept {
+    return {AdjArray(), static_cast<std::size_t>(NumAdjEntries())};
   }
 
   bool HasEdge(NodeId u, NodeId v) const;
@@ -84,9 +113,29 @@ class Graph {
 
  private:
   friend class GraphBuilder;
-  // offsets_ has NumNodes()+1 entries; adjacency_ holds each edge twice.
+
+  std::uint64_t NumAdjEntries() const noexcept {
+    return mapping_ == nullptr ? adjacency_.size() : mapped_entries_;
+  }
+  const std::uint64_t* OffsetArray() const noexcept {
+    return mapping_ == nullptr ? offsets_.data() : mapped_offsets_;
+  }
+  const NodeId* AdjArray() const noexcept {
+    return mapping_ == nullptr ? adjacency_.data() : mapped_adjacency_;
+  }
+
+  // Owned storage (built graphs): offsets_ has NumNodes()+1 entries;
+  // adjacency_ holds each edge twice.
   std::vector<std::uint64_t> offsets_{0};
   std::vector<NodeId> adjacency_;
+  // Mapped storage (FromMappedCsr): the view pointers alias memory kept
+  // alive by mapping_, never by this object — so defaulted copy/move stay
+  // correct for both storage kinds (a copy shares the mapping).
+  std::shared_ptr<const void> mapping_;
+  const std::uint64_t* mapped_offsets_ = nullptr;
+  const NodeId* mapped_adjacency_ = nullptr;
+  NodeId mapped_nodes_ = 0;
+  std::uint64_t mapped_entries_ = 0;
   std::uint32_t max_degree_ = 0;
 };
 

@@ -1,19 +1,171 @@
 #include "radio/graph_io.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
 #include <charconv>
+#include <cstring>
 #include <istream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include "radio/graph_generators.hpp"
+#include "radio/hugepages.hpp"
 
 namespace emis {
 
 void WriteEdgeList(std::ostream& out, const Graph& graph) {
   out << graph.NumNodes() << ' ' << graph.NumEdges() << '\n';
   for (const Edge& e : graph.EdgeList()) out << e.u << ' ' << e.v << '\n';
+}
+
+namespace {
+
+constexpr char kCsrMagic[8] = {'E', 'M', 'I', 'S', 'C', 'S', 'R', '1'};
+constexpr std::uint32_t kCsrEndianTag = 0x01020304u;
+constexpr std::uint32_t kCsrVersion = 1;
+constexpr std::uint64_t kCsrHeaderBytes = 64;
+constexpr std::uint64_t kCsrAlign = 64;
+
+constexpr std::uint64_t AlignUp(std::uint64_t value) noexcept {
+  return (value + kCsrAlign - 1) & ~(kCsrAlign - 1);
+}
+
+/// The fixed 64-byte header, decoded from / encoded to raw bytes with
+/// memcpy so the on-disk layout never depends on struct padding.
+struct CsrHeader {
+  std::uint32_t endian_tag = kCsrEndianTag;
+  std::uint32_t version = kCsrVersion;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t adj_entries = 0;
+  std::uint32_t max_degree = 0;
+  std::uint64_t offsets_start = 0;
+  std::uint64_t adjacency_start = 0;
+  std::uint64_t file_size = 0;
+
+  std::array<char, kCsrHeaderBytes> Encode() const {
+    std::array<char, kCsrHeaderBytes> raw{};
+    std::memcpy(raw.data(), kCsrMagic, sizeof(kCsrMagic));
+    std::memcpy(raw.data() + 8, &endian_tag, 4);
+    std::memcpy(raw.data() + 12, &version, 4);
+    std::memcpy(raw.data() + 16, &num_nodes, 8);
+    std::memcpy(raw.data() + 24, &adj_entries, 8);
+    std::memcpy(raw.data() + 32, &max_degree, 4);
+    // bytes [36, 40) reserved, zero
+    std::memcpy(raw.data() + 40, &offsets_start, 8);
+    std::memcpy(raw.data() + 48, &adjacency_start, 8);
+    std::memcpy(raw.data() + 56, &file_size, 8);
+    return raw;
+  }
+
+  static CsrHeader Decode(const char* raw) {
+    EMIS_REQUIRE(std::memcmp(raw, kCsrMagic, sizeof(kCsrMagic)) == 0,
+                 "not an emis-csr file (bad magic)");
+    CsrHeader h;
+    std::memcpy(&h.endian_tag, raw + 8, 4);
+    EMIS_REQUIRE(h.endian_tag != __builtin_bswap32(kCsrEndianTag),
+                 "emis-csr file written on a foreign-endian machine");
+    EMIS_REQUIRE(h.endian_tag == kCsrEndianTag,
+                 "emis-csr file has a corrupt endianness tag");
+    std::memcpy(&h.version, raw + 12, 4);
+    EMIS_REQUIRE(h.version == kCsrVersion, "unsupported emis-csr version");
+    std::memcpy(&h.num_nodes, raw + 16, 8);
+    std::memcpy(&h.adj_entries, raw + 24, 8);
+    std::memcpy(&h.max_degree, raw + 32, 4);
+    std::memcpy(&h.offsets_start, raw + 40, 8);
+    std::memcpy(&h.adjacency_start, raw + 48, 8);
+    std::memcpy(&h.file_size, raw + 56, 8);
+    return h;
+  }
+};
+
+void WriteZeroPad(std::ostream& out, std::uint64_t from, std::uint64_t to) {
+  static constexpr char kZeros[kCsrAlign] = {};
+  EMIS_ASSERT(to - from <= kCsrAlign, "section gap exceeds one alignment unit");
+  out.write(kZeros, static_cast<std::streamsize>(to - from));
+}
+
+}  // namespace
+
+void WriteBinaryCsr(std::ostream& out, const Graph& graph) {
+  const std::span<const std::uint64_t> offsets = graph.RowOffsets();
+  const std::span<const NodeId> adjacency = graph.Adjacency();
+  CsrHeader header;
+  header.num_nodes = graph.NumNodes();
+  header.adj_entries = adjacency.size();
+  header.max_degree = graph.MaxDegree();
+  header.offsets_start = kCsrHeaderBytes;
+  const std::uint64_t offsets_end =
+      header.offsets_start + offsets.size_bytes();
+  header.adjacency_start = AlignUp(offsets_end);
+  header.file_size = header.adjacency_start + adjacency.size_bytes();
+
+  const std::array<char, kCsrHeaderBytes> raw = header.Encode();
+  out.write(raw.data(), raw.size());
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size_bytes()));
+  WriteZeroPad(out, offsets_end, header.adjacency_start);
+  out.write(reinterpret_cast<const char*>(adjacency.data()),
+            static_cast<std::streamsize>(adjacency.size_bytes()));
+  EMIS_REQUIRE(out.good(), "emis-csr write failed");
+}
+
+Graph MapBinaryCsr(const std::string& path) {
+  struct FdGuard {
+    int fd;
+    ~FdGuard() {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+  const FdGuard fd{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  EMIS_REQUIRE(fd.fd >= 0, "cannot open graph file: " + path);
+  struct ::stat st = {};
+  EMIS_REQUIRE(::fstat(fd.fd, &st) == 0, "cannot stat graph file: " + path);
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  EMIS_REQUIRE(size >= kCsrHeaderBytes,
+               "emis-csr file truncated: shorter than its header");
+
+  void* base =
+      ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+  EMIS_REQUIRE(base != MAP_FAILED, "cannot mmap graph file: " + path);
+  // Owner constructed immediately so every validation failure below
+  // unmaps; the fd can close now (the mapping keeps its own reference).
+  std::shared_ptr<const void> owner(
+      base, [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
+
+  const CsrHeader header = CsrHeader::Decode(static_cast<const char*>(base));
+  EMIS_REQUIRE(header.file_size == size,
+               "emis-csr file truncated or padded: size does not match header");
+  EMIS_REQUIRE(header.num_nodes < ~NodeId{0}, "emis-csr node count overflows NodeId");
+  const std::uint64_t offsets_bytes = (header.num_nodes + 1) * sizeof(std::uint64_t);
+  const std::uint64_t adjacency_bytes = header.adj_entries * sizeof(NodeId);
+  EMIS_REQUIRE(header.offsets_start % kCsrAlign == 0 &&
+                   header.adjacency_start % kCsrAlign == 0,
+               "emis-csr sections must be 64-byte aligned");
+  EMIS_REQUIRE(header.offsets_start >= kCsrHeaderBytes &&
+                   header.offsets_start + offsets_bytes <= header.adjacency_start &&
+                   header.adjacency_start + adjacency_bytes <= size,
+               "emis-csr section bounds exceed the file");
+
+  const char* bytes = static_cast<const char*>(base);
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(bytes + header.offsets_start);
+  const auto* adjacency =
+      reinterpret_cast<const NodeId*>(bytes + header.adjacency_start);
+  // Row-offset sanity at O(1) cost (ends only; interior pages stay cold so
+  // the load never touches the full arrays).
+  EMIS_REQUIRE(offsets[0] == 0 && offsets[header.num_nodes] == header.adj_entries,
+               "emis-csr offset array does not span the adjacency section");
+  AdviseHugePages(const_cast<char*>(bytes), size);
+  return Graph::FromMappedCsr(std::move(owner), offsets,
+                              static_cast<NodeId>(header.num_nodes), adjacency,
+                              header.adj_entries, header.max_degree);
 }
 
 Graph ReadEdgeList(std::istream& in) {

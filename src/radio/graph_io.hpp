@@ -29,6 +29,43 @@ void WriteEdgeList(std::ostream& out, const Graph& graph);
 /// (bad counts, out-of-range ids, self-loops, duplicates).
 Graph ReadEdgeList(std::istream& in);
 
+// --- emis-csr/1: versioned binary CSR container ----------------------------
+//
+// The text edge list is quadratic to rebuild (parse + sort + CSR assembly);
+// the binary container stores the CSR arrays directly so a packed graph
+// loads zero-copy via mmap. Layout (all integers in the writer's native
+// byte order, declared by the endianness tag):
+//
+//   byte  0  magic "EMISCSR1" (8 bytes)
+//   byte  8  endianness tag u32 = 0x01020304 (foreign-order files rejected)
+//   byte 12  format version u32 = 1
+//   byte 16  num_nodes u64
+//   byte 24  adj_entries u64 (directed: each undirected edge appears twice)
+//   byte 32  max_degree u32
+//   byte 36  reserved u32 = 0
+//   byte 40  offsets section start u64 (bytes from file start, 64-aligned)
+//   byte 48  adjacency section start u64 (bytes, 64-aligned)
+//   byte 56  total file size u64 (truncation check)
+//   ----     offsets section: (num_nodes + 1) x u64
+//   ----     adjacency section: adj_entries x u32, rows sorted ascending
+//
+// Both sections start 64-byte aligned (cache-line- and SIMD-friendly for
+// the word-scan kernels; mmap bases are page-aligned so in-memory alignment
+// follows from in-file alignment). Gaps are zero-filled.
+
+/// Serializes `graph` as emis-csr/1. The stream must be binary-clean
+/// (opened with std::ios::binary when it is a file).
+void WriteBinaryCsr(std::ostream& out, const Graph& graph);
+
+/// Memory-maps an emis-csr/1 file read-only and wraps it as a Graph without
+/// copying: only the header is validated (magic, endianness, version,
+/// section bounds, file size), so the load faults in O(1) pages — adjacency
+/// pages fault lazily on first scan. The mapping is advised towards huge
+/// pages and stays alive as long as any copy of the returned Graph does.
+/// Throws PreconditionError on malformed, foreign-endian, or truncated
+/// files.
+Graph MapBinaryCsr(const std::string& path);
+
 /// Builds a graph from a spec string (see header comment). Randomized
 /// families consume from `rng`; deterministic ones ignore it. Throws
 /// PreconditionError for unknown families or missing/extra parameters.

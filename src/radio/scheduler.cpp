@@ -1,12 +1,26 @@
 #include "radio/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/contracts.hpp"
 #include "obs/scoped_timer.hpp"
 #include "radio/hugepages.hpp"
+#include "verify/parallel.hpp"
 
 namespace emis {
+
+unsigned DefaultShards() noexcept {
+  static const unsigned shards = [] {
+    const char* env = std::getenv("EMIS_SHARDS");
+    if (env == nullptr || *env == '\0') return 1u;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || value == 0 || value > 256) return 1u;
+    return static_cast<unsigned>(value);
+  }();
+  return shards;
+}
 
 Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t seed)
     : graph_(&graph),
@@ -70,7 +84,10 @@ Scheduler::Scheduler(const Graph& graph, SchedulerConfig config, std::uint64_t s
     live_edges_metric_ = &config_.metrics->GetGauge("chan.live_edges");
     arena_reserved_ = &config_.metrics->GetGauge("arena.bytes_reserved");
     arena_used_ = &config_.metrics->GetGauge("arena.bytes_used");
+    merge_words_metric_ = &config_.metrics->GetGauge("chan.merge_words");
+    barrier_waits_metric_ = &config_.metrics->GetGauge("parallel.barrier_waits");
   }
+  barrier_waits_base_ = par::BarrierWaits();
   const Rng root(seed);
   ReserveHuge(contexts_, graph.NumNodes());
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
@@ -111,12 +128,72 @@ void Scheduler::SpawnFlat(std::unique_ptr<FlatProtocol> protocol) {
   spawned_ = true;
   flat_ = std::move(protocol);
   flat_lanes_ = flat_->Lanes();
-  // Step every machine to its first action (round 0), in node order —
-  // exactly where Spawn runs each coroutine to its first suspension.
-  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
-    contexts_[v].now = 0;
-    ResumeAndFile(v, actors_);
+  // Sharding engages here (flat engine only): never more shards than nodes,
+  // so every shard owns at least one row at bench sizes and degenerate tiny
+  // graphs collapse to fewer shards instead of empty dispatches.
+  if (config_.shards > 1 && graph_->NumNodes() > 0) {
+    shards_ = std::min<unsigned>(config_.shards, graph_->NumNodes());
   }
+  if (Sharded()) BuildShardCut();
+  // Step every machine to its first action (round 0), in node order —
+  // exactly where Spawn runs each coroutine to its first suspension. The
+  // steps are independent per node (each touches only its own lane), so the
+  // sharded path runs them on the pool and files serially afterwards.
+  const NodeId n = graph_->NumNodes();
+  if (ParallelStepEligible() && n >= kParallelMinNodes) {
+    par::ParallelFor(shards_, shards_, [this](std::uint64_t s, unsigned) {
+      for (NodeId v = shard_begin_[s]; v < shard_begin_[s + 1]; ++v) {
+        contexts_[v].now = 0;
+        flat_->Step(v, contexts_[v]);
+      }
+    });
+    for (NodeId v = 0; v < n; ++v) FileAction(v, actors_, &shard_actors_);
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      contexts_[v].now = 0;
+      ResumeAndFile(v, actors_, Sharded() ? &shard_actors_ : nullptr);
+    }
+  }
+}
+
+void Scheduler::BuildShardCut() {
+  const std::span<const std::uint64_t> offsets = graph_->RowOffsets();
+  const NodeId n = graph_->NumNodes();
+  const std::uint64_t total = offsets[n];  // directed CSR entries
+  shard_begin_.assign(shards_ + 1, 0);
+  shard_begin_[shards_] = n;
+  for (unsigned s = 1; s < shards_; ++s) {
+    NodeId boundary;
+    if (total == 0) {
+      // Edgeless graph: fall back to a node-uniform cut.
+      boundary = static_cast<NodeId>(
+          static_cast<std::uint64_t>(n) * s / shards_);
+    } else {
+      // Largest node whose edge prefix is still within s/shards of the
+      // total — contiguous row ranges with balanced directed-edge volume,
+      // which is what the channel passes actually iterate.
+      const std::uint64_t target =
+          static_cast<std::uint64_t>(static_cast<unsigned __int128>(total) * s / shards_);
+      const auto it = std::upper_bound(offsets.begin(), offsets.end(), target);
+      boundary = static_cast<NodeId>(std::distance(offsets.begin(), it) - 1);
+    }
+    // Monotone boundaries; skewed graphs may leave later shards empty.
+    shard_begin_[s] = std::max(boundary, shard_begin_[s - 1]);
+  }
+  tx_buffers_.resize(shards_);
+  for (unsigned s = 0; s < shards_; ++s) {
+    channel_.InitShardBuffer(tx_buffers_[s], shard_begin_[s], shard_begin_[s + 1]);
+  }
+  shard_actors_.assign(shards_, {});
+  next_shard_actors_.assign(shards_, {});
+  shard_tx_count_.assign(shards_, 0);
+  shard_listen_count_.assign(shards_, 0);
+}
+
+unsigned Scheduler::ShardOf(NodeId v) const noexcept {
+  const auto it =
+      std::upper_bound(shard_begin_.begin() + 1, shard_begin_.end(), v);
+  return static_cast<unsigned>(std::distance(shard_begin_.begin() + 1, it));
 }
 
 void Scheduler::Retire(NodeId v) {
@@ -129,17 +206,11 @@ void Scheduler::Retire(NodeId v) {
   if (residual_.has_value()) residual_->Retire(v);
 }
 
-void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
+void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors,
+                              std::vector<std::vector<NodeId>>* by_shard) {
   NodeContext& ctx = contexts_[v];
   if (flat_ != nullptr) {
     flat_->Step(v, ctx);
-    if (ctx.done) {
-      ++finished_;
-      // A finished program never acts again: drop the node from every
-      // neighbor's live scan row.
-      Retire(v);
-      return;
-    }
   } else {
     // Sub-protocol frames spawned while the coroutine runs allocate from
     // (and completed ones recycle into) this scheduler's arena.
@@ -148,10 +219,20 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
     if (tasks_[v].Done()) {
       tasks_[v].RethrowIfFailed();
       ctx.done = true;
-      ++finished_;
-      Retire(v);
-      return;
     }
+  }
+  FileAction(v, actors, by_shard);
+}
+
+void Scheduler::FileAction(NodeId v, std::vector<NodeId>& actors,
+                           std::vector<std::vector<NodeId>>* by_shard) {
+  NodeContext& ctx = contexts_[v];
+  if (ctx.done) {
+    ++finished_;
+    // A finished program never acts again: drop the node from every
+    // neighbor's live scan row.
+    Retire(v);
+    return;
   }
   if (ctx.retire_requested) Retire(v);
   switch (ctx.pending) {
@@ -159,6 +240,7 @@ void Scheduler::ResumeAndFile(NodeId v, std::vector<NodeId>& actors) {
     case ActionKind::kListen:
       EMIS_INVARIANT(!ctx.retired, "retired node submitted a radio action");
       actors.push_back(v);
+      if (by_shard != nullptr) (*by_shard)[ShardOf(v)].push_back(v);
       break;
     case ActionKind::kSleep:
       EMIS_INVARIANT(ctx.wake_round > ctx.now, "sleep must advance time");
@@ -347,6 +429,139 @@ void Scheduler::ExecuteRound() {
   actors_.swap(next_actors_);
 }
 
+void Scheduler::ShardTransmitPass(unsigned s) {
+  Channel::TxShardBuffer& buffer = tx_buffers_[s];
+  const std::vector<NodeId>& list = shard_actors_[s];
+  std::uint64_t transmits = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i + 8 < list.size()) {
+      __builtin_prefetch(&contexts_[list[i + 8]], 0, 1);
+    }
+    const NodeId v = list[i];
+    NodeContext& ctx = contexts_[v];
+    if (ctx.pending != ActionKind::kTransmit) continue;
+    channel_.StampTransmitter(buffer, v, ctx.out_payload);
+    energy_.ChargeTransmitLocal(v);
+    if (config_.ledger != nullptr) config_.ledger->ChargeTransmit(v);
+    ++transmits;
+  }
+  shard_tx_count_[s] = transmits;
+}
+
+void Scheduler::ShardListenPass(unsigned s) {
+  const std::vector<NodeId>& list = shard_actors_[s];
+  std::uint64_t listens = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i + 8 < list.size()) {
+      __builtin_prefetch(&contexts_[list[i + 8]], 1, 1);
+    }
+    const NodeId v = list[i];
+    NodeContext& ctx = contexts_[v];
+    if (ctx.pending != ActionKind::kListen) continue;
+    ctx.last_reception = channel_.ResolveListener(v);
+    energy_.ChargeListenLocal(v);
+    if (config_.ledger != nullptr) config_.ledger->ChargeListen(v);
+    ++listens;
+  }
+  shard_listen_count_[s] = listens;
+}
+
+void Scheduler::EmitRoundTrace() {
+  // Deferred serial trace pass in global actor order: all transmit events,
+  // then all listens — exactly the event order the unsharded two-phase loop
+  // emits, so trace goldens are shard-count-invariant.
+  for (const NodeId v : actors_) {
+    const NodeContext& ctx = contexts_[v];
+    if (ctx.pending == ActionKind::kTransmit) {
+      config_.trace->OnEvent({now_, v, ActionKind::kTransmit, ctx.out_payload, {}});
+    }
+  }
+  for (const NodeId v : actors_) {
+    const NodeContext& ctx = contexts_[v];
+    if (ctx.pending == ActionKind::kListen) {
+      config_.trace->OnEvent({now_, v, ActionKind::kListen, 0, ctx.last_reception});
+    }
+  }
+}
+
+void Scheduler::ExecuteRoundSharded() {
+  {
+    const obs::ScopedTimer timing(execute_timer_);
+    // ChooseDirection still runs for its side effects — actor-round
+    // validation and the chan.* cost-model metrics — but sharded rounds
+    // always *resolve* pull-side: stamping is shard-local and the listener
+    // scan reads the merged bitset without touching other nodes' state.
+    // Unobservable, per the Channel reception contract (the same argument
+    // that lets PhysicalDirection substitute directions; lossy channels
+    // keep per-link draws keyed by (listener, round, neighbor), which are
+    // direction-free by construction).
+    ChooseDirection();
+    channel_.BeginRound(ChannelDirection::kPull);
+    // Pre-intern the ledger's (phase, sub) key so concurrent charges touch
+    // only per-node cells (disjoint across shards), never the key table.
+    if (config_.ledger != nullptr) config_.ledger->PrimeCurrentKey();
+    const unsigned jobs = ShardJobs(actors_.size());
+    par::ParallelFor(jobs, shards_, [this](std::uint64_t s, unsigned) {
+      ShardTransmitPass(static_cast<unsigned>(s));
+    });
+    // Word-wise OR-merge in fixed shard order into the epoch-stamped global
+    // bitset; serial, so boundary words shared by two shards merge cleanly.
+    std::uint64_t tx_total = 0;
+    for (unsigned s = 0; s < shards_; ++s) {
+      merge_words_ += channel_.MergeTxShard(tx_buffers_[s]);
+      tx_total += shard_tx_count_[s];
+    }
+    par::ParallelFor(jobs, shards_, [this](std::uint64_t s, unsigned) {
+      ShardListenPass(static_cast<unsigned>(s));
+    });
+    std::uint64_t listen_total = 0;
+    for (unsigned s = 0; s < shards_; ++s) listen_total += shard_listen_count_[s];
+    // Totals are plain sums — order-independent — so committing them once
+    // per round keeps the meter exactly conserved at round boundaries.
+    energy_.CommitShardTotals(tx_total, listen_total);
+    if (config_.trace != nullptr) EmitRoundTrace();
+  }
+  node_rounds_ += actors_.size();
+  last_awake_round_ = now_;
+  any_awake_round_ = true;
+  if (rounds_executed_ != nullptr) rounds_executed_->Inc();
+  if (config_.telemetry != nullptr &&
+      now_ % std::max<Round>(config_.telemetry->HeartbeatEvery(), 1) == 0) {
+    EmitHeartbeat();
+  }
+
+  // Phase 3: parallel per-shard protocol steps, then a serial filing pass in
+  // global actor order — filing mutates cross-node state (finished_, the
+  // wheel, residual compaction) whose order the goldens pin. Timeline runs
+  // keep the serial reference resume (annotations mutate shared state
+  // inside Step).
+  const obs::ScopedTimer timing(resume_timer_);
+  next_actors_.clear();
+  for (std::vector<NodeId>& list : next_shard_actors_) list.clear();
+  if (ParallelStepEligible()) {
+    par::ParallelFor(ShardJobs(actors_.size()), shards_,
+                     [this](std::uint64_t s, unsigned) {
+      const std::vector<NodeId>& list = shard_actors_[s];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        PrefetchResume(list, i);
+        const NodeId v = list[i];
+        contexts_[v].now = now_ + 1;
+        flat_->Step(v, contexts_[v]);
+      }
+    });
+    for (const NodeId v : actors_) FileAction(v, next_actors_, &next_shard_actors_);
+  } else {
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      PrefetchResume(actors_, i);
+      const NodeId v = actors_[i];
+      contexts_[v].now = now_ + 1;
+      ResumeAndFile(v, next_actors_, &next_shard_actors_);
+    }
+  }
+  actors_.swap(next_actors_);
+  shard_actors_.swap(next_shard_actors_);
+}
+
 void Scheduler::EmitHeartbeat() {
   // Emitted after the round's channel/energy work, before the actors are
   // resumed for the next round, so the gauges describe the round that just
@@ -403,17 +618,44 @@ RunStats Scheduler::RunUntil(Round limit) {
       std::sort(wake_scratch_.begin(), wake_scratch_.end());
       wheel_count_ -= wake_scratch_.size();
       if (wake_events_ != nullptr) wake_events_->Inc(wake_scratch_.size());
-      for (std::size_t i = 0; i < wake_scratch_.size(); ++i) {
-        PrefetchResume(wake_scratch_, i);
-        const NodeId v = wake_scratch_[i];
-        EMIS_INVARIANT(contexts_[v].wake_round == now_, "missed a wake event");
-        contexts_[v].now = now_;
-        ResumeAndFile(v, actors_);
+      if (ParallelStepEligible() && wake_scratch_.size() >= kParallelMinNodes) {
+        // The sorted bucket partitions into contiguous per-shard segments;
+        // step them on the pool, then file serially in the same sorted
+        // (node-ascending) order the serial path uses.
+        par::ParallelFor(shards_, shards_, [this](std::uint64_t s, unsigned) {
+          const auto begin = std::lower_bound(wake_scratch_.begin(),
+                                              wake_scratch_.end(),
+                                              shard_begin_[s]);
+          const auto end = std::lower_bound(wake_scratch_.begin(),
+                                            wake_scratch_.end(),
+                                            shard_begin_[s + 1]);
+          for (auto it = begin; it != end; ++it) {
+            const NodeId v = *it;
+            EMIS_INVARIANT(contexts_[v].wake_round == now_, "missed a wake event");
+            contexts_[v].now = now_;
+            flat_->Step(v, contexts_[v]);
+          }
+        });
+        for (const NodeId v : wake_scratch_) {
+          FileAction(v, actors_, &shard_actors_);
+        }
+      } else {
+        for (std::size_t i = 0; i < wake_scratch_.size(); ++i) {
+          PrefetchResume(wake_scratch_, i);
+          const NodeId v = wake_scratch_[i];
+          EMIS_INVARIANT(contexts_[v].wake_round == now_, "missed a wake event");
+          contexts_[v].now = now_;
+          ResumeAndFile(v, actors_, Sharded() ? &shard_actors_ : nullptr);
+        }
       }
     }
     if (actors_.empty()) continue;  // woken nodes all went back to sleep
 
-    ExecuteRound();
+    if (Sharded()) {
+      ExecuteRoundSharded();
+    } else {
+      ExecuteRound();
+    }
     ++now_;
   }
 
@@ -421,6 +663,11 @@ RunStats Scheduler::RunUntil(Round limit) {
     const FrameArena::Stats& arena = arena_.GetStats();
     arena_reserved_->Set(static_cast<double>(arena.reserved_bytes));
     arena_used_->Set(static_cast<double>(arena.used_bytes));
+  }
+  if (merge_words_metric_ != nullptr) {
+    merge_words_metric_->Set(static_cast<double>(merge_words_));
+    barrier_waits_metric_->Set(
+        static_cast<double>(par::BarrierWaits() - barrier_waits_base_));
   }
   if (live_edges_metric_ != nullptr && residual_.has_value()) {
     live_edges_metric_->Set(static_cast<double>(residual_->LiveEdges()));

@@ -33,6 +33,12 @@
 
 namespace emis {
 
+/// Process-wide default intra-run shard count: 1, or the value of the
+/// EMIS_SHARDS environment variable when set to a valid positive integer.
+/// Read once and cached; lets a CI matrix run the whole test suite sharded
+/// without touching call sites (the EMIS_ENGINE pattern).
+unsigned DefaultShards() noexcept;
+
 struct SchedulerConfig {
   ChannelModel model = ChannelModel::kCd;
   /// Hard stop: no round >= max_rounds is executed. Guards against
@@ -91,6 +97,15 @@ struct SchedulerConfig {
   /// live-edge gauges, and — when `timeline` is also set — a `phase` event
   /// per closed span carrying the span's attribution delta.
   obs::StreamSink* telemetry = nullptr;
+  /// Intra-run shard count for the flat engine: the node range is cut into
+  /// `shards` contiguous, edge-balanced row ranges and each round's per-node
+  /// work (protocol steps, channel stamping/scanning, energy charges) runs
+  /// one shard per pool worker, with every cross-node mutation serialized in
+  /// global actor order between the parallel passes (DESIGN.md §13). Purely
+  /// a cost knob: traces, energy, metrics, receptions, and reports are
+  /// bit-identical at any shard count. The coroutine engine ignores it and
+  /// always runs single-sharded (it is the reference implementation).
+  unsigned shards = DefaultShards();
 };
 
 /// The per-round direction decision, factored out of the scheduler so the
@@ -182,9 +197,20 @@ class Scheduler {
  private:
   /// Advances node v's program to its next suspension — resuming its
   /// coroutine or stepping its flat lane, per config.engine — and files
-  /// the submitted action: into `actors` if it acts in the round ctx.now,
-  /// into the wake heap if it sleeps. Detects completion.
-  void ResumeAndFile(NodeId v, std::vector<NodeId>& actors);
+  /// the submitted action via FileAction. `by_shard` mirrors radio actions
+  /// into per-shard actor lists when the run is sharded.
+  void ResumeAndFile(NodeId v, std::vector<NodeId>& actors,
+                     std::vector<std::vector<NodeId>>* by_shard = nullptr);
+
+  /// Files node v's already-computed action: into `actors` (and the shard
+  /// mirror) if it acts in round ctx.now, into the wake wheel if it sleeps;
+  /// detects completion and retires. Split from ResumeAndFile so sharded
+  /// rounds can step nodes in parallel and then file serially in global
+  /// actor order — filing mutates cross-node state (finished_, the residual
+  /// overlay's compaction counters, the wheel), whose mutation order the
+  /// trace/report goldens pin.
+  void FileAction(NodeId v, std::vector<NodeId>& actors,
+                  std::vector<std::vector<NodeId>>* by_shard);
 
   /// Issues prefetches for upcoming resumes in a batch: position i + 8 pulls
   /// the node's context line (contexts_ is ~100 B/node — far beyond cache at
@@ -196,6 +222,49 @@ class Scheduler {
   /// Executes the current round for `actors_` (channel + energy + trace),
   /// then resumes the actors to collect their next actions.
   void ExecuteRound();
+
+  /// The sharded counterpart of ExecuteRound (flat engine, shards_ > 1).
+  /// Three deterministic steps per round: (1) a parallel per-shard action
+  /// pass stamps transmitters into shard-local bitsets and charges energy
+  /// locally, (2) the shard buffers are OR-merged word-wise into the
+  /// channel's epoch-stamped global bitset in fixed shard order, (3) a
+  /// parallel per-shard listener pass resolves receptions via the read-only
+  /// word-scan kernels. Trace events, energy totals, and actor filing are
+  /// then replayed serially in global actor order, so every observable is
+  /// bit-identical to the unsharded round (DESIGN.md §13).
+  void ExecuteRoundSharded();
+
+  /// Step (1): shard s's transmitter stamping + local energy charges.
+  void ShardTransmitPass(unsigned s);
+  /// Step (3): shard s's reception resolution + local energy charges.
+  void ShardListenPass(unsigned s);
+  /// Deferred serial trace pass reproducing the unsharded two-phase event
+  /// order: all transmits in actor order, then all listens.
+  void EmitRoundTrace();
+  /// Edge-balanced contiguous node cut from the CSR offset array; also
+  /// sizes the per-shard actor lists and transmit buffers.
+  void BuildShardCut();
+  /// The shard owning node v under the current cut.
+  unsigned ShardOf(NodeId v) const noexcept;
+  bool Sharded() const noexcept { return shards_ > 1; }
+  /// Whether per-node protocol steps may run in parallel: sharded and no
+  /// timeline (phase annotations mutate the shared timeline inside Step, so
+  /// annotated runs keep the serial reference path for the resume pass —
+  /// channel and energy passes stay parallel either way).
+  bool ParallelStepEligible() const noexcept {
+    return Sharded() && config_.timeline == nullptr;
+  }
+
+  /// Pool dispatch only pays off when a pass has enough per-node work to
+  /// amortize the barrier handshake; below this many nodes the same shard
+  /// loop runs inline on the scheduler thread (ParallelFor with one job).
+  /// Bit-identical either way — the shards execute the same disjoint work
+  /// in the same serialized merge/filing order — so this is purely a cost
+  /// knob, sized so ~µs of pass work meets ~µs of dispatch overhead.
+  static constexpr std::size_t kParallelMinNodes = 1024;
+  unsigned ShardJobs(std::size_t work_items) const noexcept {
+    return work_items >= kParallelMinNodes ? shards_ : 1;
+  }
 
   /// Degree-sum cost model: the direction this round resolves in, given the
   /// pending actions of `actors_`. Also validates actor rounds and feeds the
@@ -244,6 +313,22 @@ class Scheduler {
   // Nodes acting (transmit/listen) in round now_.
   std::vector<NodeId> actors_;
   std::vector<NodeId> next_actors_;  // scratch, swapped each round
+
+  // Intra-run sharding (flat engine only; engaged by SpawnFlat when
+  // config.shards > 1). shard_begin_ holds the contiguous node cut
+  // (shards_ + 1 boundaries); shard_actors_ mirrors actors_ partitioned by
+  // shard, maintained by FileAction and swapped alongside it.
+  unsigned shards_ = 1;
+  std::vector<NodeId> shard_begin_;
+  std::vector<std::vector<NodeId>> shard_actors_;
+  std::vector<std::vector<NodeId>> next_shard_actors_;
+  std::vector<Channel::TxShardBuffer> tx_buffers_;
+  // Per-shard charge tallies from the parallel passes, summed serially into
+  // the EnergyMeter totals once per round.
+  std::vector<std::uint64_t> shard_tx_count_;
+  std::vector<std::uint64_t> shard_listen_count_;
+  std::uint64_t merge_words_ = 0;  ///< words OR-merged across all rounds
+  std::uint64_t barrier_waits_base_ = 0;  ///< par::BarrierWaits at ctor
 
   // Calendar-wheel wake queue. Sleeping nodes land in the bucket of their
   // wake round when it is within the wheel horizon (now < round < now + W;
@@ -297,6 +382,8 @@ class Scheduler {
   obs::Gauge* live_edges_metric_ = nullptr;
   obs::Gauge* arena_reserved_ = nullptr;
   obs::Gauge* arena_used_ = nullptr;
+  obs::Gauge* merge_words_metric_ = nullptr;
+  obs::Gauge* barrier_waits_metric_ = nullptr;
   // RunUntil may be called repeatedly; counters flush deltas against these.
   std::uint64_t compactions_flushed_ = 0;
   std::uint64_t edges_reclaimed_flushed_ = 0;

@@ -107,6 +107,7 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
       run_config.resolution = config.resolution;
       run_config.compaction = config.compaction;
       run_config.engine = config.engine;
+      run_config.shards = config.shards;
       if (config.delta_unknown) run_config.delta_estimate = n;
       if (config.tweak) config.tweak(run_config, graph);
       if (!shards.empty()) run_config.metrics = &shards[worker];

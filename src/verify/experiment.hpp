@@ -76,6 +76,11 @@ struct SweepConfig {
   /// Execution backend for every trial (cost knob only; points are
   /// bit-identical across engines). `tweak` runs later and may override.
   ExecutionEngine engine = DefaultExecutionEngine();
+  /// Intra-run shard count for every trial (flat engine; cost knob only,
+  /// points are bit-identical at any count). Trials dispatched by a sweep
+  /// worker run their shard loops inline — the pool does not nest — so
+  /// sharding composes with jobs > 1 without oversubscription.
+  unsigned shards = DefaultShards();
   /// Optional final tweak of the per-run config (ablations); receives the
   /// generated topology so graph-dependent parameters can be derived.
   /// Like `factory`, must be safe to invoke concurrently when jobs > 1

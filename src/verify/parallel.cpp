@@ -1,6 +1,7 @@
 #include "verify/parallel.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -9,6 +10,139 @@
 #include "core/contracts.hpp"
 
 namespace emis::par {
+namespace {
+
+/// Set for the lifetime of a pool thread: nested ParallelFor calls made
+/// from inside a worker run inline instead of dispatching (a trial that
+/// runs a sharded scheduler must not wait on the pool it is occupying).
+thread_local bool tl_in_pool_worker = false;
+
+std::atomic<std::uint64_t> g_barrier_waits{0};
+
+/// One dispatch's shared state, stack-allocated by the caller. Workers
+/// claim indices from `cursor`; the first exception wins and stops further
+/// claiming.
+struct Dispatch {
+  const IndexFn* fn = nullptr;
+  std::uint64_t count = 0;
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  void RunWorker(unsigned worker) noexcept {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*fn)(i, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+/// The process-wide persistent pool. Thread `slot` (1-based) always runs as
+/// worker index `slot`, so the worker→thread mapping is stable across
+/// dispatches (pinned by test_parallel.cpp). Destroyed at process exit with
+/// a clean shutdown handshake, so sanitizer runs see joined threads.
+class Pool {
+ public:
+  static Pool& Instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  /// Runs `dispatch` on the caller (worker 0) plus `jobs - 1` pool workers.
+  /// Serializes dispatches: the pool runs one generation at a time, and the
+  /// caller owns the generation until every participant drained.
+  void Run(unsigned jobs, Dispatch& dispatch) {
+    const std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      EnsureThreads(jobs - 1);
+      current_ = &dispatch;
+      participants_ = jobs - 1;
+      remaining_ = jobs - 1;
+      ++generation_;
+      work_cv_.notify_all();
+    }
+    // The caller is worker 0 for this generation: mark it in-pool so a
+    // nested ParallelFor made from its slice runs inline instead of
+    // re-entering Run() and self-deadlocking on dispatch_mutex_. Run() is
+    // only reachable with the flag clear, so restoring to false is exact.
+    tl_in_pool_worker = true;
+    dispatch.RunWorker(0);
+    tl_in_pool_worker = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (remaining_ != 0) {
+      g_barrier_waits.fetch_add(1, std::memory_order_relaxed);
+      done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    }
+    current_ = nullptr;
+  }
+
+  unsigned Threads() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      work_cv_.notify_all();
+    }
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Grows the pool to at least `want` parked threads. Caller holds mutex_.
+  void EnsureThreads(unsigned want) {
+    while (threads_.size() < want) {
+      const unsigned slot = static_cast<unsigned>(threads_.size()) + 1;
+      threads_.emplace_back([this, slot] { ThreadMain(slot); });
+    }
+  }
+
+  void ThreadMain(unsigned slot) {
+    tl_in_pool_worker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      if (slot > participants_) continue;  // parked for this dispatch
+      Dispatch* dispatch = current_;
+      lock.unlock();
+      dispatch->RunWorker(slot);
+      lock.lock();
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  std::mutex dispatch_mutex_;  ///< one generation in flight at a time
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  Dispatch* current_ = nullptr;
+  unsigned participants_ = 0;
+  unsigned remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
 
 unsigned DefaultJobs() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -20,48 +154,29 @@ void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn) {
   if (jobs == 0) jobs = DefaultJobs();
   if (count == 0) return;
 
-  if (jobs <= 1 || count <= 1) {
+  if (jobs <= 1 || count <= 1 || tl_in_pool_worker) {
     for (std::uint64_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
   if (jobs > count) jobs = static_cast<unsigned>(count);
 
-  std::atomic<std::uint64_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Dispatch dispatch;
+  dispatch.fn = &fn;
+  dispatch.count = count;
+  Pool::Instance().Run(jobs, dispatch);
 
-  auto worker_loop = [&](unsigned worker) {
-    for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i, worker);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  // The caller is worker 0; jobs-1 extra threads join it. Spawning per call
-  // keeps the pool stateless between sweeps — thread creation is microseconds
-  // against trials that each run a full simulation.
-  std::vector<std::thread> threads;
-  threads.reserve(jobs - 1);
-  for (unsigned w = 1; w < jobs; ++w) {
-    threads.emplace_back(worker_loop, w);
-  }
-  worker_loop(0);
-  for (std::thread& t : threads) t.join();
-
-  EMIS_ENSURES(failed.load(std::memory_order_relaxed) ||
-                   cursor.load(std::memory_order_relaxed) >= count,
+  EMIS_ENSURES(dispatch.failed.load(std::memory_order_relaxed) ||
+                   dispatch.cursor.load(std::memory_order_relaxed) >= count,
                "workers exited before the index range drained");
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (dispatch.first_error != nullptr) {
+    std::rethrow_exception(dispatch.first_error);
+  }
 }
+
+std::uint64_t BarrierWaits() noexcept {
+  return g_barrier_waits.load(std::memory_order_relaxed);
+}
+
+unsigned PoolThreads() noexcept { return Pool::Instance().Threads(); }
 
 }  // namespace emis::par

@@ -1,16 +1,26 @@
-// The parallel trial engine: a small fixed thread pool for embarrassingly
-// parallel work — independent (n, seed) trials of a sweep or bench.
+// The parallel work engine: a persistent fixed thread pool shared by
+// embarrassingly parallel trial loops (sweeps, benches) and by the
+// scheduler's intra-run shard passes (radio/scheduler.cpp, DESIGN.md §13).
 //
 // Design constraints, in order:
 //   1. Determinism. The pool never touches the work itself: callers give a
-//      pure function of the trial index, each index writes its own result
-//      slot, and reduction happens on the calling thread in index order.
-//      Output is therefore bit-identical for any job count, including 1.
+//      pure function of the index, each index writes its own result slot,
+//      and reduction happens on the calling thread in index order. Output
+//      is therefore bit-identical for any job count, including 1.
 //   2. No work stealing, no queues. Indices are claimed from a single atomic
-//      cursor; trials are coarse enough (one full simulation run) that the
-//      cursor is never contended.
+//      cursor; work items are coarse enough (a full simulation run, or one
+//      shard of a round) that the cursor is never contended.
 //   3. Zero threads when jobs <= 1: the loop runs inline on the caller, so
 //      the serial path stays exactly the serial path.
+//   4. Workers persist across calls. Sharded rounds dispatch several times
+//      per simulated round, so thread creation cannot be on that path; the
+//      pool lazily grows to the largest job count ever requested and keeps
+//      those threads parked on a condition variable between dispatches.
+//
+// Nesting: a call made from inside a pool worker runs inline and serial on
+// that worker (a sweep trial that itself runs a sharded scheduler must not
+// deadlock waiting for the workers it is occupying). Inline execution is
+// observationally identical by constraint 1.
 //
 // Shared observability state must be sharded per worker (one MetricsRegistry
 // per thread) and merged after the join — see obs::MetricsRegistry::Merge.
@@ -32,11 +42,25 @@ unsigned DefaultJobs() noexcept;
 /// (an RNG, a metrics shard) needs no locking.
 using IndexFn = std::function<void(std::uint64_t index, unsigned worker)>;
 
-/// Runs fn over [0, count) on `jobs` threads and blocks until every index
-/// completed. jobs == 0 means DefaultJobs(). With jobs <= 1 (or count <= 1)
-/// the loop runs inline — no threads are created. The first exception thrown
-/// by fn is rethrown on the caller after all workers stopped claiming
-/// (remaining indices may be skipped once an exception is pending).
+/// Runs fn over [0, count) on `jobs` workers (the caller is worker 0; the
+/// persistent pool supplies the rest) and blocks until every index
+/// completed. jobs == 0 means DefaultJobs(). With jobs <= 1 (or count <= 1,
+/// or when called from inside a pool worker) the loop runs inline — no
+/// dispatch happens. The first exception thrown by fn is rethrown on the
+/// caller after all workers stopped claiming (remaining indices may be
+/// skipped once an exception is pending).
 void ParallelFor(unsigned jobs, std::uint64_t count, const IndexFn& fn);
+
+/// Process-wide count of dispatches in which the caller exhausted its own
+/// share of the index range and had to block on the completion barrier for
+/// pool workers still running — the shard-imbalance observable exported as
+/// the `parallel.barrier_waits` gauge. Monotonic; snapshot deltas to scope
+/// it to one run. Execution-dependent (scheduling decides who drains last),
+/// so it is a gauge, never part of the deterministic report surface.
+std::uint64_t BarrierWaits() noexcept;
+
+/// Number of persistent pool threads currently alive (grows lazily to the
+/// largest `jobs - 1` ever dispatched; 0 until the first parallel call).
+unsigned PoolThreads() noexcept;
 
 }  // namespace emis::par

@@ -419,6 +419,54 @@ TEST(RngSeedFromDraw, SuppressedByWaiver) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-thread
+
+TEST(RawThread, FlagsThreadJthreadAndAsync) {
+  const Report r = LintSource("src/core/bad.cpp",
+                              "void f() {\n"
+                              "  std::thread t([] {});\n"
+                              "  std::jthread j([] {});\n"
+                              "  auto fut = std::async([] { return 1; });\n"
+                              "}\n");
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].rule, "raw-thread");
+  EXPECT_EQ(r.findings[0].line, 2);
+  EXPECT_EQ(r.findings[1].line, 3);
+  EXPECT_EQ(r.findings[2].line, 4);
+}
+
+TEST(RawThread, PoolFileAndConcurrencyReadAreClean) {
+  // The pool implementation is the sanctioned spawner; everyone else may
+  // still read the machine shape.
+  EXPECT_TRUE(LintSource("src/verify/parallel.cpp",
+                         "void Pool() { std::thread t([] {}); t.join(); }\n")
+                  .findings.empty());
+  EXPECT_TRUE(LintSource("bench/bench_x.cpp",
+                         "unsigned n = std::thread::hardware_concurrency();\n")
+                  .findings.empty());
+  // Member named `thread` without the std:: qualifier is someone's field,
+  // not a spawn.
+  EXPECT_TRUE(LintSource("src/core/ok.cpp", "int thread = 3;\n").findings.empty());
+}
+
+TEST(RawThread, FlagsInBenchAndTools) {
+  EXPECT_TRUE(HasRule(LintSource("bench/bad.cpp",
+                                 "void f() { std::thread t([] {}); t.join(); }\n"),
+                      "raw-thread"));
+  EXPECT_TRUE(HasRule(LintSource("tools/bad.cpp",
+                                 "auto r = std::async([] { return 2; });\n"),
+                      "raw-thread"));
+}
+
+TEST(RawThread, SuppressedByWaiver) {
+  const Report r = LintSource(
+      "src/core/waived.cpp",
+      "std::thread t([] {});  // emis-lint: allow(raw-thread)\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Engine mechanics
 
 TEST(Engine, FileWideWaiverSuppressesAllInstances) {

@@ -159,8 +159,11 @@ TEST(FlatEngine, ReproducesPinnedGoldenTraceHashes) {
 
 /// Builds a full emis-run-report/1 document for one engine, then strikes
 /// the only engine-dependent observables: the alloc section (coroutine
-/// frames live in the arena; flat lanes do not) and the wall-clock timer
-/// values inside the metrics block. Everything else — counters, gauges,
+/// frames live in the arena; flat lanes do not), the wall-clock timer
+/// values inside the metrics block, and the sharding cost observables
+/// (run.shards plus the chan.merge_words / parallel.* gauges — the flat
+/// engine may run sharded under EMIS_SHARDS while the coroutine reference
+/// is always single-sharded). Everything else — counters, gauges,
 /// histograms, phases, energy, attribution — must match bit for bit.
 std::string NormalizedReport(const Graph& g, ExecutionEngine engine,
                              MisAlgorithm algorithm) {
@@ -196,6 +199,14 @@ std::string NormalizedReport(const Graph& g, ExecutionEngine engine,
   obs::JsonValue normalized = obs::JsonValue::MakeObject();
   for (const auto& [key, value] : doc.Entries()) {
     if (key == "alloc") continue;
+    if (key == "run") {
+      obs::JsonValue run_doc = obs::JsonValue::MakeObject();
+      for (const auto& [rkey, rvalue] : value.Entries()) {
+        if (rkey != "shards") run_doc.Set(rkey, rvalue);
+      }
+      normalized.Set("run", std::move(run_doc));
+      continue;
+    }
     if (key != "metrics") {
       normalized.Set(key, value);
       continue;
@@ -209,8 +220,13 @@ std::string NormalizedReport(const Graph& g, ExecutionEngine engine,
       }
       obs::JsonValue gauges = obs::JsonValue::MakeObject();
       for (const auto& [gkey, gvalue] : mvalue.Entries()) {
-        // Frame-arena footprint exists only under the coroutine engine.
-        if (!gkey.starts_with("arena.")) gauges.Set(gkey, gvalue);
+        // Frame-arena footprint exists only under the coroutine engine;
+        // merge-word and barrier-wait tallies only under a sharded one.
+        if (gkey.starts_with("arena.") || gkey.starts_with("parallel.") ||
+            gkey == "chan.merge_words") {
+          continue;
+        }
+        gauges.Set(gkey, gvalue);
       }
       metrics_doc.Set("gauges", std::move(gauges));
     }

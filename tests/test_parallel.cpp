@@ -64,6 +64,59 @@ TEST(ParallelFor, PropagatesTheFirstException) {
 
 TEST(DefaultJobs, IsAtLeastOne) { EXPECT_GE(par::DefaultJobs(), 1u); }
 
+TEST(Pool, ThreadsPersistAcrossDispatches) {
+  // The pool grows to jobs - 1 threads on first use and keeps them parked —
+  // sharded rounds dispatch several times per simulated round, so thread
+  // creation must never be on that path.
+  par::ParallelFor(3, 100, [](std::uint64_t, unsigned) {});
+  const unsigned after_first = par::PoolThreads();
+  EXPECT_GE(after_first, 2u);
+  for (int i = 0; i < 50; ++i) {
+    par::ParallelFor(3, 100, [](std::uint64_t, unsigned) {});
+    ASSERT_EQ(par::PoolThreads(), after_first) << "dispatch " << i;
+  }
+  // A wider dispatch may grow the pool; it never shrinks.
+  par::ParallelFor(5, 100, [](std::uint64_t, unsigned) {});
+  EXPECT_GE(par::PoolThreads(), after_first);
+}
+
+TEST(Pool, NestedCallsRunInlineWithoutDeadlock) {
+  // A trial that itself calls ParallelFor (a sweep of sharded runs) must
+  // not wait for the pool it is occupying: nested calls run inline and
+  // serial on the occupying worker. This must hold on *every* participant,
+  // including worker 0 — the calling thread holds the pool's dispatch lock
+  // while it works its own slice, so a nested call that re-entered the pool
+  // from there would self-deadlock (regression: sweep trials on the calling
+  // thread hung under EMIS_SHARDS > 1). The outer count of 64 makes the
+  // caller claim at least one slice on any schedule.
+  std::vector<std::atomic<int>> inner_visits(8);
+  par::ParallelFor(4, 64, [&](std::uint64_t, unsigned outer_worker) {
+    par::ParallelFor(4, 8, [&](std::uint64_t i, unsigned inner_worker) {
+      EXPECT_EQ(inner_worker, 0u) << "nested dispatch must be inline";
+      (void)outer_worker;
+      inner_visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(inner_visits[i].load(), 64) << "index " << i;
+  }
+}
+
+TEST(Pool, BarrierWaitsIsMonotone) {
+  const std::uint64_t before = par::BarrierWaits();
+  // Uneven work: worker 0 claims almost everything while one straggler
+  // sleeps-by-spinning, so the caller usually reaches the barrier first.
+  // The counter is execution-dependent; only monotonicity is contractual.
+  for (int round = 0; round < 20; ++round) {
+    par::ParallelFor(4, 64, [](std::uint64_t i, unsigned) {
+      volatile std::uint64_t sink = 0;
+      const std::uint64_t spin = i % 16 == 0 ? 20000 : 1;
+      for (std::uint64_t k = 0; k < spin; ++k) sink += k;
+    });
+  }
+  EXPECT_GE(par::BarrierWaits(), before);
+}
+
 SweepConfig SmallSweep() {
   SweepConfig cfg;
   cfg.algorithm = MisAlgorithm::kCd;

@@ -3,9 +3,11 @@
 //   emis_cli help | --help | -h
 //   emis_cli algorithms
 //   emis_cli gen   <graph-spec> [--seed S] [--out FILE]
-//   emis_cli run   --graph <spec | file:PATH> --alg <name>
+//   emis_cli graph pack --graph <spec | file:PATH> [--seed S] --out FILE.csr
+//   emis_cli run   --graph <spec | file:PATH | csr:PATH> --alg <name>
 //                  [--seed S] [--preset practical|theory] [--delta-unknown]
 //                  [--resolution auto|push|pull] [--compaction on|off]
+//                  [--shards N]
 //                  [--trace FILE.csv] [--trace-jsonl FILE.jsonl]
 //                  [--report-out FILE.json] [--flamegraph-out FILE.txt]
 //                  [--telemetry-out PATH|fd:N] [--heartbeat-every R]
@@ -13,7 +15,7 @@
 //   emis_cli sweep --alg <name> --family <er|udg|star|tree|matching|complete>
 //                  --sizes 64,128,... [--seeds K] [--delta-unknown]
 //                  [--resolution auto|push|pull] [--compaction on|off]
-//                  [--jobs N] [--report-out FILE.json]
+//                  [--shards N] [--jobs N] [--report-out FILE.json]
 //                  [--telemetry-out PATH|fd:N] [--heartbeat-every R]
 //                  [--metrics-text FILE.prom] [--quiet]
 //   emis_cli validate-report FILE.json
@@ -115,7 +117,26 @@ ExecutionEngine EngineFlag(const Flags& flags) {
   return e;
 }
 
+unsigned ShardsFlag(const Flags& flags) {
+  const std::string text =
+      flags.Get("shards", std::to_string(DefaultShards()));
+  unsigned long value = 0;
+  try {
+    value = std::stoul(text);
+  } catch (const std::exception&) {
+    value = 0;
+  }
+  EMIS_REQUIRE(value >= 1 && value <= 256,
+               "--shards must be in [1, 256] (got '" + text + "')");
+  return static_cast<unsigned>(value);
+}
+
 Graph LoadGraph(const std::string& source, std::uint64_t seed) {
+  if (source.rfind("csr:", 0) == 0) {
+    // Memory-mapped emis-csr/1: adjacency pages fault in lazily as the run
+    // touches them, so start-up cost is O(1) pages regardless of graph size.
+    return MapBinaryCsr(source.substr(4));
+  }
   if (source.rfind("file:", 0) == 0) {
     const std::string path = source.substr(5);
     std::ifstream in(path);
@@ -157,6 +178,27 @@ int CmdGen(const Flags& flags) {
   return 0;
 }
 
+int CmdGraphPack(const Flags& flags) {
+  const std::string graph_spec = flags.Get("graph");
+  EMIS_REQUIRE(!graph_spec.empty(), "graph pack needs --graph <spec|file:PATH>");
+  const std::string out_path = flags.Get("out");
+  EMIS_REQUIRE(!out_path.empty(), "graph pack needs --out FILE.csr");
+  const std::uint64_t seed = std::stoull(flags.Get("seed", "1"));
+  const Graph g = LoadGraph(graph_spec, seed);
+  std::ofstream out(out_path, std::ios::binary);
+  EMIS_REQUIRE(out.good(), "cannot write '" + out_path + "'");
+  WriteBinaryCsr(out, g);
+  out.flush();
+  EMIS_REQUIRE(out.good(), "write to '" + out_path + "' failed");
+  if (!flags.Has("quiet")) {
+    std::printf("packed %u nodes, %llu edges (max degree %u) into %s\n",
+                g.NumNodes(), static_cast<unsigned long long>(g.NumEdges()),
+                g.MaxDegree(), out_path.c_str());
+    std::printf("load with: emis_cli run --graph csr:%s ...\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int CmdRun(const Flags& flags) {
   const std::string alg_name = flags.Get("alg", "cd");
   const auto alg_it = AlgorithmsByName().find(alg_name);
@@ -176,6 +218,7 @@ int CmdRun(const Flags& flags) {
   cfg.resolution = ResolutionFlag(flags);
   cfg.compaction = CompactionFlag(flags);
   cfg.engine = EngineFlag(flags);
+  cfg.shards = ShardsFlag(flags);
   if (flags.Has("delta-unknown")) cfg.delta_estimate = g.NumNodes();
 
   std::ofstream trace_file;
@@ -271,6 +314,7 @@ int CmdRun(const Flags& flags) {
                          .nodes = g.NumNodes(),
                          .edges = g.NumEdges(),
                          .max_degree = g.MaxDegree(),
+                         .shards = cfg.shards,
                          .valid_mis = r.Valid(),
                          .mis_size = r.MisSize(),
                          .arena_reserved_bytes = r.arena.reserved_bytes,
@@ -341,6 +385,7 @@ int CmdSweep(const Flags& flags) {
   cfg.resolution = ResolutionFlag(flags);
   cfg.compaction = CompactionFlag(flags);
   cfg.engine = EngineFlag(flags);
+  cfg.shards = ShardsFlag(flags);
   // Sweep-wide metrics (merged across worker shards) feed the report's
   // required "metrics" sub-document, so chan.live_edges / graph.compactions
   // accumulate in the BENCH_*.json trajectory.
@@ -476,10 +521,11 @@ void PrintUsage() {
       "  emis_cli help | --help | -h\n"
       "  emis_cli algorithms\n"
       "  emis_cli gen <graph-spec> [--seed S] [--out FILE]\n"
-      "  emis_cli run --graph <spec|file:PATH> --alg <name> [--seed S]\n"
+      "  emis_cli graph pack --graph <spec|file:PATH> [--seed S] --out FILE.csr\n"
+      "  emis_cli run --graph <spec|file:PATH|csr:PATH> --alg <name> [--seed S]\n"
       "               [--preset practical|theory] [--delta-unknown]\n"
       "               [--resolution auto|push|pull] [--compaction on|off]\n"
-      "               [--engine coroutine|flat]\n"
+      "               [--engine coroutine|flat] [--shards N]\n"
       "               [--trace FILE.csv] [--trace-jsonl FILE.jsonl]\n"
       "               [--report-out FILE.json] [--flamegraph-out FILE.txt]\n"
       "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
@@ -488,7 +534,7 @@ void PrintUsage() {
       "               --sizes 64,128,... [--seeds K] [--avg-degree D]\n"
       "               [--delta-unknown] [--resolution auto|push|pull]\n"
       "               [--compaction on|off] [--engine coroutine|flat]\n"
-      "               [--jobs N] [--report-out FILE.json]\n"
+      "               [--shards N] [--jobs N] [--report-out FILE.json]\n"
       "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
       "               [--metrics-text FILE.prom] [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
@@ -500,6 +546,10 @@ void PrintUsage() {
       "  --engine      execution backend: coroutine (default; override via\n"
       "                EMIS_ENGINE) resumes one coroutine per awake node;\n"
       "                flat advances packed per-node state machines\n"
+      "  --shards      intra-run shard count for the flat engine (default 1;\n"
+      "                override via EMIS_SHARDS): rounds are partitioned over\n"
+      "                edge-balanced node ranges on a worker pool, results\n"
+      "                stay bit-identical at any count\n"
       "observability sinks (identical results, extra artifacts):\n"
       "  --flamegraph-out  collapsed-stack energy attribution (phase;sub w)\n"
       "  --telemetry-out   emis-telemetry/1 NDJSON stream (file or fd:N);\n"
@@ -523,6 +573,15 @@ int Main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "algorithms") return CmdAlgorithms();
+    if (cmd == "graph") {
+      // Subcommand group: `graph pack` converts any loadable topology into
+      // the mmap-ready emis-csr/1 binary format.
+      if (argc < 3 || std::strcmp(argv[2], "pack") != 0) {
+        std::fprintf(stderr, "unknown graph subcommand (expected `graph pack`)\n");
+        return Usage();
+      }
+      return CmdGraphPack(Parse(argc, argv, 3));
+    }
     const Flags flags = Parse(argc, argv, 2);
     if (cmd == "gen") return CmdGen(flags);
     if (cmd == "run") return CmdRun(flags);

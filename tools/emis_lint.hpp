@@ -6,7 +6,8 @@
 // depends on: no draw-order RNG or wall-clock reads in library code, no
 // unordered-container iteration feeding results, no raw assert() outside
 // tests, no console I/O in library code, no floating-point accumulation in
-// merge/reduce paths, and no RNG streams seeded from another stream's draws.
+// merge/reduce paths, no RNG streams seeded from another stream's draws, and
+// no raw OS-thread spawns outside the pooled execution layer.
 //
 // Rules operate on a lexed token stream: comments, string literals (plain
 // and raw), char literals and #include lines never produce identifier
@@ -317,6 +318,11 @@ inline const std::vector<RuleInfo>& Rules() {
       {"rng-seed-from-draw", "src, bench, tools",
        "no Rng constructed from another stream's draw (NextU64() etc.); "
        "derive children with Rng::Split(stream_id) or counter hashes"},
+      {"raw-thread", "src, bench, tools",
+       "no std::thread/std::jthread/std::async outside the pooled execution "
+       "layer (src/verify/parallel.cpp); fan work out through "
+       "par::ParallelFor so thread count, pinning and nesting stay "
+       "centralized (std::thread::hardware_concurrency reads are fine)"},
   };
   return kRules;
 }
@@ -750,6 +756,45 @@ inline void RuleRngSeedFromDraw(const SourceFile& f, std::vector<RawFinding>* ou
   }
 }
 
+// --- rule: raw-thread ------------------------------------------------------
+
+/// Files sanctioned to spawn OS threads: the persistent worker pool is the
+/// repo's single execution layer — everything else (sweeps, sharded rounds)
+/// dispatches through par::ParallelFor. Growing this list is an API-review
+/// decision, not a lint tweak.
+inline const std::set<std::string, std::less<>>& RawThreadWaivers() {
+  static const std::set<std::string, std::less<>> kWaived = {
+      "src/verify/parallel.cpp",
+  };
+  return kWaived;
+}
+
+inline void RuleRawThread(const SourceFile& f, std::vector<RawFinding>* out) {
+  const bool scoped = InSrc(f.path) || InBench(f.path) || InTools(f.path);
+  if (!scoped || RawThreadWaivers().count(f.path) > 0) return;
+  static const std::set<std::string, std::less<>> kSpawners = {"thread",
+                                                               "jthread", "async"};
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdentTok(toks[i], "std") || !IsPunct(toks[i + 1], "::") ||
+        toks[i + 2].kind != Token::Kind::kIdent ||
+        kSpawners.count(toks[i + 2].text) == 0) {
+      continue;
+    }
+    // std::thread::hardware_concurrency() is a read of machine shape, not a
+    // spawn — the pool sizes itself with it, and callers may too.
+    if (i + 4 < toks.size() && IsPunct(toks[i + 3], "::") &&
+        IsIdentTok(toks[i + 4], "hardware_concurrency")) {
+      continue;
+    }
+    out->push_back({"raw-thread", toks[i + 2].line,
+                    "raw thread spawn 'std::" + toks[i + 2].text +
+                        "' outside src/verify/parallel.cpp — dispatch through "
+                        "par::ParallelFor so the persistent pool owns every "
+                        "OS thread (or extend emis_lint RawThreadWaivers)"});
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -786,6 +831,7 @@ inline Report Lint(const Corpus& corpus) {
     detail::RuleIoInLibrary(f, &raw);
     detail::RuleFloatAccumulateInReduce(f, floats_by_stem[Stem(f.path)], &raw);
     detail::RuleRngSeedFromDraw(f, &raw);
+    detail::RuleRawThread(f, &raw);
 
     for (const detail::RawFinding& r : raw) {
       const std::string rule(r.rule);
