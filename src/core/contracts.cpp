@@ -64,8 +64,10 @@ ContractMode ParseMode(const char* text) noexcept {
 ContractMode detail::InitMode() noexcept {
   // Racy first read is fine: ParseMode is pure, every thread computes the
   // same value from the same environment.
-  const auto mode =
-      static_cast<std::uint8_t>(ParseMode(std::getenv("EMIS_CONTRACTS")));
+  // getenv without concurrent setenv is safe; this process never writes the
+  // environment.
+  const auto mode = static_cast<std::uint8_t>(
+      ParseMode(std::getenv("EMIS_CONTRACTS")));  // NOLINT(concurrency-mt-unsafe)
   detail::g_mode.store(mode, std::memory_order_relaxed);
   return static_cast<ContractMode>(mode);
 }

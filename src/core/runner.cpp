@@ -27,7 +27,9 @@ std::uint32_t EffectiveDelta(const Graph& graph, const MisRunConfig& config) {
 
 ExecutionEngine DefaultExecutionEngine() noexcept {
   static const ExecutionEngine engine = [] {
-    const char* env = std::getenv("EMIS_ENGINE");
+    // Read once under the static's init guard; the process never setenv()s,
+    // so the getenv cannot race a writer.
+    const char* env = std::getenv("EMIS_ENGINE");  // NOLINT(concurrency-mt-unsafe)
     if (env != nullptr) {
       const ExecutionEngine parsed = ExecutionEngineFromString(env);
       if (parsed != kInvalidExecutionEngine) return parsed;

@@ -555,6 +555,83 @@ std::string ValidateDiffReport(const JsonValue& doc) {
   return err;
 }
 
+std::string ValidateLintReport(const JsonValue& doc) {
+  if (!doc.IsObject()) return "report: not a JSON object";
+  std::string err;
+  const JsonValue* schema =
+      Need(doc, "schema", JsonValue::Kind::kString, "report", &err);
+  if (!err.empty()) return err;
+  const bool v2 = schema->AsString() == kLintReportSchema;
+  if (!v2 && schema->AsString() != kLintReportSchemaV1) {
+    return "report.schema: expected \"" + std::string(kLintReportSchema) +
+           "\" or \"" + std::string(kLintReportSchemaV1) + "\"";
+  }
+  NeedKeys(doc, "report",
+           {{"root", JsonValue::Kind::kString},
+            {"files_scanned", JsonValue::Kind::kNumber},
+            {"suppressed_count", JsonValue::Kind::kNumber},
+            {"rules", JsonValue::Kind::kArray},
+            {"findings", JsonValue::Kind::kArray}},
+           &err);
+  if (!err.empty()) return err;
+  if (v2) {
+    // /2 additions: pass-1 index counters, lint wall time, and per-rule
+    // waiver accounting (values must be numbers).
+    NeedKeys(doc, "report",
+             {{"symbols_indexed", JsonValue::Kind::kNumber},
+              {"call_edges", JsonValue::Kind::kNumber},
+              {"wall_seconds", JsonValue::Kind::kNumber},
+              {"suppressed_by_rule", JsonValue::Kind::kObject}},
+             &err);
+    if (!err.empty()) return err;
+    for (const auto& [rule, count] : doc.Find("suppressed_by_rule")->Entries()) {
+      if (!count.IsNumber()) {
+        return "report.suppressed_by_rule[\"" + rule + "\"]: not a number";
+      }
+    }
+  }
+  std::size_t i = 0;
+  for (const JsonValue& r : doc.Find("rules")->Items()) {
+    if (!r.IsString()) {
+      return "report.rules[" + std::to_string(i) + "]: not a string";
+    }
+    ++i;
+  }
+  i = 0;
+  for (const JsonValue& f : doc.Find("findings")->Items()) {
+    const std::string path = "findings[" + std::to_string(i) + "]";
+    if (!f.IsObject()) return path + ": not an object";
+    NeedKeys(f, path,
+             {{"rule", JsonValue::Kind::kString},
+              {"file", JsonValue::Kind::kString},
+              {"line", JsonValue::Kind::kNumber},
+              {"message", JsonValue::Kind::kString}},
+             &err);
+    if (!err.empty()) return err;
+    // Graph-rule findings carry a symbol and a witness call chain; token
+    // findings omit both (optional in /2, absent in /1).
+    const JsonValue* symbol = f.Find("symbol");
+    if (symbol != nullptr && !symbol->IsString()) {
+      return path + ".symbol: expected string, got " + KindName(symbol->kind());
+    }
+    const JsonValue* witness = f.Find("witness");
+    if (witness != nullptr) {
+      if (!witness->IsArray()) {
+        return path + ".witness: expected array, got " + KindName(witness->kind());
+      }
+      std::size_t w = 0;
+      for (const JsonValue& hop : witness->Items()) {
+        if (!hop.IsString()) {
+          return path + ".witness[" + std::to_string(w) + "]: not a string";
+        }
+        ++w;
+      }
+    }
+    ++i;
+  }
+  return err;
+}
+
 std::string ValidateReport(const JsonValue& doc) {
   if (!doc.IsObject()) return "report: not a JSON object";
   const JsonValue* schema = doc.Find("schema");
@@ -564,6 +641,10 @@ std::string ValidateReport(const JsonValue& doc) {
   if (schema->AsString() == kRunReportSchema) return ValidateRunReport(doc);
   if (schema->AsString() == kBenchReportSchema) return ValidateBenchReport(doc);
   if (schema->AsString() == kDiffReportSchema) return ValidateDiffReport(doc);
+  if (schema->AsString() == kLintReportSchema ||
+      schema->AsString() == kLintReportSchemaV1) {
+    return ValidateLintReport(doc);
+  }
   return "report.schema: unknown schema \"" + schema->AsString() + "\"";
 }
 

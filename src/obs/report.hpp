@@ -67,6 +67,12 @@ namespace emis::obs {
 inline constexpr std::string_view kRunReportSchema = "emis-run-report/1";
 inline constexpr std::string_view kBenchReportSchema = "emis-bench-report/1";
 inline constexpr std::string_view kDiffReportSchema = "emis-diff-report/1";
+/// emis_lint's artifact. /2 adds pass-1 index counters (symbols_indexed,
+/// call_edges), wall_seconds, per-rule waiver accounting
+/// (suppressed_by_rule), and optional per-finding "symbol" and "witness"
+/// call-chain arrays; /1 artifacts (pre-PR 9) still validate.
+inline constexpr std::string_view kLintReportSchema = "emis-lint-report/2";
+inline constexpr std::string_view kLintReportSchemaV1 = "emis-lint-report/1";
 
 struct RunReportInputs {
   std::string algorithm;
@@ -118,6 +124,8 @@ void WriteMetricsText(std::ostream& out, const MetricsRegistry& registry);
 std::string ValidateRunReport(const JsonValue& doc);
 std::string ValidateBenchReport(const JsonValue& doc);
 std::string ValidateDiffReport(const JsonValue& doc);
+/// Accepts both emis-lint-report/2 and the legacy /1 layout.
+std::string ValidateLintReport(const JsonValue& doc);
 
 /// Dispatches on the document's "schema" field; unknown schemas are errors.
 std::string ValidateReport(const JsonValue& doc);

@@ -12,7 +12,9 @@ namespace emis {
 
 unsigned DefaultShards() noexcept {
   static const unsigned shards = [] {
-    const char* env = std::getenv("EMIS_SHARDS");
+    // Read once under the static's init guard; the process never setenv()s,
+    // so the getenv cannot race a writer.
+    const char* env = std::getenv("EMIS_SHARDS");  // NOLINT(concurrency-mt-unsafe)
     if (env == nullptr || *env == '\0') return 1u;
     char* end = nullptr;
     const unsigned long value = std::strtoul(env, &end, 10);

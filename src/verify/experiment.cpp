@@ -137,6 +137,10 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
         begin.Set("seed", seed);
         begin.Set("nodes", static_cast<std::uint64_t>(graph.NumNodes()));
         begin.Set("edges", graph.NumEdges());
+        // Trial-private sink: the control event lands in this trial's own
+        // bounded queue, drained into the outcome slot and merged serially
+        // in (size, seed) order after the join — never a shared stream.
+        // emis-lint: allow(observable-commit-order)
         sink->EmitControl(begin);
       }
 
@@ -168,6 +172,9 @@ std::vector<SweepPoint> RunSweep(const SweepConfig& config, unsigned jobs,
         end.Set("valid", run.Valid());
         end.Set("emitted_events", sink->EmittedEvents());
         end.Set("dropped_events", sink->DroppedEvents());
+        // Same trial-private sink as run_begin above (serial merge after
+        // the join keeps the global telemetry order jobs-invariant).
+        // emis-lint: allow(observable-commit-order)
         sink->EmitControl(end);
         out.telemetry = std::make_unique<std::string>(sink->DrainToString());
       }

@@ -20,7 +20,11 @@
 // Nesting: a call made from inside a pool worker runs inline and serial on
 // that worker (a sweep trial that itself runs a sharded scheduler must not
 // deadlock waiting for the workers it is occupying). Inline execution is
-// observationally identical by constraint 1.
+// observationally identical by constraint 1. This guard is machine-checked:
+// emis_lint's nested-dispatch rule accepts a dispatcher only because
+// ParallelFor's definition READS tl_in_pool_worker (parallel.cpp) — remove
+// that read and every region that can re-enter the pool is flagged with its
+// witness call chain (the PR 8 deadlock shape, pinned in test_emis_lint).
 //
 // Shared observability state must be sharded per worker (one MetricsRegistry
 // per thread) and merged after the join — see obs::MetricsRegistry::Merge.

@@ -415,6 +415,99 @@ TEST(BenchReport, SchemaValidates) {
   EXPECT_NE(obs::ValidateBenchReport(missing), "");
 }
 
+TEST(LintReport, V2SchemaValidatesAndRoundTrips) {
+  // The exact shape tools/emis_lint ToJson emits: /2 counters, per-rule
+  // waiver accounting, and a graph finding with symbol + witness chain.
+  const JsonValue doc = obs::ParseJson(
+      "{\n"
+      "  \"schema\": \"emis-lint-report/2\",\n"
+      "  \"root\": \".\",\n"
+      "  \"files_scanned\": 110,\n"
+      "  \"symbols_indexed\": 866,\n"
+      "  \"call_edges\": 5489,\n"
+      "  \"wall_seconds\": 0.041,\n"
+      "  \"suppressed_count\": 7,\n"
+      "  \"suppressed_by_rule\": {\"banned-clock\": 2, \"io-in-library\": 2},\n"
+      "  \"rules\": [\"banned-random\", \"nested-dispatch\"],\n"
+      "  \"findings\": [\n"
+      "    {\"rule\": \"nested-dispatch\", \"file\": \"src/radio/s.cpp\",\n"
+      "     \"line\": 12, \"message\": \"region re-enters the pool\",\n"
+      "     \"symbol\": \"RunRound\",\n"
+      "     \"witness\": [\"src/radio/s.cpp:14 ShardPass\",\n"
+      "                   \"src/verify/parallel.cpp:152 ParallelFor\"]},\n"
+      "    {\"rule\": \"banned-random\", \"file\": \"src/core/x.cpp\",\n"
+      "     \"line\": 3, \"message\": \"rand() is banned\"}\n"
+      "  ]\n"
+      "}\n");
+  EXPECT_EQ(obs::ValidateLintReport(doc), "");
+  EXPECT_EQ(obs::ValidateReport(doc), "");  // dispatch on the schema string
+  const std::string dumped = doc.Dump(2);
+  EXPECT_EQ(obs::ValidateReport(obs::ParseJson(dumped)), "");
+}
+
+TEST(LintReport, V1ArtifactsStillValidateThroughDispatch) {
+  // Pre-PR 9 artifacts lack the /2 counters; they must keep validating so
+  // archived CI artifacts stay checkable.
+  const JsonValue v1 = obs::ParseJson(
+      "{\"schema\": \"emis-lint-report/1\", \"root\": \".\",\n"
+      " \"files_scanned\": 5, \"suppressed_count\": 0,\n"
+      " \"rules\": [\"banned-random\"], \"findings\": []}");
+  EXPECT_EQ(obs::ValidateLintReport(v1), "");
+  EXPECT_EQ(obs::ValidateReport(v1), "");
+  // The same document under the /2 id is rejected: the counters became
+  // mandatory with the version bump. (Built fresh rather than via copy+Set:
+  // JsonValue::Set appends duplicate keys and Find returns the first match,
+  // so "overriding" a key on a copy would leave the original value visible.)
+  const JsonValue as_v2 = obs::ParseJson(
+      "{\"schema\": \"emis-lint-report/2\", \"root\": \".\",\n"
+      " \"files_scanned\": 5, \"suppressed_count\": 0,\n"
+      " \"rules\": [\"banned-random\"], \"findings\": []}");
+  EXPECT_NE(obs::ValidateLintReport(as_v2), "");
+}
+
+TEST(LintReport, ValidatorRejectsMalformedFindings) {
+  // Each variant is built from scratch: JsonValue::Set appends duplicate keys
+  // and Find returns the first match, so mutating a copy cannot override a
+  // key that is already present.
+  const auto make_doc = [](JsonValue suppressed_by_rule, JsonValue findings) {
+    JsonValue doc = JsonValue::MakeObject();
+    doc.Set("schema", obs::kLintReportSchema);
+    doc.Set("root", ".");
+    doc.Set("files_scanned", 1);
+    doc.Set("symbols_indexed", 0);
+    doc.Set("call_edges", 0);
+    doc.Set("wall_seconds", 0.0);
+    doc.Set("suppressed_count", 0);
+    doc.Set("suppressed_by_rule", std::move(suppressed_by_rule));
+    doc.Set("rules", JsonValue::MakeArray());
+    doc.Set("findings", std::move(findings));
+    return doc;
+  };
+  EXPECT_EQ(obs::ValidateLintReport(
+                make_doc(JsonValue::MakeObject(), JsonValue::MakeArray())),
+            "");
+
+  // witness must be an array of strings when present.
+  JsonValue bad_witness = JsonValue::MakeObject();
+  bad_witness.Set("rule", "nested-dispatch");
+  bad_witness.Set("file", "src/x.cpp");
+  bad_witness.Set("line", 1);
+  bad_witness.Set("message", "m");
+  bad_witness.Set("witness", "not an array");
+  JsonValue findings = JsonValue::MakeArray();
+  findings.Push(std::move(bad_witness));
+  const JsonValue broken =
+      make_doc(JsonValue::MakeObject(), std::move(findings));
+  EXPECT_NE(obs::ValidateLintReport(broken), "");
+
+  // suppressed_by_rule values must be numbers.
+  JsonValue bad_counts = JsonValue::MakeObject();
+  bad_counts.Set("banned-clock", "two");
+  const JsonValue broken2 =
+      make_doc(std::move(bad_counts), JsonValue::MakeArray());
+  EXPECT_NE(obs::ValidateLintReport(broken2), "");
+}
+
 TEST(RunReport, AllocSectionCarriesArenaAndRss) {
   Rng rng(3);
   Graph g = gen::ErdosRenyi(48, 0.1, rng);

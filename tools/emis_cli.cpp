@@ -538,6 +538,7 @@ void PrintUsage() {
       "               [--telemetry-out PATH|fd:N] [--heartbeat-every R]\n"
       "               [--metrics-text FILE.prom] [--quiet]\n"
       "  emis_cli validate-report FILE.json\n"
+      "                (run, bench, diff, and emis-lint-report/1|/2 schemas)\n"
       "cost knobs (identical results, different cost):\n"
       "  --resolution  channel direction: auto picks per round by live-degree\n"
       "                sums; push/pull force one side\n"

@@ -1,13 +1,20 @@
 // emis_lint CLI — runs the determinism & invariant rules over a repo tree.
 //
 // Usage:
-//   emis_lint [--root <dir>] [--report-out <file>] [--list-rules] [--quiet]
+//   emis_lint [--root <dir>] [--report-out <file>] [--explain]
+//             [--waiver-baseline <file>] [--list-rules] [--quiet]
 //
-// Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+// Exit codes: 0 = clean, 1 = findings (or waiver-baseline regression),
+// 2 = usage/IO error.
 //
 // This is a developer tool, not library code: console I/O and filesystem
 // access are its job.
 #include "tools/emis_lint.hpp"
+
+// The linter times its own run for the report's wall_seconds counter; the
+// measurement never feeds simulation state (counted in the waiver baseline).
+// emis-lint: allow-file(banned-clock)
+#include <chrono>
 
 #include <cstdio>
 #include <cstring>
@@ -34,7 +41,9 @@ void PrintRules() {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string report_out;
+  std::string waiver_baseline;
   bool quiet = false;
+  bool explain = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -44,14 +53,18 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(arg, "--explain") == 0) {
+      explain = true;
     } else if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
     } else if (std::strcmp(arg, "--report-out") == 0 && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (std::strcmp(arg, "--waiver-baseline") == 0 && i + 1 < argc) {
+      waiver_baseline = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::printf(
-          "usage: emis_lint [--root <dir>] [--report-out <file>] "
-          "[--list-rules] [--quiet]\n");
+          "usage: emis_lint [--root <dir>] [--report-out <file>] [--explain] "
+          "[--waiver-baseline <file>] [--list-rules] [--quiet]\n");
       return 0;
     } else {
       std::fprintf(stderr, "emis_lint: unknown argument '%s'\n", arg);
@@ -64,8 +77,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
   const emis_lint::Corpus corpus = emis_lint::LoadCorpus(root);
-  const emis_lint::Report report = emis_lint::Lint(corpus);
+  emis_lint::Report report = emis_lint::Lint(corpus);
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::string baseline_error;
+  if (!waiver_baseline.empty()) {
+    std::ifstream in(waiver_baseline);
+    if (!in) {
+      std::fprintf(stderr, "emis_lint: cannot read waiver baseline '%s'\n",
+                   waiver_baseline.c_str());
+      return 2;
+    }
+    baseline_error =
+        emis_lint::DiffWaiverBaseline(report, emis_lint::ParseWaiverBaseline(in));
+  }
 
   if (!report_out.empty()) {
     std::ofstream out(report_out, std::ios::binary);
@@ -81,10 +110,33 @@ int main(int argc, char** argv) {
     for (const emis_lint::Finding& f : report.findings) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                   f.message.c_str());
+      if (explain && !f.witness.empty()) {
+        std::printf("    call chain (%s):\n",
+                    f.symbol.empty() ? "?" : f.symbol.c_str());
+        for (const std::string& hop : f.witness) {
+          std::printf("      -> %s\n", hop.c_str());
+        }
+      }
     }
-    std::printf("emis_lint: %zu file(s) scanned, %zu finding(s), %llu waiver(s)\n",
-                report.files_scanned, report.findings.size(),
-                static_cast<unsigned long long>(report.suppressed));
+    std::printf(
+        "emis_lint: %zu file(s), %zu symbol(s), %zu call edge(s), "
+        "%zu finding(s), %llu waiver(s) in %.3fs\n",
+        report.files_scanned, report.symbols_indexed, report.call_edges,
+        report.findings.size(),
+        static_cast<unsigned long long>(report.suppressed),
+        report.wall_seconds);
+    if (explain && !report.suppressed_by_rule.empty()) {
+      std::printf("waivers by rule:\n");
+      for (const auto& [rule, count] : report.suppressed_by_rule) {
+        std::printf("  %-28s %llu\n", rule.c_str(),
+                    static_cast<unsigned long long>(count));
+      }
+    }
+  }
+  if (!baseline_error.empty()) {
+    std::fprintf(stderr, "emis_lint: waiver baseline regression: %s\n",
+                 baseline_error.c_str());
+    return 1;
   }
   return report.findings.empty() ? 0 : 1;
 }
