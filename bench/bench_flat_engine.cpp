@@ -22,6 +22,11 @@
 //     coroutine engine pays per-frame cache misses that the SoA sweep
 //     amortizes); EMIS_BENCH_SWEEP_MAX_N raises the largest size (2^24 is
 //     feasible: ~8 GB of CSR at degree 64);
+//   * working set (E23) — flat-engine RunMis at n in {2^18, 2^20, 2^22}
+//     (cap via EMIS_BENCH_E23_MAX_N) on the degree-256 family, recording
+//     the mem.* residency gauges per size: the hot context the resume loop
+//     streams must stay >= 30% below the pre-split 128 B/node monolith
+//     (DESIGN.md 12.2, EXPERIMENTS.md E23);
 //   * trajectory — a timed sweep recorded into the JSON artifact (engine
 //     via EMIS_BENCH_ENGINE) so CI's BENCH_*.json series tracks the engine
 //     ratio over time.
@@ -41,6 +46,10 @@ struct TimedRun {
   std::uint64_t edges_scanned = 0;
   std::uint64_t total_awake = 0;
   std::size_t mis_size = 0;
+  // mem.* residency gauges sampled at RunUntil exit (bytes, whole run).
+  double hot_bytes = 0.0;
+  double cold_bytes = 0.0;
+  double lane_bytes = 0.0;
 };
 
 TimedRun RunOnce(const Graph& g, MisAlgorithm algorithm, ExecutionEngine engine,
@@ -64,7 +73,10 @@ TimedRun RunOnce(const Graph& g, MisAlgorithm algorithm, ExecutionEngine engine,
   EMIS_REQUIRE(r.Valid(), "bench run must produce a valid MIS");
   return {elapsed.count(), r.stats.rounds_used,
           metrics.GetCounter("chan.edges_scanned").Value(),
-          r.energy.TotalAwake(), r.MisSize()};
+          r.energy.TotalAwake(), r.MisSize(),
+          metrics.GetGauge("mem.context_hot_bytes").Value(),
+          metrics.GetGauge("mem.context_cold_bytes").Value(),
+          metrics.GetGauge("mem.lane_bytes").Value()};
 }
 
 // --- equivalence ------------------------------------------------------------
@@ -209,6 +221,65 @@ void CheckCrossover() {
   std::printf("\n");
 }
 
+// --- E23 working-set trajectory ---------------------------------------------
+
+void CheckWorkingSet() {
+  // Flat-engine RunMis throughput as the per-node state scales past the
+  // LLC: n in {2^18, 2^20, 2^22} on the degree-256 family (the same
+  // condition as the throughput leg). The residency half of the leg is the
+  // point: the resume loop streams sizeof(HotNodeContext) = 16 bytes plus
+  // the protocol lane per node and round; before the hot/cold split it
+  // dragged the full 128-byte NodeContext monolith through cache on every
+  // resume. EMIS_BENCH_E23_MAX_N caps the largest size — the default 2^18
+  // keeps smoke runs quick; the committed BENCH_flat_engine_n22.json
+  // artifact is produced with the full 2^22 (about 12 GB peak RSS for the
+  // degree-256 CSR).
+  NodeId max_n = 1u << 18;
+  if (const char* env = std::getenv("EMIS_BENCH_E23_MAX_N");
+      env != nullptr && env[0] != '\0') {
+    max_n = static_cast<NodeId>(std::strtoul(env, nullptr, 10));
+  }
+  // Pre-split per-node context footprint (the former NodeContext monolith).
+  // The floor is calibrated to the measured layout: the 16-byte hot half is
+  // an 87.5% cut, so requiring >= 75% (hot <= 0.25x monolith) leaves 2x
+  // headroom while still failing loudly if half the cold fields creep back
+  // into the hot array. (EXPERIMENTS.md E23's original acceptance bar was
+  // a 30% cut; the verdict pins the recalibrated, tighter floor.)
+  constexpr double kMonolithBytesPerNode = 128.0;
+  Table table({"n", "flat s", "rounds/s", "hot B/node", "cold B/node",
+               "lane B/node"});
+  bool residency_ok = true;
+  for (NodeId n = 1u << 18; n <= max_n; n <<= 2) {
+    Rng rng(42);
+    const Graph g = gen::ErdosRenyi(n, 256.0 / static_cast<double>(n), rng);
+    const TimedRun flat = RunOnce(g, MisAlgorithm::kCd,
+                                  ExecutionEngine::kFlat, 1);
+    const double nodes = static_cast<double>(n);
+    const double hot = flat.hot_bytes / nodes;
+    const double cold = flat.cold_bytes / nodes;
+    const double lane = flat.lane_bytes / nodes;
+    residency_ok = residency_ok && hot <= 0.25 * kMonolithBytesPerNode;
+    const double rps = static_cast<double>(flat.rounds) / flat.seconds;
+    table.AddRow({std::to_string(n), Fmt(flat.seconds, 3), Fmt(rps, 0),
+                  Fmt(hot, 0), Fmt(cold, 0), Fmt(lane, 0)});
+    // log2(n) keys the gauge series so artifacts at different caps align.
+    std::uint32_t log2n = 0;
+    for (NodeId m = n; m > 1; m >>= 1) ++log2n;
+    const std::string suffix = "_n" + std::to_string(log2n);
+    bench::Metrics().GetGauge("e23.flat_seconds" + suffix).Set(flat.seconds);
+    bench::Metrics().GetGauge("e23.hot_bytes" + suffix).Set(flat.hot_bytes);
+    bench::Metrics().GetGauge("e23.cold_bytes" + suffix).Set(flat.cold_bytes);
+    bench::Metrics().GetGauge("e23.lane_bytes" + suffix).Set(flat.lane_bytes);
+  }
+  std::printf("%s", table.Render("E23 working-set trajectory: RunMis(cd, "
+                                 "push, flat) on G(n, 256/n) with mem.* "
+                                 "residency gauges").c_str());
+  bench::Verdict(residency_ok,
+                 "hot context stays >= 75% below the pre-split 128 B/node "
+                 "monolith at every swept size (mem.context_hot_bytes)");
+  std::printf("\n");
+}
+
 // --- trajectory sweep -------------------------------------------------------
 
 void RecordTrajectory() {
@@ -240,6 +311,7 @@ int main() {
   CheckEquivalence();
   CheckThroughput();
   CheckCrossover();
+  CheckWorkingSet();
   RecordTrajectory();
   bench::Footer();
   return 0;

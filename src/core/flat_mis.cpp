@@ -30,9 +30,62 @@
 #include "core/contracts.hpp"
 #include "core/mis_nocd.hpp"
 #include "radio/hugepages.hpp"
+#include "radio/size_budget.hpp"
 
 namespace emis {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Lane width contracts
+// ---------------------------------------------------------------------------
+//
+// The lanes below store loop counters as u16 (and the CD energy budget as
+// u32): every persistent field is sized to the largest value the protocol
+// can put in it, and these factory-checked bounds are what make the
+// narrowing sound — a parameter that could overflow a lane counter is
+// rejected at construction instead of silently truncating mid-run. All
+// shipped presets (Theory/Practical, core/params.hpp) are O(log n) or
+// O(log² n) in these fields, orders of magnitude below the limits.
+// Quantities that never persist across a yield (backoff windows, schedules)
+// are recomputed locals and need no bound. Lane *sizes* are budgeted
+// separately via radio/size_budget.hpp static_asserts at each struct.
+constexpr std::uint32_t kCounterMax = 0xffff;     // u16 lane counters
+constexpr std::uint64_t kBudgetMax = 0xffffffff;  // u32 CD energy budget
+
+void RequireLaneBounds(const CdParams& p) {
+  EMIS_REQUIRE(p.luby_phases <= kCounterMax, "luby_phases exceeds lane counter width");
+  EMIS_REQUIRE(p.rank_bits <= kCounterMax, "rank_bits exceeds lane counter width");
+  EMIS_REQUIRE(p.repetitions <= kCounterMax, "repetitions exceeds lane counter width");
+  EMIS_REQUIRE(p.energy_cap <= kBudgetMax, "energy_cap exceeds lane budget width");
+}
+
+void RequireLaneBounds(const SimCdParams& p) {
+  EMIS_REQUIRE(p.luby_phases <= kCounterMax, "luby_phases exceeds lane counter width");
+  EMIS_REQUIRE(p.rank_bits <= kCounterMax, "rank_bits exceeds lane counter width");
+  EMIS_REQUIRE(p.reps <= kCounterMax, "reps exceeds lane counter width");
+  EMIS_REQUIRE(p.BittyReps() <= kCounterMax, "bitty_reps exceeds lane counter width");
+}
+
+void RequireLaneBounds(const GhaffariParams& p) {
+  EMIS_REQUIRE(p.iterations <= kCounterMax, "iterations exceeds lane counter width");
+  EMIS_REQUIRE(p.mark_reps <= kCounterMax, "mark_reps exceeds lane counter width");
+  EMIS_REQUIRE(p.announce_reps <= kCounterMax,
+               "announce_reps exceeds lane counter width");
+  EMIS_REQUIRE(p.est_slots <= kCounterMax, "est_slots exceeds lane counter width");
+}
+
+void RequireLaneBounds(const NoCdParams& p) {
+  EMIS_REQUIRE(p.luby_phases <= kCounterMax, "luby_phases exceeds lane counter width");
+  EMIS_REQUIRE(p.rank_bits <= kCounterMax, "rank_bits exceeds lane counter width");
+  EMIS_REQUIRE(p.deep_reps <= kCounterMax, "deep_reps exceeds lane counter width");
+  EMIS_REQUIRE(p.shallow_reps <= kCounterMax,
+               "shallow_reps exceeds lane counter width");
+  if (p.low_degree_kind == LowDegreeKind::kGhaffari) {
+    RequireLaneBounds(p.low_degree_ghaffari);
+  } else {
+    RequireLaneBounds(p.low_degree);
+  }
+}
 
 // Protothread yield macros. Each use must sit on its own source line (the
 // line number is the case label). `pc_` is the reference bound by
@@ -100,16 +153,22 @@ namespace {
 
 /// Shared lane for one in-flight backoff call. Callers reset with Start()
 /// immediately before each logical call; `heard` is the Rec* return value.
+/// Field order packs the per-yield fields (pc, i, x, heard) into the lane's
+/// first word: i counts backoff iterations (≤ kCounterMax by the factory
+/// contracts), x is a window slot (≤ BackoffWindow ≤ 33, so u8), and only
+/// RecDecay's flat listen counter j needs u32 (k · window can reach ~2M).
 struct BackoffLane {
-  Round end_round = 0;
-  std::uint32_t i = 0;
-  std::uint32_t j = 0;
-  std::uint32_t x = 0;
   std::uint16_t pc = 0;
+  std::uint16_t i = 0;
+  std::uint8_t x = 0;
   bool heard = false;
+  std::uint32_t j = 0;
+  Round end_round = 0;
 
   void Start() noexcept { pc = 0; }
 };
+static_assert(sizeof(BackoffLane) <= kBackoffLaneBytes,
+              "BackoffLane outgrew its size budget (radio/size_budget.hpp)");
 
 /// SndEBackoff(k, delta).
 bool StepSndE(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
@@ -117,7 +176,7 @@ bool StepSndE(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
   const std::uint32_t window = BackoffWindow(delta);
   FLAT_BEGIN(t.pc);
   for (t.i = 0; t.i < k; ++t.i) {
-    t.x = std::min(c.Rand().GeometricHalf(), window);
+    t.x = static_cast<std::uint8_t>(std::min(c.Rand().GeometricHalf(), window));
     FLAT_SLEEP_FOR(c, t.x - 1);
     FLAT_TRANSMIT(c, 1);
     FLAT_SLEEP_FOR(c, window - t.x);
@@ -154,7 +213,7 @@ bool StepSndDecay(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
   FLAT_BEGIN(t.pc);
   c.SubPhase("decay");
   for (t.i = 0; t.i < k; ++t.i) {
-    t.x = std::min(c.Rand().GeometricHalf(), window);
+    t.x = static_cast<std::uint8_t>(std::min(c.Rand().GeometricHalf(), window));
     for (t.j = 0; t.j < window; ++t.j) {
       if (t.j < t.x) {
         FLAT_TRANSMIT(c, 1);
@@ -204,7 +263,7 @@ bool StepMarkExchange(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
   t.heard = false;
   for (t.i = 0; t.i < k && !t.heard; ++t.i) {
     if (c.Rand().Bit()) {
-      t.x = std::min(c.Rand().GeometricHalf(), window);
+      t.x = static_cast<std::uint8_t>(std::min(c.Rand().GeometricHalf(), window));
       FLAT_SLEEP_FOR(c, t.x - 1);
       FLAT_TRANSMIT(c, 1);
     } else {
@@ -226,19 +285,26 @@ bool StepMarkExchange(BackoffLane& t, const FlatCtx& c, std::uint32_t k,
 // Algorithm 1 (CD / beeping): flat mirror of core/mis_cd.cpp
 // ---------------------------------------------------------------------------
 
+// Counters are u16 (phase/j/j2 bound by luby_phases/rank_bits, r by the
+// repetition factor — all ≤ kCounterMax by the factory contract); the
+// epoch-wide budget is u32 (never read past energy_cap ≤ kBudgetMax: the
+// Exhausted pre-check stops incrementing first, and with cap == 0 the
+// field is never read at all, so u32 wraparound is unobservable).
 struct CdLane {
-  std::uint64_t spent = 0;  // Budget::spent, epoch-wide
-  std::uint32_t phase = 0;
-  std::uint32_t j = 0;   // rank-bit index
-  std::uint32_t j2 = 0;  // losers_keep_listening remainder index
-  std::uint32_t r = 0;   // repetition index of the in-flight logical round
+  std::uint32_t spent = 0;  // Budget::spent, epoch-wide
   std::uint16_t pc = 0;
   std::uint16_t sub_pc = 0;  // Transmit/ListenLogical resume point
+  std::uint16_t phase = 0;
+  std::uint16_t j = 0;   // rank-bit index
+  std::uint16_t j2 = 0;  // losers_keep_listening remainder index
+  std::uint16_t r = 0;   // repetition index of the in-flight logical round
   bool heard_anything = false;
   bool lost = false;
   bool busy = false;  // ListenLogical accumulator
   bool ok = false;    // logical round completed within budget
 };
+static_assert(sizeof(CdLane) <= kCdLaneBytes,
+              "CdLane outgrew its size budget (radio/size_budget.hpp)");
 
 class FlatMisCd final : public FlatProtocol {
  public:
@@ -246,14 +312,15 @@ class FlatMisCd final : public FlatProtocol {
       : params_(params),
         out_(out),
         reps_(std::max(1u, params.repetitions)) {
+    RequireLaneBounds(params_);
     ReserveHuge(lanes_, num_nodes);
   }
 
-  void Step(NodeId v, NodeContext& ctx) override {
-    const FlatCtx c(&ctx);
+  void Step(NodeId v, NodeContext ctx) override {
+    const FlatCtx c(ctx);
     if (StepNode(lanes_[v], c, &(*out_)[v])) {
       // MisCdNode: api.Retire() then the root coroutine finishes.
-      ctx.done = true;
+      ctx.MarkDone();
     }
   }
 
@@ -394,17 +461,22 @@ class FlatMisCd final : public FlatProtocol {
 // flat mirror of core/simulated_cd_mis.cpp
 // ---------------------------------------------------------------------------
 
+// phase/j are bound by luby_phases/rank_bits ≤ kCounterMax (factory
+// contract). The sub-machine lane leads so its per-yield word and this
+// lane's own counters land on the same cache line.
 struct SimCdLane {
+  BackoffLane bk;
   Round start = 0;
-  std::uint32_t phase = 0;
-  std::uint32_t j = 0;
   std::uint16_t pc = 0;
+  std::uint16_t phase = 0;
+  std::uint16_t j = 0;
   MisStatus result = MisStatus::kUndecided;
   bool lost = false;
-  BackoffLane bk;
 
   void Start() noexcept { pc = 0; }
 };
+static_assert(sizeof(SimCdLane) <= kSimCdLaneBytes,
+              "SimCdLane outgrew its size budget (radio/size_budget.hpp)");
 
 /// SimulatedCdMisRun -> t.result.
 bool StepSimCd(SimCdLane& t, const FlatCtx& c, const SimCdParams& p) {
@@ -452,16 +524,17 @@ class FlatSimulatedCdMis final : public FlatProtocol {
                      NodeId num_nodes)
       : params_(params), out_(out) {
     params_.annotate_phases = true;  // standalone contract (Standalone())
+    RequireLaneBounds(params_);
     ReserveHuge(lanes_, num_nodes);
   }
 
-  void Step(NodeId v, NodeContext& ctx) override {
-    const FlatCtx c(&ctx);
+  void Step(NodeId v, NodeContext ctx) override {
+    const FlatCtx c(ctx);
     SimCdLane& t = lanes_[v];
     if (t.pc == 0) (*out_)[v] = MisStatus::kUndecided;
     if (StepSimCd(t, c, params_)) {
       (*out_)[v] = t.result;
-      ctx.done = true;
+      ctx.MarkDone();
     }
   }
 
@@ -479,22 +552,27 @@ class FlatSimulatedCdMis final : public FlatProtocol {
 // Ghaffari-style round-efficient MIS: flat mirror of core/ghaffari_mis.cpp
 // ---------------------------------------------------------------------------
 
+// iter/slot/heard_slots are bound by iterations/est_slots ≤ kCounterMax
+// (factory contract); exponent and level never exceed Levels() =
+// CeilLog2(Δ) + 2 ≤ 34 for any u32 Δ, so u8 is sound unconditionally.
 struct GhaffariLane {
+  BackoffLane bk;
   Round start = 0;
-  std::uint32_t iter = 0;
-  std::uint32_t exponent = 1;
-  std::uint32_t level = 0;
-  std::uint32_t slot = 0;
-  std::uint32_t heard_slots = 0;
   std::uint16_t pc = 0;
+  std::uint16_t iter = 0;
+  std::uint16_t slot = 0;
+  std::uint16_t heard_slots = 0;
+  std::uint8_t exponent = 1;
+  std::uint8_t level = 0;
   MisStatus result = MisStatus::kUndecided;
   bool marked = false;
   bool heard_mark = false;
   bool crowded = false;
-  BackoffLane bk;
 
   void Start() noexcept { pc = 0; }
 };
+static_assert(sizeof(GhaffariLane) <= kGhaffariLaneBytes,
+              "GhaffariLane outgrew its size budget (radio/size_budget.hpp)");
 
 /// GhaffariMisRun -> t.result.
 bool StepGhaffari(GhaffariLane& t, const FlatCtx& c, const GhaffariParams& p) {
@@ -542,7 +620,7 @@ bool StepGhaffari(GhaffariLane& t, const FlatCtx& c, const GhaffariParams& p) {
           FLAT_TRANSMIT(c, 1);
         } else {
           FLAT_LISTEN(c);
-          t.heard_slots += c.Heard().Busy() ? 1 : 0;
+          if (c.Heard().Busy()) ++t.heard_slots;
         }
       }
       if (t.level >= 1 && static_cast<double>(t.heard_slots) >=
@@ -551,7 +629,8 @@ bool StepGhaffari(GhaffariLane& t, const FlatCtx& c, const GhaffariParams& p) {
       }
     }
     if (t.crowded) {
-      t.exponent = std::min(t.exponent + 1, levels);
+      t.exponent =
+          static_cast<std::uint8_t>(std::min<std::uint32_t>(t.exponent + 1u, levels));
     } else if (t.exponent > 1) {
       --t.exponent;
     }
@@ -567,16 +646,17 @@ class FlatGhaffariMis final : public FlatProtocol {
                   NodeId num_nodes)
       : params_(params), out_(out) {
     params_.annotate_phases = true;  // standalone contract (Standalone())
+    RequireLaneBounds(params_);
     ReserveHuge(lanes_, num_nodes);
   }
 
-  void Step(NodeId v, NodeContext& ctx) override {
-    const FlatCtx c(&ctx);
+  void Step(NodeId v, NodeContext ctx) override {
+    const FlatCtx c(ctx);
     GhaffariLane& t = lanes_[v];
     if (t.pc == 0) (*out_)[v] = MisStatus::kUndecided;
     if (StepGhaffari(t, c, params_)) {
       (*out_)[v] = t.result;
-      ctx.done = true;
+      ctx.MarkDone();
     }
   }
 
@@ -595,25 +675,36 @@ class FlatGhaffariMis final : public FlatProtocol {
 // core/competition.cpp and core/mis_nocd.cpp
 // ---------------------------------------------------------------------------
 
+// j is bound by rank_bits ≤ kCounterMax (factory contract). The receiver
+// listen bound delta_est is NOT stored: it is a pure function of the
+// committed flag (Δ before commit, min(Δ, κ log n) after), recomputed as a
+// local on every Step re-entry — per-round-derivable state stays out of
+// persistent lanes.
 struct CompetitionLane {
+  BackoffLane bk;
   Round end = 0;
-  std::uint32_t j = 0;
-  std::uint32_t delta_est = 0;
   std::uint16_t pc = 0;
+  std::uint16_t j = 0;
   CompetitionOutcome outcome = CompetitionOutcome::kWin;
   bool heard = false;
   bool committed = false;
-  BackoffLane bk;
 
   void Start() noexcept { pc = 0; }
 };
+static_assert(sizeof(CompetitionLane) <= kCompetitionLaneBytes,
+              "CompetitionLane outgrew its size budget (radio/size_budget.hpp)");
 
 /// Competition(params) -> t.outcome (probe-free path; protocols pass null).
 bool StepCompetition(CompetitionLane& t, const FlatCtx& c, const NoCdParams& p) {
+  // The commit flag only flips between a Bitty phase's last listen yield
+  // and the next FLAT_AWAIT re-entry, and StepRecE reads its listen bound
+  // only after its first listen files — so a re-entry always recomputes the
+  // value the stored field used to hold before any read can observe it.
+  const std::uint32_t delta_est =
+      t.committed ? std::min(p.delta, p.commit_degree) : p.delta;
   FLAT_BEGIN(t.pc);
   t.end = c.Now() +
           static_cast<Round>(p.rank_bits) * BackoffRounds(p.deep_reps, p.delta);
-  t.delta_est = p.delta;
   t.heard = false;
   t.committed = false;
   for (t.j = 0; t.j < p.rank_bits; ++t.j) {
@@ -623,7 +714,7 @@ bool StepCompetition(CompetitionLane& t, const FlatCtx& c, const NoCdParams& p) 
       continue;
     }
     t.bk.Start();
-    FLAT_AWAIT(StepRecE(t.bk, c, p.deep_reps, p.delta, t.delta_est));
+    FLAT_AWAIT(StepRecE(t.bk, c, p.deep_reps, p.delta, delta_est));
     t.heard = t.heard || t.bk.heard;
     if (t.heard && !t.committed) {
       // Lost: sleep out the remaining Bitty phases.
@@ -632,7 +723,6 @@ bool StepCompetition(CompetitionLane& t, const FlatCtx& c, const NoCdParams& p) 
       return true;
     }
     if (!t.heard) {
-      t.delta_est = std::min(p.delta, p.commit_degree);
       t.committed = true;
     }
   }
@@ -641,9 +731,13 @@ bool StepCompetition(CompetitionLane& t, const FlatCtx& c, const NoCdParams& p) 
   FLAT_END();
 }
 
+// i is bound by luby_phases ≤ kCounterMax (factory contract). Own control
+// word first, then the sub-machine lanes ordered by how often a phase
+// touches them (every phase runs the competition; only committed survivors
+// reach the LowDegreeMIS lanes at the tail).
 struct NoCdEpochLane {
-  std::uint32_t i = 0;  // Luby phase index
   std::uint16_t pc = 0;
+  std::uint16_t i = 0;  // Luby phase index
   CompetitionLane comp;
   BackoffLane bk;
   SimCdLane sim;    // LowDegreeKind::kSimulatedAlg1
@@ -651,6 +745,8 @@ struct NoCdEpochLane {
 
   void Start() noexcept { pc = 0; }
 };
+static_assert(sizeof(NoCdEpochLane) <= kNoCdEpochLaneBytes,
+              "NoCdEpochLane outgrew its size budget (radio/size_budget.hpp)");
 
 /// MisNoCdEpoch(params, start, in_mis, status). `sched` must equal
 /// NoCdSchedule::Of(params) (precomputed once per machine, not per node).
@@ -781,11 +877,12 @@ class FlatMisNoCd final : public FlatProtocol {
       : params_(params),
         sched_(NoCdSchedule::Of(params)),
         out_(out) {
+    RequireLaneBounds(params_);
     ReserveHuge(lanes_, num_nodes);
   }
 
-  void Step(NodeId v, NodeContext& ctx) override {
-    const FlatCtx c(&ctx);
+  void Step(NodeId v, NodeContext ctx) override {
+    const FlatCtx c(ctx);
     Lane& t = lanes_[v];
     if (t.epoch.pc == 0 && !t.entered) {
       (*out_)[v] = MisStatus::kUndecided;
@@ -794,7 +891,7 @@ class FlatMisNoCd final : public FlatProtocol {
     }
     if (StepNoCdEpoch(t.epoch, c, params_, sched_, 0, &t.in_mis, &(*out_)[v])) {
       // MisNoCdNode: api.Retire() then the root coroutine finishes.
-      ctx.done = true;
+      ctx.MarkDone();
     }
   }
 
@@ -804,10 +901,12 @@ class FlatMisNoCd final : public FlatProtocol {
 
  private:
   struct Lane {
-    NoCdEpochLane epoch;
     bool in_mis = false;
     bool entered = false;
+    NoCdEpochLane epoch;
   };
+  static_assert(sizeof(Lane) <= kNoCdLaneBytes,
+                "FlatMisNoCd::Lane outgrew its size budget (radio/size_budget.hpp)");
 
   NoCdParams params_;
   NoCdSchedule sched_;
@@ -819,22 +918,29 @@ class FlatMisNoCd final : public FlatProtocol {
 // Unknown-Δ doubling wrapper: flat mirror of core/delta_doubling.cpp
 // ---------------------------------------------------------------------------
 
+// g is bound by the guess count and it by verify_reps, both ≤ kCounterMax
+// (constructor contract). The verification-loop state (bk and the round
+// markers) leads; the epoch sub-lane sits at the tail.
 struct DeltaLane {
+  BackoffLane bk;
   Round epoch_start = 0;
   Round verify_end = 0;
-  std::uint32_t g = 0;   // guess index
-  std::uint32_t it = 0;  // verification iteration
   std::uint16_t pc = 0;
+  std::uint16_t g = 0;   // guess index
+  std::uint16_t it = 0;  // verification iteration
   bool in_mis = false;
   NoCdEpochLane epoch;
-  BackoffLane bk;
 };
+static_assert(sizeof(DeltaLane) <= kDeltaLaneBytes,
+              "DeltaLane outgrew its size budget (radio/size_budget.hpp)");
 
 class FlatDeltaDoublingMis final : public FlatProtocol {
  public:
   FlatDeltaDoublingMis(DeltaDoublingParams params, std::vector<MisStatus>* out,
                        NodeId num_nodes)
       : params_(params), out_(out) {
+    EMIS_REQUIRE(params_.verify_reps <= kCounterMax,
+                 "verify_reps exceeds lane counter width");
     ReserveHuge(lanes_, num_nodes);
     // Per-guess configuration is identical across nodes: derive it once
     // here instead of per node (the coroutine recomputes it per node, but
@@ -843,6 +949,7 @@ class FlatDeltaDoublingMis final : public FlatProtocol {
       const NoCdParams epoch = params_.theory_constants
                                    ? NoCdParams::Theory(params_.n, guess)
                                    : NoCdParams::Practical(params_.n, guess);
+      RequireLaneBounds(epoch);
       guesses_.push_back(guess);
       epochs_.push_back(epoch);
       scheds_.push_back(NoCdSchedule::Of(epoch));
@@ -851,13 +958,15 @@ class FlatDeltaDoublingMis final : public FlatProtocol {
       epoch_rounds_.push_back(static_cast<Round>(epoch.luby_phases) *
                               scheds_.back().phase);
     }
+    EMIS_REQUIRE(guesses_.size() <= kCounterMax,
+                 "guess count exceeds lane counter width");
   }
 
-  void Step(NodeId v, NodeContext& ctx) override {
-    const FlatCtx c(&ctx);
+  void Step(NodeId v, NodeContext ctx) override {
+    const FlatCtx c(ctx);
     if (StepNode(lanes_[v], c, &(*out_)[v])) {
       // DeltaDoublingMisNode: api.Retire() then the root finishes.
-      ctx.done = true;
+      ctx.MarkDone();
     }
   }
 

@@ -39,75 +39,80 @@
 namespace emis {
 
 /// The action/observation surface a flat state machine sees: the NodeApi
-/// equivalent over the same NodeContext the scheduler resolves against.
-/// Cheap value type; wraps one node for the duration of one Step().
+/// equivalent over the same hot/cold context halves the scheduler resolves
+/// against. Cheap value type (holds the 16-byte NodeContext view); wraps
+/// one node for the duration of one Step(). Scheduling reads and action
+/// filing touch only the hot half; Rand/Heard/EnergySpent and annotations
+/// reach into the cold half — which is exactly the split the scheduler's
+/// prefetcher assumes (transmit/sleep steps never fault a cold line in).
 class FlatCtx {
  public:
-  explicit FlatCtx(NodeContext* ctx) noexcept : ctx_(ctx) {}
+  explicit FlatCtx(NodeContext ctx) noexcept : ctx_(ctx) {}
 
-  NodeId Id() const noexcept { return ctx_->id; }
-  Round Now() const noexcept { return ctx_->now; }
-  Rng& Rand() const noexcept { return ctx_->rng; }
+  NodeId Id() const noexcept { return ctx_.cold->id; }
+  Round Now() const noexcept { return ctx_.hot->now; }
+  Rng& Rand() const noexcept { return ctx_.cold->rng; }
 
   /// Result of the node's last listen action.
-  const Reception& Heard() const noexcept { return ctx_->last_reception; }
+  const Reception& Heard() const noexcept { return ctx_.cold->last_reception; }
 
   /// Awake rounds this node has paid so far (reads the scheduler's meter).
   std::uint64_t EnergySpent() const noexcept {
-    return ctx_->energy != nullptr ? ctx_->energy->Awake() : 0;
+    return ctx_.cold->energy != nullptr ? ctx_.cold->energy->Awake() : 0;
   }
 
   /// Phase / sub-phase annotations; same semantics as NodeApi.
   void Phase(std::string_view base,
              std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
-    if (ctx_->timeline != nullptr) ctx_->timeline->Annotate(base, index, ctx_->now);
+    if (ctx_.cold->timeline != nullptr) {
+      ctx_.cold->timeline->Annotate(base, index, ctx_.hot->now);
+    }
   }
   void SubPhase(std::string_view base,
                 std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
-    if (ctx_->timeline != nullptr) {
-      ctx_->timeline->AnnotateSub(base, index, ctx_->now);
+    if (ctx_.cold->timeline != nullptr) {
+      ctx_.cold->timeline->AnnotateSub(base, index, ctx_.hot->now);
     }
   }
 
   /// Files one awake transmit round. The caller must yield out of Step()
   /// immediately after (the protothread macros in core/flat_mis.cpp do).
   void Transmit(std::uint64_t payload = 1) const noexcept {
-    ctx_->pending = ActionKind::kTransmit;
-    ctx_->out_payload = payload;
+    ctx_.hot->FileTransmit(payload);
   }
 
   /// Files one awake listen round.
-  void Listen() const noexcept { ctx_->pending = ActionKind::kListen; }
+  void Listen() const noexcept { ctx_.hot->FileListen(); }
 
   /// Files a sleep until absolute round `round` and returns true, or
   /// returns false when the sleep is zero-length (already due) — the
   /// machine must then continue executing without yielding, exactly like
   /// SleepAwait::await_ready() short-circuiting a coroutine co_await.
   bool SleepUntil(Round round) const noexcept {
-    if (round <= ctx_->now) return false;
-    ctx_->pending = ActionKind::kSleep;
-    ctx_->wake_round = round;
+    if (round <= ctx_.hot->now) return false;
+    ctx_.hot->FileSleep(round);
     return true;
   }
 
   /// Files a sleep for `rounds` rounds; false (no yield) when rounds == 0.
   bool SleepFor(Round rounds) const noexcept {
-    return SleepUntil(ctx_->now + rounds);
+    return SleepUntil(ctx_.hot->now + rounds);
   }
 
   /// Terminal-decision marker; same semantics as NodeApi::Retire().
-  void Retire() const noexcept { ctx_->retire_requested = true; }
+  void Retire() const noexcept { ctx_.hot->RequestRetire(); }
 
  private:
-  NodeContext* ctx_;
+  NodeContext ctx_;
 };
 
 /// A batched protocol: one object drives every node's state machine. The
 /// scheduler calls Step(v) wherever the coroutine engine would resume node
-/// v's coroutine; Step must leave exactly one action filed in `ctx`
-/// (pending / out_payload / wake_round) or mark the program finished by
-/// setting ctx.done = true (with ctx.retire_requested where the coroutine
-/// protocol would have called api.Retire()).
+/// v's coroutine, passing the node's context view by value; Step must file
+/// exactly one action through FlatCtx (transmit / listen / strictly-future
+/// sleep) or mark the program finished via ctx.MarkDone() (with
+/// FlatCtx::Retire() where the coroutine protocol would have called
+/// api.Retire()).
 class FlatProtocol {
  public:
   /// Byte layout of the per-node lane array: node v's machine state lives at
@@ -125,7 +130,7 @@ class FlatProtocol {
   FlatProtocol(const FlatProtocol&) = delete;
   FlatProtocol& operator=(const FlatProtocol&) = delete;
 
-  virtual void Step(NodeId v, NodeContext& ctx) = 0;
+  virtual void Step(NodeId v, NodeContext ctx) = 0;
 
   virtual LaneLayout Lanes() const noexcept { return {}; }
 };

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "radio/size_budget.hpp"
 #include "radio/types.hpp"
 
 namespace emis {
@@ -176,7 +177,7 @@ class ResidualGraph {
   explicit ResidualGraph(const Graph& graph);
 
   NodeId NumNodes() const noexcept {
-    return static_cast<NodeId>(scan_len_.size());
+    return static_cast<NodeId>(rows_.size());
   }
 
   /// Whether v may still act on the channel.
@@ -185,13 +186,16 @@ class ResidualGraph {
   }
 
   /// Number of still-live neighbors of v (0 once v itself retired).
-  std::uint32_t LiveDegree(NodeId v) const noexcept { return live_degree_[v]; }
+  std::uint32_t LiveDegree(NodeId v) const noexcept {
+    return rows_[v].live_degree;
+  }
 
   /// The entries a channel scan must visit for v: the live prefix of its CSR
   /// row, sorted ascending. Contains all live neighbors plus at most an
   /// equal number of dead ones. Empty once v retired.
   std::span<const NodeId> ScanRow(NodeId v) const noexcept {
-    return {adjacency_.data() + row_begin_[v], scan_len_[v]};
+    const RowMeta& row = rows_[v];
+    return {adjacency_.data() + row.begin, row.scan_len};
   }
 
   /// Permanently removes v from the residual graph. v must still be active;
@@ -212,10 +216,21 @@ class ResidualGraph {
   /// Stable in-place partition of w's scan row: survivors to the prefix.
   void CompactRow(NodeId w);
 
-  std::vector<std::uint64_t> row_begin_;    // CSR row start per node
-  std::vector<std::uint32_t> scan_len_;     // live-prefix length per node
-  std::vector<std::uint32_t> live_degree_;  // live neighbors per node
-  std::vector<NodeId> adjacency_;           // mutable CSR copy
+  /// Per-node row metadata, interleaved so the three fields every consumer
+  /// reads together (ScanRow's begin+len, Retire's len+degree) land on one
+  /// cache line per node instead of three parallel-array lines. Channel
+  /// scans and retire-compaction both key this by *neighbor* id — a random
+  /// access — so the interleave halves their miss traffic (size pinned in
+  /// size_budget.hpp / tests/test_layout.cpp).
+  struct RowMeta {
+    std::uint64_t begin = 0;        // CSR row start
+    std::uint32_t scan_len = 0;     // live-prefix length
+    std::uint32_t live_degree = 0;  // live neighbors
+  };
+  static_assert(sizeof(RowMeta) == kResidualRowBytes,
+                "row metadata outgrew its line budget (size_budget.hpp)");
+  std::vector<RowMeta> rows_;
+  std::vector<NodeId> adjacency_;  // mutable CSR copy
   std::vector<std::uint64_t> active_;       // node bitset, 64 nodes per word
   std::uint64_t live_edges_ = 0;
   NodeId active_count_ = 0;

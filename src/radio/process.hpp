@@ -30,44 +30,110 @@
 #include "radio/frame_arena.hpp"
 #include "radio/model.hpp"
 #include "radio/rng.hpp"
+#include "radio/size_budget.hpp"
 #include "radio/types.hpp"
 
 namespace emis {
 
 class Scheduler;
 
-/// Per-node mutable state shared between the scheduler and the awaitables.
-/// Owned by the Scheduler; one per node; outlives the node's coroutines.
-struct NodeContext {
-  NodeId id = kInvalidNode;
-  Rng rng{0};
+/// Per-node mutable state is split into a hot half — everything the
+/// scheduler reads or writes when deciding what a node does next — and a
+/// cold half touched only when the node actually acts (RNG draws, reception
+/// delivery, coroutine resumption, annotation). The Scheduler owns one
+/// parallel array of each, so its per-round loops stream 16 B/node instead
+/// of the former 128 B monolith; the sleeping majority's RNG/reception/
+/// handle state never enters the cache (DESIGN.md §12.2, size_budget.hpp).
+/// Protocols, awaitables, and the flat engine reach both halves through the
+/// two-pointer NodeContext view below.
+struct HotNodeContext {
+  /// `flags` packs the pending ActionKind (low two bits, the enum's values)
+  /// with the three status bits that used to be separate bools.
+  static constexpr std::uint8_t kPendingMask = 0x03;
+  /// Set when the node's root program finishes.
+  static constexpr std::uint8_t kDoneBit = 0x04;
+  /// One-shot request raised by NodeApi::Retire(); the scheduler consumes
+  /// it after the current resume slice (see MarkRetired).
+  static constexpr std::uint8_t kRetireRequestBit = 0x08;
+  /// Set once the scheduler has retired the node: it must never transmit or
+  /// listen again (sleeping until a sync round and finishing are fine).
+  static constexpr std::uint8_t kRetiredBit = 0x10;
+
+  /// Widest clock value the narrowed `now` field can hold. The scheduler
+  /// asserts each round that the global clock fits; executing 2^32 rounds
+  /// is infeasible (runs here use hundreds), so the bound costs one
+  /// predictable compare per round, not per resume.
+  static constexpr Round kNowMax = 0xffffffffu;
+
+  /// Argument of the pending action: the wake round while Pending() is
+  /// kSleep, the transmit payload while kTransmit, dead while kListen. The
+  /// two uses never coexist — filing an action overwrites the slot — which
+  /// is what lets one 8-byte field replace the old wake_round/out_payload
+  /// pair.
+  std::uint64_t arg = 0;
 
   /// The round in which this node's *next* submitted action will execute.
   /// Maintained by the scheduler; protocols read it through NodeApi::Now().
-  Round now = 0;
+  /// Stored narrow (see kNowMax): together with the packed flags byte this
+  /// is what brings the hot context to 16 bytes — four per cache line,
+  /// none straddling a line boundary.
+  std::uint32_t now = 0;
+
+  std::uint8_t flags = static_cast<std::uint8_t>(ActionKind::kSleep);
 
   /// Action submitted by the protocol for resolution.
-  ActionKind pending = ActionKind::kSleep;
-  std::uint64_t out_payload = 0;  ///< payload when pending == kTransmit
-  Round wake_round = 0;           ///< first round to act again when sleeping
+  ActionKind Pending() const noexcept {
+    return static_cast<ActionKind>(flags & kPendingMask);
+  }
+  /// First round to act again; meaningful only while Pending() == kSleep.
+  Round WakeRound() const noexcept { return arg; }
+  /// Transmit payload; meaningful only while Pending() == kTransmit.
+  std::uint64_t Payload() const noexcept { return arg; }
+  bool Done() const noexcept { return (flags & kDoneBit) != 0; }
+  bool RetireRequested() const noexcept {
+    return (flags & kRetireRequestBit) != 0;
+  }
+  bool Retired() const noexcept { return (flags & kRetiredBit) != 0; }
+
+  void FileTransmit(std::uint64_t payload) noexcept {
+    SetPending(ActionKind::kTransmit);
+    arg = payload;
+  }
+  void FileListen() noexcept { SetPending(ActionKind::kListen); }
+  void FileSleep(Round wake) noexcept {
+    SetPending(ActionKind::kSleep);
+    arg = wake;
+  }
+  void MarkDone() noexcept { flags |= kDoneBit; }
+  void RequestRetire() noexcept { flags |= kRetireRequestBit; }
+  /// Retiring consumes the one-shot retire request (Scheduler::Retire).
+  void MarkRetired() noexcept {
+    flags = static_cast<std::uint8_t>((flags | kRetiredBit) & ~kRetireRequestBit);
+  }
+  void SetPending(ActionKind kind) noexcept {
+    flags = static_cast<std::uint8_t>((flags & ~kPendingMask) |
+                                      static_cast<std::uint8_t>(kind));
+  }
+};
+
+static_assert(sizeof(HotNodeContext) <= kHotContextBytes,
+              "hot context outgrew its streamed-line budget (size_budget.hpp)");
+static_assert(alignof(HotNodeContext) == alignof(Round),
+              "hot context alignment must not pad the parallel array");
+
+/// The cold half: state a resume touches only when the node actually does
+/// something beyond being rescheduled. Owned by the Scheduler in an array
+/// parallel to the hot one.
+struct ColdNodeContext {
+  Rng rng{0};
 
   /// Result of the last kListen action; set by the scheduler before resume.
   Reception last_reception;
 
-  /// Innermost suspended coroutine to resume when the action resolves.
+  /// Innermost suspended coroutine to resume when the action resolves
+  /// (coroutine engine only; flat lanes keep their resume point in the
+  /// lane's pc field instead).
   std::coroutine_handle<> resume_point;
-
-  /// Set when the node's root coroutine finishes.
-  bool done = false;
-
-  /// One-shot request raised by NodeApi::Retire(); the scheduler consumes it
-  /// after the current resume slice and retires the node from its residual
-  /// graph.
-  bool retire_requested = false;
-
-  /// Set once the scheduler has retired the node: it must never transmit or
-  /// listen again (sleeping until a sync round and finishing are fine).
-  bool retired = false;
 
   /// This node's energy counters (owned by the scheduler's meter). Protocols
   /// read them to implement the paper's deterministic energy thresholds.
@@ -77,7 +143,28 @@ struct NodeContext {
   /// SchedulerConfig); null when observability is off. Protocols annotate
   /// through NodeApi::Phase / SubPhase.
   obs::PhaseTimeline* timeline = nullptr;
+
+  NodeId id = kInvalidNode;
 };
+
+static_assert(sizeof(ColdNodeContext) <= kColdContextBytes,
+              "cold context outgrew its budget (size_budget.hpp)");
+
+/// The two-pointer view over one node's hot and cold halves. Cheap value
+/// type: awaitables, NodeApi, and FlatCtx hold it by value (coroutine
+/// frames store the 16-byte view, not the state); the Scheduler
+/// materializes it on demand from its parallel arrays. Copies refer to the
+/// same node.
+struct NodeContext {
+  HotNodeContext* hot = nullptr;
+  ColdNodeContext* cold = nullptr;
+
+  /// Marks the root program finished — the flat engine's terminal step.
+  void MarkDone() const noexcept { hot->MarkDone(); }
+};
+
+static_assert(sizeof(NodeContext) <= kContextViewBytes,
+              "context view outgrew two pointers (size_budget.hpp)");
 
 namespace proc {
 
@@ -213,16 +300,17 @@ namespace detail_await {
 /// Common awaitable behaviour: record the suspended coroutine so the
 /// scheduler can resume the whole stack at the right round.
 struct ActionAwaitBase {
-  NodeContext* ctx;
-  void Park(std::coroutine_handle<> h) const noexcept { ctx->resume_point = h; }
+  NodeContext ctx;
+  void Park(std::coroutine_handle<> h) const noexcept {
+    ctx.cold->resume_point = h;
+  }
 };
 
 struct TransmitAwait : ActionAwaitBase {
   std::uint64_t payload;
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const noexcept {
-    ctx->pending = ActionKind::kTransmit;
-    ctx->out_payload = payload;
+    ctx.hot->FileTransmit(payload);
     Park(h);
   }
   void await_resume() const noexcept {}
@@ -231,19 +319,18 @@ struct TransmitAwait : ActionAwaitBase {
 struct ListenAwait : ActionAwaitBase {
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const noexcept {
-    ctx->pending = ActionKind::kListen;
+    ctx.hot->FileListen();
     Park(h);
   }
-  Reception await_resume() const noexcept { return ctx->last_reception; }
+  Reception await_resume() const noexcept { return ctx.cold->last_reception; }
 };
 
 struct SleepAwait : ActionAwaitBase {
   Round wake;
   /// Sleeping zero rounds is a no-op that does not suspend.
-  bool await_ready() const noexcept { return wake <= ctx->now; }
+  bool await_ready() const noexcept { return wake <= ctx.hot->now; }
   void await_suspend(std::coroutine_handle<> h) const noexcept {
-    ctx->pending = ActionKind::kSleep;
-    ctx->wake_round = wake;
+    ctx.hot->FileSleep(wake);
     Park(h);
   }
   void await_resume() const noexcept {}
@@ -256,20 +343,20 @@ struct SleepAwait : ActionAwaitBase {
 class NodeApi {
  public:
   NodeApi() = default;
-  explicit NodeApi(NodeContext* ctx) noexcept : ctx_(ctx) {}
+  explicit NodeApi(NodeContext ctx) noexcept : ctx_(ctx) {}
 
-  NodeId Id() const noexcept { return ctx_->id; }
+  NodeId Id() const noexcept { return ctx_.cold->id; }
 
   /// The round in which the next awaited action will execute. Protocols use
   /// this with SleepUntil for the paper's absolute-round synchronization.
-  Round Now() const noexcept { return ctx_->now; }
+  Round Now() const noexcept { return ctx_.hot->now; }
 
   /// This node's private random stream.
-  Rng& Rand() const noexcept { return ctx_->rng; }
+  Rng& Rand() const noexcept { return ctx_.cold->rng; }
 
   /// Awake rounds this node has paid so far (reads the scheduler's meter).
   std::uint64_t EnergySpent() const noexcept {
-    return ctx_->energy != nullptr ? ctx_->energy->Awake() : 0;
+    return ctx_.cold->energy != nullptr ? ctx_.cold->energy->Awake() : 0;
   }
 
   /// Annotates a protocol phase boundary (e.g. Phase("luby-phase", k)) at
@@ -278,15 +365,17 @@ class NodeApi {
   /// when no timeline is installed.
   void Phase(std::string_view base,
              std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
-    if (ctx_->timeline != nullptr) ctx_->timeline->Annotate(base, index, ctx_->now);
+    if (ctx_.cold->timeline != nullptr) {
+      ctx_.cold->timeline->Annotate(base, index, ctx_.hot->now);
+    }
   }
 
   /// Annotates a sub-phase (a window inside the current phase, e.g. a
   /// "decay" backoff) without closing the enclosing phase span.
   void SubPhase(std::string_view base,
                 std::uint64_t index = obs::PhaseTimeline::kNoIndex) const {
-    if (ctx_->timeline != nullptr) {
-      ctx_->timeline->AnnotateSub(base, index, ctx_->now);
+    if (ctx_.cold->timeline != nullptr) {
+      ctx_.cold->timeline->AnnotateSub(base, index, ctx_.hot->now);
     }
   }
 
@@ -301,7 +390,7 @@ class NodeApi {
 
   /// Sleep for `rounds` rounds (free). SleepFor(0) is a no-op.
   detail_await::SleepAwait SleepFor(Round rounds) const noexcept {
-    return {{ctx_}, ctx_->now + rounds};
+    return {{ctx_}, ctx_.hot->now + rounds};
   }
 
   /// Sleep until the absolute round `round` (free). No-op if already due.
@@ -316,10 +405,10 @@ class NodeApi {
   /// neighbor's live scan row (see Scheduler::Retire). Idempotent, and
   /// implied anyway by the protocol coroutine finishing; root MIS protocols
   /// call it explicitly so retirement does not depend on wrapper structure.
-  void Retire() const noexcept { ctx_->retire_requested = true; }
+  void Retire() const noexcept { ctx_.hot->RequestRetire(); }
 
  private:
-  NodeContext* ctx_ = nullptr;
+  NodeContext ctx_;
 };
 
 /// Signature of a protocol entry point: given its NodeApi, produce the root

@@ -69,10 +69,12 @@ struct SchedulerConfig {
   /// "sched.wake_heap"), counters ("sched.rounds_executed",
   /// "sched.rounds_skipped", "sched.wake_events", "chan.push_rounds",
   /// "chan.pull_rounds", "chan.edges_scanned", "graph.compactions",
-  /// "graph.edges_reclaimed"), the residual gauge ("chan.live_edges"), and
-  /// arena gauges ("arena.bytes_reserved", "arena.bytes_used") — cheap
-  /// enough to keep on in perf runs (see bench_simulator's *Instrumented
-  /// variants).
+  /// "graph.edges_reclaimed"), the residual gauge ("chan.live_edges"),
+  /// arena gauges ("arena.bytes_reserved", "arena.bytes_used"), and
+  /// working-set gauges ("mem.context_hot_bytes", "mem.context_cold_bytes",
+  /// "mem.lane_bytes" — the resume loop's per-array footprints, see
+  /// DESIGN.md §12.2) — cheap enough to keep on in perf runs (see
+  /// bench_simulator's *Instrumented variants).
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional phase timeline (owned by the caller). The scheduler binds it
   /// to its energy meter, protocols annotate via NodeApi::Phase, and the
@@ -212,11 +214,14 @@ class Scheduler {
   void FileAction(NodeId v, std::vector<NodeId>& actors,
                   std::vector<std::vector<NodeId>>* by_shard);
 
-  /// Issues prefetches for upcoming resumes in a batch: position i + 8 pulls
-  /// the node's context line (contexts_ is ~100 B/node — far beyond cache at
-  /// bench sizes), position i + 4 chases resume_point to the coroutine-frame
-  /// header the resume call loads first. Hides the two dependent LLC misses
-  /// that otherwise dominate per-wake cost on large graphs.
+  /// Issues prefetches for upcoming resumes in a batch: position i + 16
+  /// pulls the node's hot context line (ctx_hot_ is 16 B/node — four nodes
+  /// share a cache line, but resume order is wake order, so the hardware
+  /// stride detector cannot cover it) plus, per engine, the flat lane or the
+  /// cold context half the resume will touch; position i + 4 chases
+  /// resume_point to the coroutine-frame header the resume call loads
+  /// first. Hides the dependent LLC misses that otherwise dominate per-wake
+  /// cost on large graphs.
   void PrefetchResume(const std::vector<NodeId>& nodes, std::size_t i) noexcept;
 
   /// Executes the current round for `actors_` (channel + energy + trace),
@@ -297,8 +302,19 @@ class Scheduler {
   // before) the tasks that feed it.
   FrameArena arena_;
 
-  std::vector<NodeContext> contexts_;
+  // Per-node context state, split hot/cold into parallel arrays (DESIGN.md
+  // §12.2): the resume loop and the channel's action scans stream only
+  // ctx_hot_ (16 B/node — round, action argument, packed flags); RNG state,
+  // receptions, the coroutine handle, and the energy/timeline pointers live
+  // in ctx_cold_ and are touched only when a node actually draws, listens,
+  // or resumes a coroutine. Protocols see both halves through the two-
+  // pointer NodeContext view built by View().
+  std::vector<HotNodeContext> ctx_hot_;
+  std::vector<ColdNodeContext> ctx_cold_;
   std::vector<proc::Task<void>> tasks_;
+
+  /// The two-pointer hot/cold view of node v handed to NodeApi / FlatCtx.
+  NodeContext View(NodeId v) noexcept { return {&ctx_hot_[v], &ctx_cold_[v]}; }
 
   // Engaged by SpawnFlat: the batched state-machine backend. When set, the
   // resume hot path steps lanes in place and tasks_/arena_ stay empty.
@@ -384,6 +400,9 @@ class Scheduler {
   obs::Gauge* arena_used_ = nullptr;
   obs::Gauge* merge_words_metric_ = nullptr;
   obs::Gauge* barrier_waits_metric_ = nullptr;
+  obs::Gauge* mem_hot_metric_ = nullptr;
+  obs::Gauge* mem_cold_metric_ = nullptr;
+  obs::Gauge* mem_lane_metric_ = nullptr;
   // RunUntil may be called repeatedly; counters flush deltas against these.
   std::uint64_t compactions_flushed_ = 0;
   std::uint64_t edges_reclaimed_flushed_ = 0;

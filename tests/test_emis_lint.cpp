@@ -731,7 +731,7 @@ TEST(ParallelRegionMutation, FlagsSharedWriteSkipsLocalsAndSanctioned) {
       "void Scheduler::Pass() {\n"
       "  par::ParallelFor(jobs_, n_, [&](std::uint64_t v, unsigned worker) {\n"
       "    total_ += v;\n"                       // shared accumulator: flagged
-      "    contexts_[v].now = v;\n"              // sanctioned shard-local slot
+      "    ctx_hot_[v].now = v;\n"               // sanctioned shard-local slot
       "    std::uint64_t local = v * 2;\n"       // declaration, not a write
       "    local += 1;\n"                        // write to a local
       "    v = local;\n"                         // write to a lambda param

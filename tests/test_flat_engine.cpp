@@ -222,8 +222,10 @@ std::string NormalizedReport(const Graph& g, ExecutionEngine engine,
       for (const auto& [gkey, gvalue] : mvalue.Entries()) {
         // Frame-arena footprint exists only under the coroutine engine;
         // merge-word and barrier-wait tallies only under a sharded one.
+        // Context/lane residency gauges report engine-dependent byte
+        // counts (mem.lane_bytes is zero without flat lanes).
         if (gkey.starts_with("arena.") || gkey.starts_with("parallel.") ||
-            gkey == "chan.merge_words") {
+            gkey.starts_with("mem.") || gkey == "chan.merge_words") {
           continue;
         }
         gauges.Set(gkey, gvalue);

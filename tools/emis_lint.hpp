@@ -1318,16 +1318,18 @@ inline void RuleNestedDispatch(const Corpus& corpus, const SymbolIndex& index,
 /// Shared state the scheduler's sharded passes write in parallel by design.
 /// Each entry must be provably race-free; justifications live here so a
 /// reviewer touching the list confronts them (details in DESIGN.md §14):
-///   contexts_            per-node NodeContext slots — the shard cut makes
-///                        writes row-disjoint; cross-node effects commit in
-///                        a serial filing pass (pinned by test_sharded_run).
+///   ctx_hot_ /           per-node hot/cold context halves (parallel arrays,
+///   ctx_cold_            radio/process.hpp) — the shard cut makes writes
+///                        row-disjoint; cross-node effects commit in a
+///                        serial filing pass (pinned by test_sharded_run).
 ///   tx_buffers_          per-shard Channel::TxShardBuffer stamping buffers,
 ///                        merged serially in fixed shard order (MergeTxShard).
 ///   shard_tx_count_ /    per-shard counters, one writer each, committed
 ///   shard_listen_count_  once per round by CommitShardTotals.
 inline const std::set<std::string, std::less<>>& ParallelWriteSanctioned() {
   static const std::set<std::string, std::less<>> kSanctioned = {
-      "contexts_", "tx_buffers_", "shard_tx_count_", "shard_listen_count_"};
+      "ctx_hot_", "ctx_cold_", "tx_buffers_", "shard_tx_count_",
+      "shard_listen_count_"};
   return kSanctioned;
 }
 
